@@ -1,0 +1,197 @@
+"""ABL — ablations of the design choices DESIGN.md calls out.
+
+1. mergeable statistics vs naive streaming mean/var (numerical stability);
+2. shard size: per-file overhead vs parallel read balance;
+3. reduction schedule fan-in for the stats merge;
+4. partition strategy under skewed shot lengths;
+5. compression codec/level frontier.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.report import format_bytes, render_table
+from repro.io.chunking import plan_shards_by_bytes, read_balance
+from repro.io.compression import get_codec
+from repro.parallel.partition import (
+    balanced_partition,
+    block_partition,
+    cyclic_partition,
+    partition_imbalance,
+)
+from repro.parallel.reducers import schedule_cost, tree_schedule
+from repro.parallel.stats import RunningMoments
+
+
+def test_ablation_stats_numerical_stability(benchmark, write_report):
+    """Welford vs naive sum-of-squares on badly-conditioned data."""
+    rng = np.random.default_rng(0)
+    offset = 1e8
+    data = offset + rng.normal(0, 1.0, size=200_000)
+
+    def welford():
+        acc = RunningMoments(())
+        for chunk in np.array_split(data, 20):
+            acc.update(chunk)
+        return acc
+
+    acc = benchmark(welford)
+    true_var = data.var()
+    welford_err = abs(acc.variance - true_var) / true_var
+    # naive: E[x^2] - E[x]^2 in float64 with a 1e8 offset
+    naive_var = (data**2).mean() - data.mean() ** 2
+    naive_err = abs(naive_var - true_var) / max(true_var, 1e-30)
+    report = (
+        "Ablation 1 — statistics accumulation at offset 1e8, sigma 1:\n\n"
+        + render_table(
+            ["method", "variance estimate", "relative error"],
+            [
+                ("Welford/Chan (ours)", f"{acc.variance:.6f}", f"{welford_err:.2e}"),
+                ("naive E[x^2]-E[x]^2", f"{naive_var:.6f}", f"{naive_err:.2e}"),
+                ("ground truth", f"{true_var:.6f}", "-"),
+            ],
+        )
+    )
+    write_report("ABL1_stats_stability", report)
+    assert welford_err < 1e-6
+    assert naive_err > welford_err  # catastrophic cancellation hurts naive
+
+
+def test_ablation_shard_size(benchmark, write_report):
+    """Shard size: overhead at the small end, read imbalance at the large."""
+    total_bytes = 64 * (1 << 20)  # 64 MB dataset
+    bytes_per_sample = 4096
+    n_samples = total_bytes // bytes_per_sample
+    per_file_overhead = 1 << 14  # 16 KB per-file cost (open+metadata)
+    n_readers = 16
+
+    def sweep():
+        rows = []
+        for target in (1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26):
+            plan = plan_shards_by_bytes(n_samples, bytes_per_sample, target)
+            shard_bytes = [s * bytes_per_sample for s in plan.sizes]
+            overhead = plan.n_shards * per_file_overhead / total_bytes
+            balance = read_balance(shard_bytes, n_readers)
+            rows.append((
+                format_bytes(target), plan.n_shards,
+                f"{overhead:.1%}", f"{balance:.2f}",
+                f"{balance / (1 + overhead):.3f}",
+            ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = (
+        "Ablation 2 — shard size (64 MB dataset, 16 parallel readers):\n\n"
+        + render_table(
+            ["target shard", "n shards", "file overhead", "read balance",
+             "combined score"],
+            rows, align_right=[True] * 5,
+        )
+        + "\n\nShape: tiny shards waste a measurable fraction on per-file "
+        "overhead; giant shards leave most readers idle; the optimum sits "
+        "in between — the standard sharding guidance, derived."
+    )
+    write_report("ABL2_shard_size", report)
+    balances = [float(r[3]) for r in rows]
+    overheads = [float(r[2][:-1]) for r in rows]
+    assert balances[0] >= balances[-1]  # fewer, larger shards balance worse
+    assert overheads[0] > overheads[-1]  # smaller shards cost more overhead
+
+
+def test_ablation_tree_fanin(benchmark, write_report):
+    """Merge-tree fan-in at several world sizes."""
+
+    def sweep():
+        rows = []
+        for p in (64, 512, 4096):
+            best = None
+            for fanin in (2, 4, 8, 16):
+                cost = schedule_cost(tree_schedule(p, fanin), 4096)
+                schedule = tree_schedule(p, fanin)
+                rows.append((
+                    p, fanin, schedule.n_rounds, schedule.max_inbox(),
+                    f"{cost * 1e6:.2f} us",
+                ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = (
+        "Ablation 3 — merge-tree fan-in (4 KB stats message):\n\n"
+        + render_table(
+            ["ranks", "fan-in", "rounds", "max inbox", "alpha-beta cost"],
+            rows, align_right=[True] * 5,
+        )
+        + "\n\nShape: higher fan-in cuts rounds (latency) but serializes more "
+        "receives per node (bandwidth); with these parameters the optimum is "
+        "a moderate fan-in, not either extreme."
+    )
+    write_report("ABL3_tree_fanin", report)
+    assert len(rows) == 12
+
+
+def test_ablation_partition_strategy(benchmark, write_report):
+    """Block vs cyclic vs LPT on long-tailed fusion shot lengths."""
+    rng = np.random.default_rng(3)
+    # lognormal shot durations: most short, few very long (real campaigns)
+    weights = rng.lognormal(0, 1.2, size=200)
+    weights.sort()  # worst case for block: heavy items clustered
+
+    def measure():
+        return {
+            "block": partition_imbalance(block_partition(200, 16, weights)),
+            "cyclic": partition_imbalance(cyclic_partition(200, 16, weights)),
+            "balanced (LPT)": partition_imbalance(balanced_partition(weights, 16)),
+        }
+
+    imbalances = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [(name, f"{v:.3f}") for name, v in imbalances.items()]
+    report = (
+        "Ablation 4 — partition strategy on long-tailed shot lengths "
+        "(200 shots, 16 ranks, makespan/mean; 1.0 = perfect):\n\n"
+        + render_table(["strategy", "imbalance"], rows)
+    )
+    write_report("ABL4_partition", report)
+    assert imbalances["balanced (LPT)"] <= imbalances["cyclic"] + 1e-9
+    assert imbalances["cyclic"] < imbalances["block"]
+
+
+def test_ablation_codec_frontier(benchmark, write_report):
+    """Size/throughput frontier per codec and level."""
+    rng = np.random.default_rng(4)
+    data = np.cumsum(rng.normal(0, 0.05, size=(512, 512)), axis=1)
+    payload = data.astype(np.float32).tobytes()
+
+    def sweep():
+        rows = []
+        for name, level in (
+            ("raw", None), ("zlib", 1), ("zlib", 6), ("zlib", 9), ("lzma", 1),
+        ):
+            codec = get_codec(name, level)
+            start = time.perf_counter()
+            compressed = codec.compress(payload)
+            write_s = time.perf_counter() - start
+            start = time.perf_counter()
+            codec.decompress(compressed)
+            read_s = time.perf_counter() - start
+            rows.append((
+                f"{name}-{level if level is not None else '-'}",
+                f"{len(payload) / len(compressed):.2f}x",
+                f"{len(payload) / write_s / 1e6:.0f} MB/s",
+                f"{len(payload) / read_s / 1e6:.0f} MB/s",
+            ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = (
+        "Ablation 5 — codec frontier on a smooth float32 field (1 MB):\n\n"
+        + render_table(["codec", "ratio", "compress", "decompress"], rows)
+    )
+    write_report("ABL5_codecs", report)
+    ratios = {r[0]: float(r[1][:-1]) for r in rows}
+    assert ratios["zlib-9"] >= ratios["zlib-1"]
+    assert ratios["lzma-1"] > 1.0
+    assert ratios["raw--"] == 1.0

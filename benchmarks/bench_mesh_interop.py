@@ -1,0 +1,75 @@
+"""MESH — cross-mesh interpolation (Section 3.2's IMAS/XGC1 claim).
+
+Paper artifact: fusion assimilation workflows require "regridding or
+interpolation across incompatible meshes (as in IMAS and XGC1)."  The
+bench measures the XGC-mesh -> IMAS-grid -> XGC-mesh loop on a
+flux-surface-like field: throughput, interpolation error, and round-trip
+fidelity as grid resolution grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.report import render_table
+from repro.domains.fusion.mesh import grid_to_mesh, mesh_to_grid, tokamak_mesh
+
+
+def flux_like(r, z, r0=1.7, a=0.6, kappa=1.6):
+    rho2 = ((r - r0) / a) ** 2 + (z / (kappa * a)) ** 2
+    return np.maximum(0.0, 1.0 - rho2)
+
+
+def run_sweep():
+    mesh = tokamak_mesh(n_radial=14, n_poloidal=40, seed=2)
+    node_values = flux_like(mesh.nodes[:, 0], mesh.nodes[:, 1])
+    rows = []
+    for resolution in (24, 48, 96):
+        r_axis = np.linspace(1.05, 2.35, resolution)
+        z_axis = np.linspace(-1.05, 1.05, resolution)
+        start = time.perf_counter()
+        grid, inside = mesh_to_grid(mesh, node_values, r_axis, z_axis,
+                                    fill_value=0.0)
+        forward_s = time.perf_counter() - start
+        rr, zz = np.meshgrid(r_axis, z_axis)
+        truth = flux_like(rr, zz)
+        forward_error = float(np.abs(grid[inside] - truth[inside]).max())
+        start = time.perf_counter()
+        back = grid_to_mesh(grid, r_axis, z_axis, mesh)
+        backward_s = time.perf_counter() - start
+        rho = np.sqrt(((mesh.nodes[:, 0] - 1.7) / 0.6) ** 2
+                      + (mesh.nodes[:, 1] / (1.6 * 0.6)) ** 2)
+        interior = rho < 0.8
+        round_trip = float(np.abs(back[interior] - node_values[interior]).max())
+        rows.append((
+            f"{resolution}x{resolution}",
+            f"{inside.mean():.0%}",
+            f"{forward_error:.4f}",
+            f"{round_trip:.4f}",
+            f"{resolution**2 / forward_s / 1e3:.0f} kpt/s",
+            f"{mesh.n_nodes / backward_s / 1e3:.0f} knode/s",
+        ))
+    return rows, mesh
+
+
+def test_mesh_interop(benchmark, write_report):
+    (rows, mesh) = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report = (
+        f"XGC-like mesh <-> IMAS-like grid interpolation "
+        f"({mesh.n_nodes} nodes, {mesh.n_triangles} triangles):\n\n"
+        + render_table(
+            ["grid", "grid inside mesh", "mesh->grid max err",
+             "round-trip max err", "forward", "backward"],
+            rows,
+        )
+        + "\n\nShape: P1 barycentric error shrinks as the mesh resolves the "
+        "field; the round trip through a sufficiently fine grid recovers "
+        "interior node values — the property an assimilation coupler needs."
+    )
+    write_report("MESH_interop", report)
+    errors = [float(r[3]) for r in rows]
+    assert errors[-1] <= errors[0] + 1e-9  # finer grids never hurt
+    assert errors[-1] < 0.05

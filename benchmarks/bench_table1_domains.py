@@ -1,0 +1,92 @@
+"""TAB1 — regenerate Table 1: the four domain archetypes, executed.
+
+Paper artifact: Table 1 lists representative datasets, workflow steps,
+architectures, modalities, and readiness challenges per domain.  This
+bench *runs* all four archetype pipelines end-to-end on synthetic sources
+and prints the table with the challenges column replaced by what the
+challenge detectors actually measured — the claims become observations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.principles import evaluate_principles
+from repro.core.registry import default_registry
+from repro.core.report import render_table
+from repro.domains import (
+    BioArchetype,
+    ClimateArchetype,
+    FusionArchetype,
+    MaterialsArchetype,
+)
+from repro.domains.bio.synthetic import BioSourceConfig
+from repro.domains.climate.synthetic import ClimateSourceConfig
+from repro.domains.fusion.synthetic import FusionCampaignConfig
+from repro.domains.materials.synthetic import MaterialsSourceConfig
+
+
+def build_archetypes(seed=42):
+    return [
+        ClimateArchetype(seed=seed, config=ClimateSourceConfig(
+            n_models=2, n_timesteps=18, seed=seed)),
+        FusionArchetype(seed=seed, config=FusionCampaignConfig(
+            n_shots=14, seed=seed)),
+        BioArchetype(seed=seed, config=BioSourceConfig(
+            n_subjects=50, sequence_length=192, seed=seed)),
+        MaterialsArchetype(seed=seed, config=MaterialsSourceConfig(
+            n_structures=80, seed=seed)),
+    ]
+
+
+def run_all(tmp_path):
+    results = {}
+    for arch in build_archetypes():
+        results[arch.domain] = arch.run(tmp_path / arch.domain)
+    return results
+
+
+def test_table1_domains(benchmark, tmp_path, write_report):
+    results = benchmark.pedantic(run_all, args=(tmp_path,), rounds=1, iterations=1)
+    registry = default_registry()
+    rows = []
+    for entry in registry:
+        result = results[entry.domain]
+        rows.append((
+            entry.domain.capitalize(),
+            ", ".join(entry.datasets),
+            " -> ".join(r.stage_name for r in result.run.results),
+            ", ".join(entry.architectures),
+            entry.modality,
+            f"DRL {result.readiness_level}/5",
+        ))
+    detected = []
+    for entry in registry:
+        for challenge in results[entry.domain].detected_challenges:
+            detected.append((entry.domain.capitalize(), challenge))
+    principle_rows = []
+    for entry in registry:
+        scorecard = evaluate_principles(results[entry.domain].run)
+        principle_rows.append((
+            entry.domain.capitalize(),
+            f"{scorecard.satisfied_count}/5",
+        ))
+    report = (
+        "Table 1 regeneration: archetypes executed end-to-end\n\n"
+        + render_table(
+            ["Domain", "Dataset/Source", "Workflow steps (as run)",
+             "Architecture", "Modality", "Readiness"],
+            rows,
+        )
+        + "\n\nReadiness challenges, as DETECTED by code (not asserted):\n\n"
+        + render_table(["Domain", "Detected challenge"], detected)
+        + "\n\nCross-cutting (appear in >1 domain, cf. Section 5): "
+        + ", ".join(registry.shared_challenges())
+        + "\n\nSection 4 guiding-principle scorecards:\n\n"
+        + render_table(["Domain", "principles satisfied"], principle_rows)
+    )
+    write_report("TAB1_domains", report)
+    assert all(r.readiness_level == 5 for r in results.values())
+    assert len(detected) >= 8
+    for entry in registry:
+        assert evaluate_principles(results[entry.domain].run).all_satisfied

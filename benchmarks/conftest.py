@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (DESIGN.md per-experiment
+index).  Besides pytest-benchmark timing, each bench writes its
+regenerated table/figure as plain text under ``benchmarks/reports/`` so
+the artifacts survive output capture and can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture
+def write_report(report_dir):
+    """Write (and echo) a named artifact report."""
+
+    def _write(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        return path
+
+    return _write

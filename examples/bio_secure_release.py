@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Secure bio/health data release (Sections 3.3 and 5).
+
+Generates linked genomic + clinical sources full of PHI, runs the bio
+archetype (``acquire -> encode -> anonymize -> fuse -> shard``), then
+walks the governance story end-to-end:
+
+* the privacy scanner's findings before and after anonymization;
+* the policy engine blocking a premature release and approving a
+  compliant one;
+* the secure enclave: sealed storage, denied access, audited reads, and
+  a declassification with a hash-chained audit trail.
+
+Run:  python examples/bio_secure_release.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.report import render_table, section
+from repro.domains.bio import BioArchetype, BioSourceConfig
+from repro.governance.enclave import AccessDenied
+from repro.governance.policy import open_release_policy
+from repro.governance.privacy import PrivacyScanner
+from repro.quality.datasheet import build_datasheet
+
+
+def main() -> None:
+    work_dir = Path(tempfile.mkdtemp(prefix="drai-bio-"))
+
+    print(section("1. prepare the dataset (anonymization is a gate)"))
+    archetype = BioArchetype(
+        seed=4, config=BioSourceConfig(n_subjects=90, sequence_length=256, seed=4)
+    )
+    result = archetype.run(work_dir)
+    print(f"pattern          : {archetype.pattern_string()}")
+    print(f"readiness level  : {result.readiness_level} / 5")
+    print(result.run.stage_table())
+
+    print(section("2. privacy findings: before vs after"))
+    raw_findings = result.run.context.artifacts["phi_findings_raw"]
+    post_findings = result.run.context.artifacts["phi_findings_post"]
+    rows = [("raw clinical table", len(raw_findings)),
+            ("after anonymization", len(post_findings))]
+    print(render_table(["dataset state", "PHI/PII findings"], rows))
+    for finding in raw_findings[:6]:
+        print(f"  raw: {finding}")
+    anon_report = result.run.context.artifacts["anonymization_report"]
+    print(f"\nanonymization: {anon_report.summary()}")
+
+    print(section("3. the fused, de-identified artifact"))
+    ds = result.dataset
+    print(ds)
+    scanner = PrivacyScanner()
+    print(f"scanner verdict on the release artifact: "
+          f"{'CLEAN' if scanner.is_clean(ds) else 'FINDINGS REMAIN'}")
+    correlation = float(np.corrcoef(ds["motif_features"][:, 0], ds["expression"])[0, 1])
+    print(f"utility preserved: corr(promoter count, expression) = {correlation:.2f}")
+
+    print(section("4. the enclave workflow"))
+    enclave = result.run.context.artifacts["enclave"]
+    print(f"sealed holdings: {enclave.holdings()}")
+    try:
+        enclave.session("uncleared-user")
+    except AccessDenied as exc:
+        print(f"unauthorized access: DENIED ({exc})")
+    with enclave.session("release-engineer") as session:
+        inside = session.read("bio-fused")
+    print(f"authorized read inside the enclave: {inside.n_samples} samples")
+    released, compliance = enclave.declassify(
+        "bio-fused", "release-engineer", open_release_policy(min_samples=50)
+    )
+    print(f"declassification: {compliance.summary()}")
+    print(f"released: {released is not None}")
+
+    print(section("5. the audit trail (hash-chained)"))
+    enclave.audit.verify()
+    rows = [
+        (e.sequence, e.actor, e.action, e.subject)
+        for e in list(enclave.audit)[-8:]
+    ]
+    print(render_table(["#", "actor", "action", "subject"], rows))
+    print("chain verification: OK")
+
+    print(section("6. datasheet for the release"))
+    sheet = build_datasheet(ds, assessment=result.assessment)
+    md = sheet.render_markdown()
+    privacy_section = md[md.index("## Privacy"):]
+    print(privacy_section)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""DIII-D-style disruption-prediction data preparation (Section 3.2).
+
+Generates a synthetic tokamak campaign in an MDSplus-like shot-tree store,
+runs the fusion archetype (``extract -> align -> normalize -> window ->
+shard``), and then demonstrates the downstream value: a proxy classifier
+trained on the prepared windows separates disruptive precursors from quiet
+plasma, and a leakage check confirms the group split keeps whole shots
+together.
+
+Run:  python examples/fusion_disruption_prep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.report import render_table, section
+from repro.domains.fusion import FusionArchetype, FusionCampaignConfig
+from repro.io.shards import ShardSet
+from repro.io.tfrecord import TFRecordReader
+from repro.transforms.label import NearestCentroidModel
+
+
+def main() -> None:
+    work_dir = Path(tempfile.mkdtemp(prefix="drai-fusion-"))
+
+    print(section("1. synthesize a campaign and prepare it"))
+    archetype = FusionArchetype(
+        seed=3, config=FusionCampaignConfig(n_shots=30, seed=3)
+    )
+    result = archetype.run(work_dir)
+    print(f"pattern          : {archetype.pattern_string()}")
+    print(f"readiness level  : {result.readiness_level} / 5")
+    print(result.run.stage_table())
+    print(f"\ncuration share of machine time: {result.curation_fraction():.0%} "
+          "(cf. the fusion-ML workshop's 70%-of-human-time finding)")
+
+    print(section("2. detected readiness challenges"))
+    for challenge in result.detected_challenges:
+        print(f"  - {challenge}")
+
+    print(section("3. the prepared windows"))
+    ds = result.dataset
+    positives = int((ds["disruptive"] == 1).sum())
+    print(ds)
+    print(f"windows: {ds.n_samples} ({positives} disruptive precursors)")
+
+    print(section("4. leakage check: shots never straddle splits"))
+    shard_set = ShardSet(work_dir / "shards")
+    shots = {
+        split: set(shard_set.load_split(split)["shot"].tolist())
+        for split in shard_set.splits
+    }
+    rows = [(s, len(shots[s])) for s in sorted(shots)]
+    print(render_table(["split", "distinct shots"], rows))
+    overlaps = [
+        (a, b)
+        for a in shots for b in shots
+        if a < b and shots[a] & shots[b]
+    ]
+    print(f"split overlaps: {overlaps or 'none'}")
+
+    print(section("5. downstream value: precursor detection on the test split"))
+    train = shard_set.load_split("train")
+    test = shard_set.load_split("test")
+    model = NearestCentroidModel().fit(
+        train["features"].astype(np.float64), train["disruptive"]
+    )
+    predictions = model.predict(test["features"].astype(np.float64))
+    truth = test["disruptive"]
+    accuracy = float((predictions == truth).mean())
+    recall = (
+        float((predictions[truth == 1] == 1).mean())
+        if (truth == 1).any() else float("nan")
+    )
+    print(f"test accuracy : {accuracy:.1%}")
+    print(f"test recall   : {recall:.1%} on disruptive windows")
+
+    print(section("6. the TFRecord export (Table 1's format column)"))
+    tf_path = work_dir / "shards" / "tfrecord" / "test.tfrecord"
+    examples = list(TFRecordReader(tf_path).read_examples())
+    print(f"{tf_path.name}: {len(examples)} Example records; features of "
+          f"first: {sorted(examples[0].features)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""HydraGNN-style materials data preparation (Section 3.4).
+
+Generates a synthetic OMat24/AFLOW-like JSON-lines archive of DFT-style
+calculations (with planted class imbalance and a multi-fidelity energy
+offset), runs the materials archetype
+(``parse -> normalize -> encode -> graph -> shard``), and inspects the
+two outputs GNN training needs: the ADIOS-like graph container (one step
+per structure) and the fixed-descriptor shard set.
+
+Run:  python examples/materials_graph_prep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.report import render_table, section
+from repro.domains.materials import (
+    CRYSTAL_FAMILIES,
+    MaterialsArchetype,
+    MaterialsSourceConfig,
+)
+from repro.io.adios import BPReader
+from repro.io.shards import ShardSet
+from repro.quality.metrics import class_balance
+
+
+def main() -> None:
+    work_dir = Path(tempfile.mkdtemp(prefix="drai-materials-"))
+
+    print(section("1. prepare the archive"))
+    archetype = MaterialsArchetype(
+        seed=6, config=MaterialsSourceConfig(n_structures=150, seed=6)
+    )
+    result = archetype.run(work_dir)
+    print(f"pattern          : {archetype.pattern_string()}")
+    print(f"readiness level  : {result.readiness_level} / 5")
+    print(result.run.stage_table())
+
+    print(section("2. detected readiness challenges"))
+    for challenge in result.detected_challenges:
+        print(f"  - {challenge}")
+    offset = result.run.context.artifacts["fidelity_offset_ev"]
+    print(f"\nmulti-fidelity correction: regression recovered "
+          f"{offset:+.2f} eV (planted: +0.80 eV)")
+
+    print(section("3. class balance before/after oversampling"))
+    ds = result.dataset
+    originals = ds.take(ds["is_synthetic"] == 0)
+    families = list(CRYSTAL_FAMILIES)
+    rows = []
+    raw_balance = class_balance(originals["crystal_class"])
+    full_balance = class_balance(ds["crystal_class"])
+    for class_id, family in enumerate(families):
+        rows.append((
+            family,
+            f"{raw_balance.get(class_id, 0.0):.1%}",
+            f"{full_balance.get(class_id, 0.0):.1%}",
+        ))
+    print(render_table(["crystal family", "raw share", "post-SMOTE share"], rows))
+
+    print(section("4. the graph container (ADIOS-like, one step/structure)"))
+    with BPReader(work_dir / "shards" / "graphs.bp") as reader:
+        print(f"steps: {reader.n_steps}; variables: {reader.all_variables()}")
+        edges = reader.read(0, "edges")
+        lattice = reader.read(0, "lattice")
+        print(f"structure 0: {edges.shape[0]} bonds, lattice det "
+              f"{abs(np.linalg.det(lattice)):.1f} A^3")
+
+    print(section("5. the descriptor shard set"))
+    shard_set = ShardSet(work_dir / "shards")
+    shard_set.verify()
+    train = shard_set.load_split("train")
+    print(f"train: {train.n_samples} structures x "
+          f"{train.schema['descriptor'].shape[0]} descriptors")
+
+    print(section("6. downstream value: energy regression on descriptors"))
+    test = shard_set.load_split("test")
+    X = np.column_stack([
+        train["descriptor"].astype(np.float64), np.ones(train.n_samples)
+    ])
+    coefficients, *_ = np.linalg.lstsq(X, train["energy_per_atom"], rcond=None)
+    X_test = np.column_stack([
+        test["descriptor"].astype(np.float64), np.ones(test.n_samples)
+    ])
+    prediction = X_test @ coefficients
+    residual = test["energy_per_atom"] - prediction
+    baseline = test["energy_per_atom"] - train["energy_per_atom"].mean()
+    print(f"linear model RMSE : {np.sqrt((residual ** 2).mean()):.4f} eV/atom")
+    print(f"mean-predictor RMSE: {np.sqrt((baseline ** 2).mean()):.4f} eV/atom")
+    print("(descriptors carry real signal: the prepared data is learnable)")
+
+
+if __name__ == "__main__":
+    main()

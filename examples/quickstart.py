@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Quickstart: assess, prepare, and shard a dataset with the DRAI framework.
+
+Walks the shortest useful path through the public API:
+
+1. build a raw dataset with typical problems (missing values, mixed units,
+   scarce labels);
+2. run the Figure 1 steps with a pipeline that records readiness evidence;
+3. assess readiness and render the dataset's position in the Table 2
+   maturity matrix;
+4. export AI-ready shards and read them back the way a trainer would.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    Dataset,
+    MaturityMatrix,
+    Pipeline,
+    ReadinessAssessor,
+)
+from repro.core.dataset import DatasetMetadata, FieldRole, FieldSpec, Schema
+from repro.core.evidence import EvidenceKind
+from repro.core.levels import DataProcessingStage
+from repro.core.pipeline import PipelineContext, PipelineStage
+from repro.core.report import section
+from repro.io.shards import ShardSet, write_shard_set
+from repro.quality.datasheet import build_datasheet
+from repro.transforms.cleaning import clean_dataset
+from repro.transforms.label import UNLABELED, propagate_labels
+from repro.transforms.normalize import normalize_dataset
+from repro.transforms.split import SplitSpec, stratified_split
+
+
+def make_raw_dataset(seed: int = 0, n: int = 400) -> Dataset:
+    """Raw lab data: one informative channel, messy in the usual ways."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, 2, n)
+    signal = truth * 2.5 + rng.normal(0, 0.6, n)
+    signal[rng.uniform(size=n) < 0.05] = np.nan  # sensor dropouts
+    temperature = rng.normal(21, 3, n)  # lab temperature, Celsius
+    labels = np.where(rng.uniform(size=n) < 0.2, truth, UNLABELED)
+    return Dataset(
+        {
+            "signal": signal,
+            "temperature": temperature,
+            "label": labels.astype(np.int64),
+        },
+        Schema([
+            FieldSpec("signal", np.dtype(np.float64),
+                      description="detector response"),
+            FieldSpec("temperature", np.dtype(np.float64), units="degC"),
+            FieldSpec("label", np.dtype(np.int64), role=FieldRole.LABEL),
+        ]),
+        DatasetMetadata(name="quickstart-lab-data", domain="generic",
+                        description="Synthetic detector data for the quickstart."),
+    )
+
+
+# --- pipeline stages: pure transforms that also record evidence -----------
+
+def ingest(dataset: Dataset, ctx: PipelineContext) -> Dataset:
+    dataset.validate()
+    ctx.record(EvidenceKind.ACQUIRED, f"{dataset.n_samples} samples")
+    ctx.record(EvidenceKind.VALIDATED_INGEST, "schema validated",
+               missing_fraction=float(np.isnan(dataset["signal"]).mean()))
+    ctx.record(EvidenceKind.METADATA_ENRICHED, "units + descriptions declared")
+    ctx.record(EvidenceKind.HIGH_THROUGHPUT_INGEST, "columnar in-memory layout")
+    ctx.record(EvidenceKind.INGEST_AUTOMATED, "driven by this script")
+    return dataset
+
+
+def preprocess(dataset: Dataset, ctx: PipelineContext) -> Dataset:
+    cleaned, report = clean_dataset(dataset, target_units={"temperature": "K"})
+    ctx.record(EvidenceKind.INITIAL_ALIGNMENT, report.summary())
+    ctx.record(EvidenceKind.GRIDS_STANDARDIZED, "single tabular layout")
+    ctx.record(EvidenceKind.ALIGNMENT_STANDARDIZED, "units harmonized to SI")
+    ctx.record(EvidenceKind.ALIGNMENT_AUTOMATED, "rule-driven cleaning")
+    # re-record validated ingest now that missing values are gone
+    ctx.record(EvidenceKind.VALIDATED_INGEST, "post-clean",
+               missing_fraction=report.residual_missing_fraction)
+    return cleaned
+
+
+def transform(dataset: Dataset, ctx: PipelineContext) -> Dataset:
+    normalized, normalizers = normalize_dataset(dataset, "zscore")
+    ctx.add_artifact("normalizers", {k: v.params() for k, v in normalizers.items()})
+    features = np.stack([normalized["signal"], normalized["temperature"]], axis=1)
+    labels = propagate_labels(features, normalized["label"], k_neighbors=7)
+    labeled = normalized.with_column(normalized.schema["label"], labels, replace=True)
+    fraction = float((labels != UNLABELED).mean())
+    ctx.record(EvidenceKind.INITIAL_NORMALIZATION, "z-score per column")
+    ctx.record(EvidenceKind.NORMALIZATION_FINALIZED, "parameters published")
+    ctx.record(EvidenceKind.BASIC_LABELS, "seed labels present",
+               labeled_fraction=0.2)
+    ctx.record(EvidenceKind.COMPREHENSIVE_LABELS,
+               f"label propagation -> {fraction:.0%}", labeled_fraction=fraction)
+    ctx.record(EvidenceKind.TRANSFORM_AUDITED, "no sensitive fields",
+               sensitive_remaining=0)
+    return labeled
+
+
+def structure(dataset: Dataset, ctx: PipelineContext) -> Dataset:
+    resolved = dataset.take(dataset["label"] != UNLABELED)
+    ctx.record(EvidenceKind.FEATURES_EXTRACTED,
+               f"{len(resolved.schema.feature_names)} features retained")
+    ctx.record(EvidenceKind.FEATURES_VALIDATED, "all columns finite")
+    ctx.add_artifact("dataset", resolved)
+    return resolved
+
+
+def make_shard_stage(output_dir: Path):
+    def shard(dataset: Dataset, ctx: PipelineContext) -> Dataset:
+        splits = stratified_split(dataset["label"], SplitSpec(0.8, 0.1, 0.1),
+                                  np.random.default_rng(0))
+        manifest = write_shard_set(dataset, output_dir, splits=splits,
+                                   shards_per_split=2, codec_name="zlib",
+                                   codec_level=3)
+        ctx.add_artifact("manifest", manifest)
+        ctx.record(EvidenceKind.SPLIT_PARTITIONED,
+                   str({k: len(v) for k, v in splits.items()}))
+        ctx.record(EvidenceKind.SHARDED_BINARY, f"{manifest.n_shards} shards")
+        return dataset
+
+    return shard
+
+
+def main() -> None:
+    work_dir = Path(tempfile.mkdtemp(prefix="drai-quickstart-"))
+    shard_dir = work_dir / "shards"
+
+    print(section("1. raw data"))
+    raw = make_raw_dataset()
+    print(raw)
+    print(f"missing signal values: {np.isnan(raw['signal']).sum()}")
+    print(f"labeled fraction     : {(raw['label'] != UNLABELED).mean():.0%}")
+
+    print(section("2. run the Figure 1 pipeline"))
+    pipeline = Pipeline("quickstart", [
+        PipelineStage("ingest", DataProcessingStage.INGEST, ingest),
+        PipelineStage("clean", DataProcessingStage.PREPROCESS, preprocess),
+        PipelineStage("normalize+label", DataProcessingStage.TRANSFORM, transform),
+        PipelineStage("structure", DataProcessingStage.STRUCTURE, structure),
+        PipelineStage("shard", DataProcessingStage.SHARD, make_shard_stage(shard_dir)),
+    ])
+    run = pipeline.run(raw)
+    print(run.stage_table())
+
+    print(section("3. readiness assessment (Table 2 position)"))
+    assessment = ReadinessAssessor().assess(run.context.evidence)
+    print(f"overall Data Readiness Level: {int(assessment.overall)} / 5")
+    print(MaturityMatrix.from_assessment(assessment).render_compact())
+
+    print(section("4. trainer-side ingestion"))
+    shard_set = ShardSet(shard_dir)
+    shard_set.verify()
+    train = shard_set.load_split("train")
+    print(f"train split: {train.n_samples} samples, "
+          f"columns {train.schema.names}")
+    for rank in range(2):
+        shards = list(shard_set.iter_shards("train", rank=rank, world=2))
+        print(f"rank {rank}/2 reads {len(shards)} shard(s)")
+
+    print(section("5. datasheet"))
+    sheet = build_datasheet(run.payload, assessment=assessment)
+    print("\n".join(sheet.render_markdown().splitlines()[:18]))
+    print("...")
+    print(f"\nworkspace: {work_dir}")
+
+
+if __name__ == "__main__":
+    main()

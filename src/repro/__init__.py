@@ -1,0 +1,67 @@
+"""repro: reference implementation of "Data Readiness for Scientific AI at
+Scale" (Brewer et al., ICPP 2025).
+
+The package builds the system the paper describes and envisions:
+
+* :mod:`repro.core` — Data Readiness Levels, Data Processing Stages, the
+  2-D maturity matrix (Table 2), evidence-based readiness assessment, the
+  pipeline engine with provenance/audit capture, and the Figure 1
+  feedback loop.
+* :mod:`repro.domains` — the four executable Table 1 archetypes on
+  synthetic but statistically faithful sources.
+* :mod:`repro.io` — sharded containers and community-format substrates
+  (TFRecord-compatible, HDF5-like, ADIOS-like, NetCDF-like, GRIB-like).
+* :mod:`repro.parallel` — SPMD communicator, mergeable statistics,
+  partitioning, reduction schedules, and the filesystem/cluster scaling
+  models for HPC-scale questions.
+* :mod:`repro.transforms` — the shared preprocessing library.
+* :mod:`repro.provenance` / :mod:`repro.governance` /
+  :mod:`repro.quality` — lineage, privacy/compliance/enclaves, and data
+  quality + datasheets.
+
+Quickstart::
+
+    from repro.core import ReadinessAssessor, MaturityMatrix
+    from repro.domains import ClimateArchetype
+
+    result = ClimateArchetype(seed=0).run("work/climate")
+    print(result.readiness_level)                 # 5
+    print(MaturityMatrix.from_assessment(result.assessment).render_compact())
+"""
+
+from repro.core import (
+    DataProcessingStage,
+    DataReadinessLevel,
+    Dataset,
+    MaturityMatrix,
+    Pipeline,
+    ReadinessAssessor,
+    ReadinessEvidence,
+    default_registry,
+)
+from repro.domains import (
+    BioArchetype,
+    ClimateArchetype,
+    FusionArchetype,
+    MaterialsArchetype,
+    all_archetypes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataProcessingStage",
+    "DataReadinessLevel",
+    "Dataset",
+    "MaturityMatrix",
+    "Pipeline",
+    "ReadinessAssessor",
+    "ReadinessEvidence",
+    "default_registry",
+    "BioArchetype",
+    "ClimateArchetype",
+    "FusionArchetype",
+    "MaterialsArchetype",
+    "all_archetypes",
+    "__version__",
+]

@@ -1,0 +1,198 @@
+"""Command-line interface: the facility-operator surface of the framework.
+
+Section 4 positions the framework as "a pragmatic tool for evaluating
+technical readiness"; this CLI is that tool::
+
+    python -m repro matrix                    # render Table 2
+    python -m repro archetypes                # render Table 1 (registry)
+    python -m repro templates [DOMAIN]        # preprocessing templates
+    python -m repro run DOMAIN --workdir DIR  # run an archetype end-to-end
+    python -m repro inspect SHARD_DIR         # verify + describe a shard set
+    python -m repro crosswalk LEVEL           # NOAA/METRIC crosswalks
+
+Everything the CLI prints is produced by the same public API the examples
+use; the CLI adds no behaviour of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.assessment import ReadinessAssessment, ReadinessAssessor
+from repro.core.crosswalk import crosswalk_report
+from repro.core.evidence import ReadinessEvidence
+from repro.core.levels import DataReadinessLevel
+from repro.core.matrix import MaturityMatrix
+from repro.core.registry import default_registry
+from repro.core.report import format_bytes, render_table, section
+from repro.core.templates import builtin_template, registered_templates
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DRAI: Data Readiness for Scientific AI at Scale",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("matrix", help="render the Table 2 maturity matrix")
+
+    sub.add_parser("archetypes", help="render the Table 1 archetype registry")
+
+    templates = sub.add_parser("templates", help="render preprocessing templates")
+    templates.add_argument("domain", nargs="?", default=None,
+                           help="one domain (default: list all)")
+
+    run = sub.add_parser("run", help="run a domain archetype end-to-end")
+    run.add_argument("domain", choices=["climate", "fusion", "bio", "materials"])
+    run.add_argument("--workdir", required=True, type=Path)
+    run.add_argument("--seed", type=int, default=0)
+
+    inspect = sub.add_parser("inspect", help="verify and describe a shard set")
+    inspect.add_argument("directory", type=Path)
+
+    crosswalk = sub.add_parser(
+        "crosswalk", help="map a DRAI level to NOAA/METRIC maturity models"
+    )
+    crosswalk.add_argument("level", type=int, choices=[1, 2, 3, 4, 5])
+
+    return parser
+
+
+def _cmd_matrix() -> int:
+    print(MaturityMatrix.conceptual().render_text(cell_width=20))
+    return 0
+
+
+def _cmd_archetypes() -> int:
+    registry = default_registry()
+    rows = [
+        (
+            entry.domain,
+            entry.pattern_string(),
+            ", ".join(entry.architectures),
+            "; ".join(entry.challenges),
+        )
+        for entry in registry
+    ]
+    print(render_table(["domain", "pattern", "architectures", "challenges"], rows))
+    print(f"\ncross-cutting challenges: {', '.join(registry.shared_challenges())}")
+    return 0
+
+
+def _cmd_templates(domain: Optional[str]) -> int:
+    if domain is None:
+        print("registered templates:", ", ".join(registered_templates()))
+        return 0
+    print(builtin_template(domain).render_markdown())
+    return 0
+
+
+def _cmd_run(domain: str, workdir: Path, seed: int) -> int:
+    from repro.domains import (
+        BioArchetype,
+        ClimateArchetype,
+        FusionArchetype,
+        MaterialsArchetype,
+    )
+
+    classes = {
+        "climate": ClimateArchetype,
+        "fusion": FusionArchetype,
+        "bio": BioArchetype,
+        "materials": MaterialsArchetype,
+    }
+    archetype = classes[domain](seed=seed)
+    print(f"running {domain} archetype ({archetype.pattern_string()}) ...")
+    result = archetype.run(workdir)
+    print(result.run.stage_table())
+    print(section("assessment"))
+    print(f"Data Readiness Level: {result.readiness_level} / 5")
+    print(MaturityMatrix.from_assessment(result.assessment).render_compact())
+    print(section("detected challenges"))
+    for challenge in result.detected_challenges:
+        print(f"  - {challenge}")
+    if result.manifest is not None:
+        print(section("shards"))
+        rows = [
+            (split, result.manifest.split_samples(split),
+             len(result.manifest.splits[split]))
+            for split in sorted(result.manifest.splits)
+        ]
+        print(render_table(["split", "samples", "shards"], rows))
+    return 0
+
+
+def _cmd_inspect(directory: Path) -> int:
+    from repro.io.shards import ShardError, ShardSet
+
+    try:
+        shard_set = ShardSet(directory)
+    except ShardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    manifest = shard_set.manifest
+    print(f"dataset : {manifest.dataset_name}")
+    print(f"codec   : {manifest.codec}")
+    print(f"samples : {manifest.n_samples} across {manifest.n_shards} shards")
+    rows = [
+        (
+            split,
+            manifest.split_samples(split),
+            len(shards),
+            format_bytes(sum(s.nbytes for s in shards)),
+        )
+        for split, shards in sorted(manifest.splits.items())
+    ]
+    print(render_table(["split", "samples", "shards", "bytes"], rows))
+    print("\nschema:")
+    for spec in manifest.schema:
+        print(f"  {spec.name:<20} {str(spec.dtype):<10} {spec.shape or 'scalar'} "
+              f"[{spec.role.value}]")
+    try:
+        shard_set.verify()
+        print("\nchecksums: OK")
+        return 0
+    except ShardError as exc:
+        print(f"\nchecksums: FAILED ({exc})", file=sys.stderr)
+        return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "matrix":
+        return _cmd_matrix()
+    if args.command == "archetypes":
+        return _cmd_archetypes()
+    if args.command == "templates":
+        return _cmd_templates(args.domain)
+    if args.command == "run":
+        return _cmd_run(args.domain, args.workdir, args.seed)
+    if args.command == "inspect":
+        return _cmd_inspect(args.directory)
+    if args.command == "crosswalk":
+        level = DataReadinessLevel(args.level)
+        # build a minimal assessment whose overall equals the requested level
+        from repro.core.assessment import StageAssessment
+        from repro.core.levels import DataProcessingStage
+
+        stages = {
+            stage: StageAssessment(
+                stage=stage, level=level, satisfied=[], missing_for_next=[],
+                notes=[],
+            )
+            for stage in DataProcessingStage
+        }
+        assessment = ReadinessAssessment(stages=stages, overall=level)
+        print(crosswalk_report(assessment))
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

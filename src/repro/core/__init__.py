@@ -1,0 +1,78 @@
+"""The DRAI framework core: readiness taxonomy, assessment, maturity matrix,
+pipeline engine, feedback loops, archetype registry, and report rendering.
+"""
+
+from repro.core.levels import (
+    CANONICAL_PIPELINE,
+    DOMAIN_STAGE_VERBS,
+    DataProcessingStage,
+    DataReadinessLevel,
+    minimum_level_for_stage,
+    stage_applicable,
+    stages_for_level,
+)
+from repro.core.dataset import (
+    Dataset,
+    DatasetMetadata,
+    FieldRole,
+    FieldSpec,
+    Modality,
+    Schema,
+    SchemaError,
+)
+from repro.core.evidence import EvidenceKind, EvidenceItem, ReadinessEvidence
+from repro.core.assessment import (
+    AssessmentCriteria,
+    ReadinessAssessment,
+    ReadinessAssessor,
+    StageAssessment,
+)
+from repro.core.matrix import CellStatus, MatrixCell, MaturityMatrix
+from repro.core.pipeline import (
+    Pipeline,
+    PipelineContext,
+    PipelineError,
+    PipelineRun,
+    PipelineStage,
+    StageResult,
+    fingerprint_payload,
+)
+from repro.core.feedback import (
+    FeedbackController,
+    FeedbackHistory,
+    FeedbackIteration,
+    FeedbackRule,
+    holdout_accuracy_evaluator,
+)
+from repro.core.registry import ArchetypeEntry, ArchetypeRegistry, default_registry
+from repro.core.templates import (
+    BUILTIN_TEMPLATES,
+    DomainTemplate,
+    StageTemplate,
+    TemplatedPipelineBuilder,
+    builtin_template,
+    register_template,
+)
+from repro.core.crosswalk import crosswalk_report, to_metric_clusters, to_noaa_maturity
+from repro.core.principles import PrincipleScorecard, evaluate_principles
+
+__all__ = [
+    "CANONICAL_PIPELINE", "DOMAIN_STAGE_VERBS", "DataProcessingStage",
+    "DataReadinessLevel", "minimum_level_for_stage", "stage_applicable",
+    "stages_for_level",
+    "Dataset", "DatasetMetadata", "FieldRole", "FieldSpec", "Modality",
+    "Schema", "SchemaError",
+    "EvidenceKind", "EvidenceItem", "ReadinessEvidence",
+    "AssessmentCriteria", "ReadinessAssessment", "ReadinessAssessor",
+    "StageAssessment",
+    "CellStatus", "MatrixCell", "MaturityMatrix",
+    "Pipeline", "PipelineContext", "PipelineError", "PipelineRun",
+    "PipelineStage", "StageResult", "fingerprint_payload",
+    "FeedbackController", "FeedbackHistory", "FeedbackIteration",
+    "FeedbackRule", "holdout_accuracy_evaluator",
+    "ArchetypeEntry", "ArchetypeRegistry", "default_registry",
+    "BUILTIN_TEMPLATES", "DomainTemplate", "StageTemplate",
+    "TemplatedPipelineBuilder", "builtin_template", "register_template",
+    "crosswalk_report", "to_metric_clusters", "to_noaa_maturity",
+    "PrincipleScorecard", "evaluate_principles",
+]

@@ -1,0 +1,134 @@
+"""Crosswalks from DRAI readiness levels to external maturity models.
+
+Section 5: "Domain-specific maturity frameworks — such as METRIC for
+medical data or NOAA's climate data maturity model — provide useful
+guides but are rarely applied uniformly across scientific disciplines."
+A facility adopting the DRAI levels still has to report against those
+community models; this module provides the mappings so one assessment
+serves every audience.
+
+Two crosswalks ship:
+
+* **NOAA CDR maturity matrix** (Bates & Privette 2012) — six levels from
+  "research-grade" to "fully operational sustained product";
+* **METRIC-style medical data quality clusters** (Schwabe et al. 2024) —
+  which of the measurement-process / data-structure / usage clusters a
+  DRAI level has demonstrably addressed.
+
+Mappings are deliberately conservative: a DRAI level maps to the highest
+external level whose requirements are a subset of what DRAI certifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.core.assessment import ReadinessAssessment
+from repro.core.levels import DataReadinessLevel
+
+__all__ = [
+    "ExternalLevel",
+    "NOAA_CDR_LEVELS",
+    "METRIC_CLUSTERS",
+    "to_noaa_maturity",
+    "to_metric_clusters",
+    "crosswalk_report",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExternalLevel:
+    """One level of an external maturity model."""
+
+    level: int
+    name: str
+    description: str
+
+
+#: NOAA climate-data-record maturity (Bates & Privette 2012), abbreviated
+NOAA_CDR_LEVELS: Tuple[ExternalLevel, ...] = (
+    ExternalLevel(1, "conceptual", "research-grade; concept documented"),
+    ExternalLevel(2, "initial", "initial processing; limited documentation"),
+    ExternalLevel(3, "provisional", "documented, peer-review begun, QC partial"),
+    ExternalLevel(4, "validated", "validated product, stable processing"),
+    ExternalLevel(5, "operational", "operational production, full QA"),
+    ExternalLevel(6, "sustained", "sustained, audited, community-standard"),
+)
+
+#: conservative DRAI -> NOAA mapping
+_DRAI_TO_NOAA: Dict[DataReadinessLevel, int] = {
+    DataReadinessLevel.RAW: 1,
+    DataReadinessLevel.CLEANED: 2,
+    DataReadinessLevel.LABELED: 3,
+    DataReadinessLevel.FEATURE_ENGINEERED: 4,
+    DataReadinessLevel.AI_READY: 5,  # NOAA 6 additionally demands sustainment
+}
+
+#: METRIC-style quality clusters and the lowest DRAI level that addresses each
+METRIC_CLUSTERS: Dict[str, Tuple[str, DataReadinessLevel]] = {
+    "measurement-process": (
+        "provenance of how values were measured/produced",
+        DataReadinessLevel.CLEANED,
+    ),
+    "completeness": (
+        "missing-value handling and coverage documentation",
+        DataReadinessLevel.CLEANED,
+    ),
+    "correctness": (
+        "validated values within physical/format constraints",
+        DataReadinessLevel.LABELED,
+    ),
+    "annotation-quality": (
+        "label presence, coverage, and review status",
+        DataReadinessLevel.FEATURE_ENGINEERED,
+    ),
+    "representation": (
+        "standardized structure suitable for the model class",
+        DataReadinessLevel.FEATURE_ENGINEERED,
+    ),
+    "deployment-readiness": (
+        "automated, audited, split-and-sharded delivery",
+        DataReadinessLevel.AI_READY,
+    ),
+}
+
+
+def to_noaa_maturity(level: DataReadinessLevel) -> ExternalLevel:
+    """Map a DRAI level onto the NOAA CDR maturity scale."""
+    noaa_level = _DRAI_TO_NOAA[level]
+    return NOAA_CDR_LEVELS[noaa_level - 1]
+
+
+def to_metric_clusters(level: DataReadinessLevel) -> Dict[str, bool]:
+    """Which METRIC-style clusters a DRAI level has addressed."""
+    return {
+        cluster: level >= minimum
+        for cluster, (_, minimum) in METRIC_CLUSTERS.items()
+    }
+
+
+def crosswalk_report(assessment: ReadinessAssessment) -> str:
+    """Render both crosswalks for one assessment."""
+    level = assessment.overall
+    noaa = to_noaa_maturity(level)
+    clusters = to_metric_clusters(level)
+    lines = [
+        f"DRAI Data Readiness Level : {int(level)} ({level.label})",
+        "",
+        f"NOAA CDR maturity         : {noaa.level} - {noaa.name}",
+        f"                            ({noaa.description})",
+        "",
+        "METRIC-style clusters addressed:",
+    ]
+    for cluster, addressed in clusters.items():
+        description = METRIC_CLUSTERS[cluster][0]
+        mark = "[x]" if addressed else "[ ]"
+        lines.append(f"  {mark} {cluster:<22} {description}")
+    if level is DataReadinessLevel.AI_READY:
+        lines += [
+            "",
+            "note: NOAA level 6 (sustained) additionally requires sustained",
+            "operations commitments outside DRAI's technical scope.",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""The four Table 1 domain archetypes as executable pipelines."""
+
+from repro.domains.base import ArchetypeResult, DomainArchetype
+from repro.domains.climate.pipeline import ClimateArchetype
+from repro.domains.fusion.pipeline import FusionArchetype
+from repro.domains.bio.pipeline import BioArchetype
+from repro.domains.materials.pipeline import MaterialsArchetype
+
+__all__ = [
+    "ArchetypeResult",
+    "DomainArchetype",
+    "ClimateArchetype",
+    "FusionArchetype",
+    "BioArchetype",
+    "MaterialsArchetype",
+]
+
+
+def all_archetypes(seed: int = 0):
+    """Instantiate every archetype with default (small) configurations."""
+    return [
+        ClimateArchetype(seed=seed),
+        FusionArchetype(seed=seed),
+        BioArchetype(seed=seed),
+        MaterialsArchetype(seed=seed),
+    ]

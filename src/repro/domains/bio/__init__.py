@@ -1,0 +1,17 @@
+"""Bio/health archetype: acquire -> encode -> anonymize -> fuse -> shard."""
+
+from repro.domains.bio.pipeline import BioArchetype
+from repro.domains.bio.synthetic import (
+    BioSourceConfig,
+    read_csv_like,
+    read_fasta_like,
+    synthesize_bio_sources,
+)
+
+__all__ = [
+    "BioArchetype",
+    "BioSourceConfig",
+    "read_csv_like",
+    "read_fasta_like",
+    "synthesize_bio_sources",
+]

@@ -1,0 +1,24 @@
+"""Climate archetype: download -> regrid -> normalize -> shard."""
+
+from repro.domains.climate.pipeline import ClimateArchetype, GriddedSource
+from repro.domains.climate.patches import (
+    PatchSpec,
+    extract_patches,
+    reassemble_patches,
+)
+from repro.domains.climate.synthetic import (
+    ClimateSourceConfig,
+    generate_model_dataset,
+    synthesize_climate_archive,
+)
+
+__all__ = [
+    "PatchSpec",
+    "extract_patches",
+    "reassemble_patches",
+    "ClimateArchetype",
+    "GriddedSource",
+    "ClimateSourceConfig",
+    "generate_model_dataset",
+    "synthesize_climate_archive",
+]

@@ -1,0 +1,124 @@
+"""Spatiotemporal patching: the Pangu-Weather structuring step.
+
+Section 3.1: "Pangu-Weather regrids reanalysis data to uniform spatial
+resolutions, slices it into spatiotemporal patches, and shards it for
+efficient training."  Transformer-based weather models consume fixed
+``(T, H, W)`` patches with positional metadata; this module provides the
+slicing, the inverse reassembly (for writing model output back onto the
+grid), and patch-grid accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["PatchSpec", "PatchError", "extract_patches", "reassemble_patches"]
+
+
+class PatchError(ValueError):
+    """Field shape not compatible with the patch specification."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PatchSpec:
+    """Patch geometry: temporal depth and spatial tile size.
+
+    ``stride_*`` default to the patch size (non-overlapping tiling, the
+    transformer-tokenization case).  Spatial dimensions must tile the
+    field exactly — weather models pad/regrid to compatible sizes first,
+    and this reproduction makes that contract explicit rather than
+    silently cropping.
+    """
+
+    t: int
+    h: int
+    w: int
+    stride_t: int = 0  # 0 -> == t
+    stride_h: int = 0
+    stride_w: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.t, self.h, self.w) < 1:
+            raise PatchError("patch dimensions must be >= 1")
+        for name in ("stride_t", "stride_h", "stride_w"):
+            value = getattr(self, name)
+            if value < 0:
+                raise PatchError(f"{name} must be >= 0")
+            if value == 0:
+                object.__setattr__(self, name, getattr(self, name[-1]))
+
+    def counts(self, shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Patch counts along (T, H, W) for a field of *shape*."""
+        t, h, w = shape
+        if h % self.h or w % self.w:
+            raise PatchError(
+                f"spatial shape {(h, w)} does not tile by {(self.h, self.w)}; "
+                "regrid or pad first"
+            )
+        if t < self.t:
+            raise PatchError(f"need at least {self.t} timesteps, got {t}")
+        n_t = (t - self.t) // self.stride_t + 1
+        n_h = (h - self.h) // self.stride_h + 1
+        n_w = (w - self.w) // self.stride_w + 1
+        return n_t, n_h, n_w
+
+
+def extract_patches(
+    field: np.ndarray, spec: PatchSpec
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice ``field (T, H, W)`` into patches.
+
+    Returns ``(patches, positions)``: patches of shape
+    ``(n, spec.t, spec.h, spec.w)`` and integer positions ``(n, 3)`` —
+    the (t, h, w) origin of each patch, the positional metadata a
+    transformer embeds.
+    """
+    field = np.asarray(field)
+    if field.ndim != 3:
+        raise PatchError(f"expected (T, H, W) field, got shape {field.shape}")
+    n_t, n_h, n_w = spec.counts(field.shape)  # validates tiling
+    view = np.lib.stride_tricks.sliding_window_view(
+        field, (spec.t, spec.h, spec.w)
+    )  # (T-t+1, H-h+1, W-w+1, t, h, w)
+    strided = view[:: spec.stride_t, :: spec.stride_h, :: spec.stride_w]
+    strided = strided[:n_t, :n_h, :n_w]
+    patches = np.ascontiguousarray(
+        strided.reshape(-1, spec.t, spec.h, spec.w)
+    )
+    t_origin = np.arange(n_t) * spec.stride_t
+    h_origin = np.arange(n_h) * spec.stride_h
+    w_origin = np.arange(n_w) * spec.stride_w
+    grid = np.stack(np.meshgrid(t_origin, h_origin, w_origin, indexing="ij"), axis=-1)
+    positions = grid.reshape(-1, 3).astype(np.int64)
+    return patches, positions
+
+
+def reassemble_patches(
+    patches: np.ndarray,
+    positions: np.ndarray,
+    shape: Tuple[int, int, int],
+) -> np.ndarray:
+    """Invert :func:`extract_patches` (overlaps are averaged).
+
+    For non-overlapping specs this is an exact inverse; with overlap,
+    each cell is the mean of every patch covering it — the standard
+    blending rule for sliding-window inference.
+    """
+    patches = np.asarray(patches, dtype=np.float64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if patches.ndim != 4:
+        raise PatchError("patches must have shape (n, t, h, w)")
+    if positions.shape != (patches.shape[0], 3):
+        raise PatchError("positions must have shape (n, 3)")
+    out = np.zeros(shape, dtype=np.float64)
+    counts = np.zeros(shape, dtype=np.int64)
+    _, t, h, w = patches.shape
+    for patch, (pt, ph, pw) in zip(patches, positions):
+        out[pt : pt + t, ph : ph + h, pw : pw + w] += patch
+        counts[pt : pt + t, ph : ph + h, pw : pw + w] += 1
+    covered = counts > 0
+    out[covered] /= counts[covered]
+    return out

@@ -1,0 +1,187 @@
+"""Synthetic CMIP/ERA5-like climate sources.
+
+Stands in for the CMIP6 archives and ERA5 reanalyses the paper's climate
+archetype consumes (DESIGN.md substitution table).  The generator
+manufactures exactly the preprocessing problems Table 1 lists:
+
+* **spatial misalignment** — each "model" runs on its own grid resolution;
+* **redundant fields** — a duplicated variable under a different name
+  (plus a unit-variant duplicate), as merged archives really contain;
+* **heterogeneity** — one source is self-describing NetCDF-like, another
+  is packed GRIB-like (the reanalysis), with different units;
+* **physical structure** — fields follow a solar-forced seasonal cycle
+  with latitude structure and advected anomalies, so normalization
+  statistics, regridding conservation, and coverage metrics behave like
+  they do on real data rather than on white noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.io.grib import GribMessage, GridDefinition, write_grib
+from repro.io.netcdf import NCDataset, write_netcdf
+from repro.transforms.regrid import RegularGrid
+
+__all__ = ["ClimateSourceConfig", "generate_model_dataset", "synthesize_climate_archive"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClimateSourceConfig:
+    """Knobs for the synthetic archive."""
+
+    n_models: int = 3
+    n_timesteps: int = 48  # monthly steps
+    base_resolution: Tuple[int, int] = (16, 32)  # coarsest model grid
+    include_reanalysis: bool = True
+    seed: int = 0
+
+
+#: variable name -> (units, plausible physical range)
+VARIABLES: Dict[str, Tuple[str, Tuple[float, float]]] = {
+    "tas": ("K", (210.0, 320.0)),  # near-surface air temperature
+    "pr": ("mm/day", (0.0, 60.0)),  # precipitation
+    "psl": ("hPa", (940.0, 1060.0)),  # sea-level pressure
+}
+
+
+def _seasonal_field(
+    rng: np.random.Generator,
+    grid: RegularGrid,
+    n_timesteps: int,
+    *,
+    base: float,
+    lat_amplitude: float,
+    season_amplitude: float,
+    noise: float,
+    non_negative: bool = False,
+) -> np.ndarray:
+    """A (T, nlat, nlon) field: latitude gradient + seasonal cycle + advected
+    anomalies + white noise."""
+    lat = np.deg2rad(grid.lat)[None, :, None]
+    months = np.arange(n_timesteps, dtype=np.float64)[:, None, None]
+    season = np.cos(2 * np.pi * months / 12.0)
+    # hemisphere-antisymmetric seasonal forcing
+    field = base + lat_amplitude * np.cos(lat) ** 2
+    field = field + season_amplitude * season * np.sin(lat)
+    # slowly advected anomaly pattern: low-wavenumber waves drifting east
+    lon = np.deg2rad(grid.lon)[None, None, :]
+    phase = 2 * np.pi * months / max(n_timesteps, 1)
+    wave = np.sin(3 * lon + phase) * np.cos(2 * lat)
+    field = field + 0.3 * season_amplitude * wave
+    field = field + rng.normal(0.0, noise, size=(n_timesteps, grid.lat.size, grid.lon.size))
+    if non_negative:
+        np.clip(field, 0.0, None, out=field)
+    return field
+
+
+def generate_model_dataset(
+    model_index: int, config: ClimateSourceConfig
+) -> NCDataset:
+    """One CMIP-like "model" output on its own grid, with redundant fields."""
+    rng = np.random.default_rng(config.seed + 1000 * model_index)
+    nlat0, nlon0 = config.base_resolution
+    # each model refines the grid differently: the spatial-misalignment knob
+    factor = 1 + model_index % 3
+    grid = RegularGrid.global_grid(nlat0 * factor // 1, nlon0 * factor // 1)
+    nc = NCDataset(
+        attrs={
+            "title": f"synthetic-cmip-model-{model_index}",
+            "institution": "repro synthetic archive",
+            "grid": f"{grid.lat.size}x{grid.lon.size}",
+        }
+    )
+    nc.create_dimension("time", config.n_timesteps)
+    nc.create_dimension("lat", grid.lat.size)
+    nc.create_dimension("lon", grid.lon.size)
+    nc.create_variable("time", ["time"], np.arange(config.n_timesteps, dtype=np.float64),
+                       {"units": "months since 2000-01"})
+    nc.create_variable("lat", ["lat"], grid.lat, {"units": "degrees_north"})
+    nc.create_variable("lon", ["lon"], grid.lon, {"units": "degrees_east"})
+    dims = ["time", "lat", "lon"]
+    tas = _seasonal_field(
+        rng, grid, config.n_timesteps,
+        base=255.0, lat_amplitude=45.0, season_amplitude=12.0, noise=1.5,
+    )
+    nc.create_variable("tas", dims, tas, {"units": "K", "long_name": "air temperature"})
+    pr = _seasonal_field(
+        rng, grid, config.n_timesteps,
+        base=1.0, lat_amplitude=6.0, season_amplitude=2.0, noise=0.8,
+        non_negative=True,
+    )
+    nc.create_variable("pr", dims, pr, {"units": "mm/day", "long_name": "precipitation"})
+    psl = _seasonal_field(
+        rng, grid, config.n_timesteps,
+        base=1000.0, lat_amplitude=15.0, season_amplitude=6.0, noise=2.0,
+    )
+    nc.create_variable("psl", dims, psl, {"units": "hPa", "long_name": "sea-level pressure"})
+    # redundant fields: an exact alias and a unit-variant duplicate (degC)
+    nc.create_variable("air_temperature", dims, tas.copy(),
+                       {"units": "K", "long_name": "duplicate of tas"})
+    nc.create_variable("tas_celsius", dims, tas - 273.15,
+                       {"units": "degC", "long_name": "tas in Celsius"})
+    return nc
+
+
+def generate_reanalysis_messages(config: ClimateSourceConfig) -> List[GribMessage]:
+    """ERA5-like packed reanalysis: tas only, on yet another grid."""
+    rng = np.random.default_rng(config.seed + 99)
+    nlat0, nlon0 = config.base_resolution
+    grid = RegularGrid.global_grid(int(nlat0 * 1.5), int(nlon0 * 1.5))
+    gdef = GridDefinition(
+        lat0=float(grid.lat[0]),
+        lon0=float(grid.lon[0]),
+        dlat=float(grid.lat[1] - grid.lat[0]),
+        dlon=float(grid.lon[1] - grid.lon[0]),
+        nlat=grid.lat.size,
+        nlon=grid.lon.size,
+    )
+    tas = _seasonal_field(
+        rng, grid, config.n_timesteps,
+        base=256.0, lat_amplitude=44.0, season_amplitude=11.0, noise=1.0,
+    )
+    return [
+        GribMessage(
+            short_name="tas",
+            level=1000,
+            valid_time=t,
+            grid=gdef,
+            values=tas[t],
+            units="K",
+        )
+        for t in range(config.n_timesteps)
+    ]
+
+
+def synthesize_climate_archive(
+    directory: Union[str, Path], config: ClimateSourceConfig
+) -> Dict[str, object]:
+    """Write the full archive to disk; returns the source manifest.
+
+    The manifest is what the climate pipeline's ingest stage consumes:
+    paths plus format tags, mirroring how real download scripts hand off
+    to preprocessing.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    netcdf_paths: List[str] = []
+    for m in range(config.n_models):
+        nc = generate_model_dataset(m, config)
+        path = directory / f"model_{m}.ncl"
+        write_netcdf(nc, path)
+        netcdf_paths.append(str(path))
+    manifest: Dict[str, object] = {
+        "domain": "climate",
+        "netcdf": netcdf_paths,
+        "n_timesteps": config.n_timesteps,
+        "config_seed": config.seed,
+    }
+    if config.include_reanalysis:
+        grib_path = directory / "reanalysis.grb"
+        write_grib(generate_reanalysis_messages(config), grib_path)
+        manifest["grib"] = str(grib_path)
+    return manifest

@@ -1,0 +1,25 @@
+"""Fusion archetype: extract -> align -> normalize -> shard."""
+
+from repro.domains.fusion.pipeline import AlignedShot, FusionArchetype, ShotRecord
+from repro.domains.fusion.mesh import (
+    TriangularMesh,
+    grid_to_mesh,
+    mesh_to_grid,
+    tokamak_mesh,
+)
+from repro.domains.fusion.shottree import ShotTreeError, ShotTreeStore
+from repro.domains.fusion.synthetic import FusionCampaignConfig, synthesize_campaign
+
+__all__ = [
+    "TriangularMesh",
+    "grid_to_mesh",
+    "mesh_to_grid",
+    "tokamak_mesh",
+    "AlignedShot",
+    "FusionArchetype",
+    "ShotRecord",
+    "ShotTreeError",
+    "ShotTreeStore",
+    "FusionCampaignConfig",
+    "synthesize_campaign",
+]

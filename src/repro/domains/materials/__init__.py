@@ -1,0 +1,27 @@
+"""Materials archetype: parse -> normalize -> encode -> shard."""
+
+from repro.domains.materials.graphs import (
+    DESCRIPTOR_NAMES,
+    StructureGraph,
+    build_graph,
+    graph_descriptor,
+)
+from repro.domains.materials.pipeline import MaterialsArchetype
+from repro.domains.materials.synthetic import (
+    CRYSTAL_FAMILIES,
+    SPECIES,
+    MaterialsSourceConfig,
+    synthesize_materials_archive,
+)
+
+__all__ = [
+    "DESCRIPTOR_NAMES",
+    "StructureGraph",
+    "build_graph",
+    "graph_descriptor",
+    "MaterialsArchetype",
+    "CRYSTAL_FAMILIES",
+    "SPECIES",
+    "MaterialsSourceConfig",
+    "synthesize_materials_archive",
+]

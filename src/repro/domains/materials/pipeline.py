@@ -1,0 +1,397 @@
+"""The materials archetype: ``parse -> normalize -> encode -> shard``.
+
+Reproduces the HydraGNN/OMat24-style preprocessing of Section 3.4:
+JSON-lines calculation outputs are parsed and validated, energies are
+normalized (composition-baseline removal plus multi-fidelity offset
+correction between "experimental" and DFT records), structures are
+encoded as bond graphs, fixed-size graph descriptors are extracted with
+SMOTE-style oversampling of rare crystal families, and the result ships
+as an ADIOS-like step-based container (one step per structure, the
+HydraGNN pattern) alongside the native shard set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.dataset import (
+    Dataset,
+    DatasetMetadata,
+    FieldRole,
+    FieldSpec,
+    Modality,
+    Schema,
+)
+from repro.core.evidence import EvidenceKind
+from repro.core.levels import DataProcessingStage
+from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+from repro.domains.base import DomainArchetype
+from repro.domains.materials.graphs import (
+    DESCRIPTOR_NAMES,
+    StructureGraph,
+    build_graph,
+    graph_descriptor,
+)
+from repro.domains.materials.synthetic import (
+    SPECIES,
+    CRYSTAL_FAMILIES,
+    MaterialsSourceConfig,
+    synthesize_materials_archive,
+)
+from repro.io.adios import BPWriter
+from repro.io.shards import write_shard_set
+from repro.quality.metrics import imbalance_ratio
+from repro.transforms.augment import smote_like
+from repro.transforms.normalize import ZScoreNormalizer
+from repro.transforms.split import SplitSpec, stratified_split
+
+__all__ = ["MaterialsArchetype"]
+
+FAMILY_TO_CLASS = {family: i for i, family in enumerate(CRYSTAL_FAMILIES)}
+
+
+class MaterialsArchetype(DomainArchetype):
+    """Executable Table 1 materials row."""
+
+    domain = "materials"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        config: Optional[MaterialsSourceConfig] = None,
+        oversample_to_ratio: float = 4.0,
+    ):
+        super().__init__(seed)
+        self.config = config or MaterialsSourceConfig(seed=seed)
+        self.oversample_to_ratio = oversample_to_ratio
+
+    # -- source ------------------------------------------------------------------
+    def synthesize_source(self, directory: Union[str, Path], **params: Any) -> Dict[str, Any]:
+        config = dataclasses.replace(self.config, **params) if params else self.config
+        return synthesize_materials_archive(directory, config)
+
+    # -- stages ------------------------------------------------------------------
+    def _parse(self, manifest: Dict[str, Any], ctx: PipelineContext) -> List[Dict[str, Any]]:
+        """parse: JSON-lines calculation outputs -> typed records."""
+        records: List[Dict[str, Any]] = []
+        rejected = 0
+        required = {"id", "crystal_family", "lattice", "species", "positions",
+                    "energy_ev", "forces", "fidelity"}
+        with open(manifest["calculations"], "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                blob = json.loads(line)
+                if not required <= set(blob):
+                    rejected += 1
+                    continue
+                record = {
+                    "id": str(blob["id"]),
+                    "crystal_family": str(blob["crystal_family"]),
+                    "lattice": np.asarray(blob["lattice"], dtype=np.float64),
+                    "species": [str(s) for s in blob["species"]],
+                    "positions": np.asarray(blob["positions"], dtype=np.float64),
+                    "energy_ev": float(blob["energy_ev"]),
+                    "forces": np.asarray(blob["forces"], dtype=np.float64),
+                    "fidelity": str(blob["fidelity"]),
+                }
+                if record["positions"].shape != record["forces"].shape:
+                    rejected += 1
+                    continue
+                records.append(record)
+        if not records:
+            raise ValueError("calculation archive is empty")
+        ctx.add_artifact("n_parsed", len(records))
+        ctx.record(
+            EvidenceKind.ACQUIRED,
+            f"{len(records)} calculations parsed ({rejected} rejected)",
+        )
+        ctx.record(
+            EvidenceKind.VALIDATED_INGEST,
+            "required fields present; positions/forces shape-consistent",
+            missing_fraction=0.0,
+        )
+        ctx.record(
+            EvidenceKind.METADATA_ENRICHED,
+            "fidelity + code provenance tags retained per record",
+        )
+        ctx.record(EvidenceKind.HIGH_THROUGHPUT_INGEST, "line-streamed JSON parse")
+        ctx.record(EvidenceKind.INGEST_AUTOMATED, "schema-driven record validation")
+        return records
+
+    def _normalize(
+        self, records: List[Dict[str, Any]], ctx: PipelineContext
+    ) -> List[Dict[str, Any]]:
+        """normalize: per-atom energies, composition baseline, fidelity offset."""
+        species_list = sorted({s for r in records for s in r["species"]})
+        composition = np.stack(
+            [
+                [r["species"].count(s) for s in species_list]
+                for r in records
+            ]
+        ).astype(np.float64)
+        energies = np.asarray([r["energy_ev"] for r in records])
+        is_experimental = np.asarray(
+            [r["fidelity"] == "experimental" for r in records]
+        )
+        # multi-fidelity correction: align experimental records to the DFT
+        # reference by the residual offset after composition regression
+        design = np.column_stack([composition, np.ones(len(records))])
+        coefficients, *_ = np.linalg.lstsq(
+            design[~is_experimental], energies[~is_experimental], rcond=None
+        )
+        baseline = design @ coefficients
+        residual = energies - baseline
+        offset = (
+            float(residual[is_experimental].mean()) if is_experimental.any() else 0.0
+        )
+        corrected = energies - np.where(is_experimental, offset, 0.0)
+        # per-atom formation-style target
+        n_atoms = np.asarray([len(r["species"]) for r in records], dtype=np.float64)
+        target = (corrected - baseline) / n_atoms
+        for record, value, fixed in zip(records, target, is_experimental):
+            record["target_energy"] = float(value)
+            record["fidelity_corrected"] = bool(fixed)
+        ctx.add_artifact("fidelity_offset_ev", offset)
+        ctx.add_artifact("species_list", species_list)
+        ctx.record(
+            EvidenceKind.INITIAL_ALIGNMENT,
+            "energies referenced to composition baseline (per-atom)",
+        )
+        ctx.record(
+            EvidenceKind.GRIDS_STANDARDIZED,
+            f"multi-fidelity offset {offset:+.3f} eV removed from "
+            f"{int(is_experimental.sum())} experimental records",
+        )
+        ctx.record(
+            EvidenceKind.ALIGNMENT_STANDARDIZED,
+            "single energy reference across codes and fidelities",
+        )
+        ctx.record(EvidenceKind.ALIGNMENT_AUTOMATED, "regression-based referencing")
+        return records
+
+    def _encode(
+        self, records: List[Dict[str, Any]], ctx: PipelineContext
+    ) -> Dict[str, Any]:
+        """encode: bond graphs + class labels."""
+        graphs: List[StructureGraph] = []
+        for record in records:
+            graphs.append(
+                build_graph(
+                    record["id"],
+                    record["lattice"],
+                    record["species"],
+                    record["positions"],
+                )
+            )
+        labels = np.asarray(
+            [FAMILY_TO_CLASS[r["crystal_family"]] for r in records], dtype=np.int64
+        )
+        ctx.add_artifact("graphs", graphs)
+        ctx.record(
+            EvidenceKind.INITIAL_NORMALIZATION,
+            f"{len(graphs)} structures encoded as bond graphs",
+        )
+        ctx.record(
+            EvidenceKind.NORMALIZATION_FINALIZED,
+            "cutoff-based edges under minimum-image convention",
+        )
+        ctx.record(
+            EvidenceKind.BASIC_LABELS,
+            "crystal-family labels from calculation metadata",
+            labeled_fraction=1.0,
+        )
+        ctx.record(
+            EvidenceKind.COMPREHENSIVE_LABELS,
+            "every record labelled (archives are well-annotated; Section 3.4)",
+            labeled_fraction=1.0,
+        )
+        ctx.record(
+            EvidenceKind.TRANSFORM_AUDITED,
+            "no sensitive content in materials records",
+            sensitive_remaining=0,
+        )
+        return {"records": records, "graphs": graphs, "labels": labels}
+
+    def _structure(self, payload: Dict[str, Any], ctx: PipelineContext) -> Dataset:
+        """graph: fixed descriptors + minority-class oversampling."""
+        records: List[Dict[str, Any]] = payload["records"]
+        graphs: List[StructureGraph] = payload["graphs"]
+        labels: np.ndarray = payload["labels"]
+        descriptors = np.stack([graph_descriptor(g) for g in graphs])
+        normalizer = ZScoreNormalizer().fit(descriptors)
+        normalized = normalizer.transform(descriptors)
+        targets = np.asarray([r["target_energy"] for r in records])
+        synthetic_flag = np.zeros(len(records), dtype=np.int64)
+        imbalance_before = imbalance_ratio(labels)
+        # oversample rare families so max/min count ratio <= threshold
+        rng = np.random.default_rng(self.seed + 17)
+        values, counts = np.unique(labels, return_counts=True)
+        target_min = int(np.ceil(counts.max() / self.oversample_to_ratio))
+        synth_X: List[np.ndarray] = []
+        synth_y: List[np.ndarray] = []
+        for value, count in zip(values.tolist(), counts.tolist()):
+            if count >= target_min:
+                continue
+            n_needed = target_min - count
+            if count >= 2:
+                synthetic, new_labels = smote_like(
+                    normalized, labels, value, rng, n_synthetic=n_needed
+                )
+            else:
+                # singleton class: SMOTE cannot interpolate, so replicate the
+                # lone example with small jitter (flagged synthetic either way)
+                lone = normalized[labels == value][0]
+                synthetic = lone + rng.normal(0.0, 0.05, size=(n_needed, lone.size))
+                new_labels = np.full(n_needed, value, dtype=labels.dtype)
+            synth_X.append(synthetic)
+            synth_y.append(new_labels)
+        if synth_X:
+            extra = np.concatenate(synth_X)
+            normalized = np.concatenate([normalized, extra])
+            # synthetic targets: mean target of the class (regression side
+            # stays honest: flagged as synthetic for loss weighting)
+            extra_labels = np.concatenate(synth_y)
+            extra_targets = np.asarray(
+                [targets[labels == c].mean() for c in extra_labels]
+            )
+            labels = np.concatenate([labels, extra_labels])
+            targets = np.concatenate([targets, extra_targets])
+            synthetic_flag = np.concatenate(
+                [synthetic_flag, np.ones(extra_labels.size, dtype=np.int64)]
+            )
+        imbalance_after = imbalance_ratio(labels)
+        ctx.add_artifact("imbalance_before", imbalance_before)
+        ctx.add_artifact("imbalance_after", imbalance_after)
+        dataset = Dataset(
+            {
+                "descriptor": normalized.astype(np.float32),
+                "crystal_class": labels,
+                "energy_per_atom": targets,
+                "is_synthetic": synthetic_flag,
+            },
+            Schema(
+                [
+                    FieldSpec("descriptor", np.dtype(np.float32),
+                              shape=(len(DESCRIPTOR_NAMES),), role=FieldRole.FEATURE,
+                              description=f"graph descriptors: {DESCRIPTOR_NAMES}"),
+                    FieldSpec("crystal_class", np.dtype(np.int64), role=FieldRole.LABEL,
+                              categories=tuple(range(len(CRYSTAL_FAMILIES)))),
+                    FieldSpec("energy_per_atom", np.dtype(np.float64),
+                              role=FieldRole.LABEL, units="eV/atom"),
+                    FieldSpec("is_synthetic", np.dtype(np.int64), role=FieldRole.METADATA),
+                ]
+            ),
+            DatasetMetadata(
+                name="materials-graph-descriptors",
+                domain="materials",
+                source="synthetic OMat24/AFLOW-like archive",
+                modality=Modality.GRAPH,
+                description="Normalized graph descriptors with crystal-family "
+                "labels and per-atom energy targets.",
+            ),
+        )
+        ctx.record(
+            EvidenceKind.FEATURES_EXTRACTED,
+            f"{len(DESCRIPTOR_NAMES)} graph descriptors; imbalance "
+            f"{imbalance_before:.1f} -> {imbalance_after:.1f} after SMOTE",
+        )
+        ctx.record(
+            EvidenceKind.FEATURES_VALIDATED,
+            "descriptor matrix standardized and finite",
+        )
+        ctx.add_artifact("dataset", dataset)
+        return dataset
+
+    def _shard(self, dataset: Dataset, ctx: PipelineContext) -> Dataset:
+        """shard: stratified split, ADIOS-like steps + native shard set."""
+        splits = stratified_split(
+            dataset["crystal_class"], SplitSpec(0.7, 0.15, 0.15),
+            rng=np.random.default_rng(self.seed),
+        )
+        manifest = write_shard_set(
+            dataset,
+            self._output_dir,
+            splits=splits,
+            shards_per_split=3,
+            codec_name="zlib",
+            codec_level=2,
+        )
+        # ADIOS-like export: one step per structure (HydraGNN's write pattern)
+        bp_path = self._output_dir / "graphs.bp"
+        graphs: List[StructureGraph] = ctx.artifacts.get("graphs", [])
+        with BPWriter(bp_path) as writer:
+            for sg in graphs:
+                writer.begin_step()
+                writer.write("edges", np.asarray(list(sg.graph.edges), dtype=np.int64)
+                             if sg.n_bonds else np.zeros((0, 2), dtype=np.int64))
+                writer.write("lattice", sg.lattice)
+                writer.write(
+                    "species_codes",
+                    np.asarray(
+                        [sorted(SPECIES).index(s) for s in sg.species], dtype=np.int64
+                    ),
+                )
+                writer.end_step()
+        ctx.add_artifact("manifest", manifest)
+        ctx.add_artifact("bp_path", bp_path)
+        ctx.record(
+            EvidenceKind.SPLIT_PARTITIONED,
+            f"stratified split: { {k: len(v) for k, v in splits.items()} }",
+        )
+        ctx.record(
+            EvidenceKind.SHARDED_BINARY,
+            f"{manifest.n_shards} native shards + ADIOS-like container "
+            f"with {len(graphs)} graph steps",
+        )
+        return dataset
+
+    # -- pipeline assembly -----------------------------------------------------------
+    def build_pipeline(self, output_dir: Union[str, Path], **options: Any) -> Pipeline:
+        self._output_dir = Path(output_dir)
+        return Pipeline(
+            "materials",
+            [
+                PipelineStage("parse", DataProcessingStage.INGEST, self._parse),
+                PipelineStage("normalize", DataProcessingStage.PREPROCESS, self._normalize),
+                PipelineStage("encode", DataProcessingStage.TRANSFORM, self._encode),
+                PipelineStage("graph", DataProcessingStage.STRUCTURE, self._structure,
+                              params={"oversample_to_ratio": self.oversample_to_ratio}),
+                PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
+                              params={"formats": ["rps", "adios-like"]}),
+            ],
+        )
+
+    # -- challenge detection -----------------------------------------------------------
+    def detect_challenges(self, dataset: Dataset, context: PipelineContext) -> List[str]:
+        challenges: List[str] = []
+        before = context.artifacts.get("imbalance_before", 1.0)
+        after = context.artifacts.get("imbalance_after", 1.0)
+        if before > 2.0:
+            challenges.append(
+                f"class imbalance: majority/minority ratio {before:.1f} in raw "
+                f"archive, {after:.1f} after SMOTE oversampling"
+            )
+        offset = context.artifacts.get("fidelity_offset_ev", 0.0)
+        if abs(offset) > 0.05:
+            challenges.append(
+                f"fidelity mismatch: experimental records offset by "
+                f"{offset:+.2f} eV relative to DFT; corrected by regression"
+            )
+        graphs = context.artifacts.get("graphs", [])
+        if graphs:
+            sizes = [g.n_atoms for g in graphs]
+            bonds = [g.n_bonds for g in graphs]
+            challenges.append(
+                f"graph complexity: {min(sizes)}-{max(sizes)} atoms, "
+                f"{min(bonds)}-{max(bonds)} bonds per structure (ragged until "
+                "descriptor extraction)"
+            )
+        return challenges

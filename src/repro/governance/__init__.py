@@ -1,0 +1,32 @@
+"""Privacy, anonymization, compliance policies, audit, and secure enclaves."""
+
+from repro.governance.privacy import PrivacyFinding, PrivacyScanner
+from repro.governance.anonymize import (
+    AnonymizationReport,
+    anonymize_dataset,
+    enforce_k_anonymity,
+    generalize_numeric,
+    k_anonymity,
+    pseudonymize,
+    shift_dates,
+)
+from repro.governance.audit import AuditError, AuditEvent, AuditLog
+from repro.governance.policy import (
+    ComplianceReport,
+    PolicyEngine,
+    PolicyRule,
+    PolicyViolation,
+    hipaa_deidentified_policy,
+    open_release_policy,
+)
+from repro.governance.enclave import AccessDenied, EnclaveError, SecureEnclave
+
+__all__ = [
+    "PrivacyFinding", "PrivacyScanner",
+    "AnonymizationReport", "anonymize_dataset", "enforce_k_anonymity",
+    "generalize_numeric", "k_anonymity", "pseudonymize", "shift_dates",
+    "AuditError", "AuditEvent", "AuditLog",
+    "ComplianceReport", "PolicyEngine", "PolicyRule", "PolicyViolation",
+    "hipaa_deidentified_policy", "open_release_policy",
+    "AccessDenied", "EnclaveError", "SecureEnclave",
+]

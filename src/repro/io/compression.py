@@ -1,0 +1,142 @@
+"""Compression codec registry for shard and container formats.
+
+Every binary format in :mod:`repro.io` compresses payload blocks through
+this registry so that codec choice is an orthogonal, benchmarkable knob
+(DESIGN.md ablation 5).  Codecs are identified by a one-byte id that is
+embedded in block headers, making files self-describing.
+"""
+
+from __future__ import annotations
+
+import abc
+import lzma
+import zlib
+from typing import Dict, Optional
+
+__all__ = [
+    "Codec",
+    "RawCodec",
+    "ZlibCodec",
+    "LzmaCodec",
+    "get_codec",
+    "codec_from_id",
+    "available_codecs",
+    "CodecError",
+]
+
+
+class CodecError(ValueError):
+    """Unknown codec name/id or corrupt compressed payload."""
+
+
+class Codec(abc.ABC):
+    """A reversible bytes-to-bytes compressor."""
+
+    #: unique single-byte identifier written into block headers
+    codec_id: int
+    #: registry name
+    name: str
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress *data*; must be reversible by :meth:`decompress`."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RawCodec(Codec):
+    """Identity codec: no compression, no CPU cost."""
+
+    codec_id = 0
+    name = "raw"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+class ZlibCodec(Codec):
+    """DEFLATE via :mod:`zlib`; the throughput/ratio middle ground."""
+
+    codec_id = 1
+    name = "zlib"
+
+    def __init__(self, level: int = 4):
+        if not 0 <= level <= 9:
+            raise CodecError(f"zlib level must be in [0, 9], got {level}")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CodecError(f"zlib payload corrupt: {exc}") from exc
+
+
+class LzmaCodec(Codec):
+    """LZMA/XZ: best ratio, slowest; for cold archival shards."""
+
+    codec_id = 2
+    name = "lzma"
+
+    def __init__(self, preset: int = 1):
+        if not 0 <= preset <= 9:
+            raise CodecError(f"lzma preset must be in [0, 9], got {preset}")
+        self.preset = preset
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(data, preset=self.preset)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return lzma.decompress(data)
+        except lzma.LZMAError as exc:
+            raise CodecError(f"lzma payload corrupt: {exc}") from exc
+
+
+_BY_NAME: Dict[str, type] = {
+    RawCodec.name: RawCodec,
+    ZlibCodec.name: ZlibCodec,
+    LzmaCodec.name: LzmaCodec,
+}
+_BY_ID: Dict[int, type] = {c.codec_id: c for c in (RawCodec, ZlibCodec, LzmaCodec)}
+
+
+def available_codecs() -> Dict[str, int]:
+    """Mapping of registered codec names to their ids."""
+    return {name: cls.codec_id for name, cls in _BY_NAME.items()}
+
+
+def get_codec(name: str, level: Optional[int] = None) -> Codec:
+    """Instantiate a codec by name, optionally with a compression level."""
+    try:
+        cls = _BY_NAME[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None
+    if level is None:
+        return cls()
+    if cls is RawCodec:
+        return cls()
+    if cls is ZlibCodec:
+        return cls(level=level)
+    return cls(preset=level)
+
+
+def codec_from_id(codec_id: int) -> Codec:
+    """Instantiate the codec that wrote a block with this header id."""
+    try:
+        return _BY_ID[codec_id]()
+    except KeyError:
+        raise CodecError(f"unknown codec id {codec_id}") from None

@@ -1,0 +1,226 @@
+"""High-level Dataset export/import across every container format.
+
+Section 5 ("Fragmentation Across Domains") calls for "common readiness
+templates, formats, and API-level standards that span disciplines."  This
+module is that API level: one pair of functions moves a
+:class:`~repro.core.dataset.Dataset` into and out of any supported
+container — the native shard set, the hierarchical h5lite container, the
+step-based ADIOS-like container, or TFRecord streams — with the schema
+carried as metadata so the round trip is lossless.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.dataset import Dataset, DatasetMetadata, Modality, Schema
+from repro.io.adios import BPReader, BPWriter
+from repro.io.compression import Codec, RawCodec, get_codec
+from repro.io.h5lite import H5LiteFile
+from repro.io.shards import schema_from_dicts, schema_to_dicts
+from repro.io.tfrecord import Example, TFRecordReader, TFRecordWriter
+
+__all__ = ["export_dataset", "import_dataset", "FORMATS", "DatasetIOError"]
+
+FORMATS = ("h5lite", "adios", "tfrecord")
+
+
+class DatasetIOError(ValueError):
+    """Unknown format or a container not written by :func:`export_dataset`."""
+
+
+def _meta_blob(dataset: Dataset) -> str:
+    return json.dumps(
+        {
+            "schema": schema_to_dicts(dataset.schema),
+            "name": dataset.metadata.name,
+            "domain": dataset.metadata.domain,
+            "source": dataset.metadata.source,
+            "version": dataset.metadata.version,
+            "modality": dataset.metadata.modality.value,
+            "description": dataset.metadata.description,
+        },
+        sort_keys=True,
+    )
+
+
+def _meta_from_blob(blob: str) -> tuple:
+    payload = json.loads(blob)
+    schema = schema_from_dicts(payload["schema"])
+    metadata = DatasetMetadata(
+        name=payload.get("name", "imported"),
+        domain=payload.get("domain", "generic"),
+        source=payload.get("source", "import"),
+        version=payload.get("version", "0"),
+        description=payload.get("description", ""),
+        modality=Modality(payload.get("modality", Modality.TABULAR.value)),
+    )
+    return schema, metadata
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+
+def export_dataset(
+    dataset: Dataset,
+    path: Union[str, Path],
+    format: str = "h5lite",
+    *,
+    codec_name: str = "raw",
+    codec_level: Optional[int] = None,
+    step_size: int = 256,
+) -> Path:
+    """Write *dataset* to *path* in the chosen container format.
+
+    ``step_size`` only matters for the step-oriented formats (adios,
+    tfrecord): it controls rows per step/record batch.
+    """
+    path = Path(path)
+    codec = get_codec(codec_name, codec_level)
+    if format == "h5lite":
+        _export_h5lite(dataset, path, codec)
+    elif format == "adios":
+        _export_adios(dataset, path, codec, step_size)
+    elif format == "tfrecord":
+        _export_tfrecord(dataset, path)
+    else:
+        raise DatasetIOError(f"unknown format {format!r}; supported: {FORMATS}")
+    return path
+
+
+def _export_h5lite(dataset: Dataset, path: Path, codec: Codec) -> None:
+    with H5LiteFile(path, "w") as fh:
+        fh.create_group("/", attrs={"drai_dataset": _meta_blob(dataset)})
+        for name in dataset.schema.names:
+            fh.create_dataset(f"/columns/{name}", dataset[name], codec=codec)
+
+
+def _export_adios(dataset: Dataset, path: Path, codec: Codec, step_size: int) -> None:
+    if step_size < 1:
+        raise DatasetIOError("step_size must be >= 1")
+    with BPWriter(path) as writer:
+        writer.begin_step()
+        writer.write(
+            "_drai_meta",
+            np.frombuffer(_meta_blob(dataset).encode("utf-8"), dtype=np.uint8),
+        )
+        writer.end_step()
+        for start in range(0, max(dataset.n_samples, 1), step_size):
+            if dataset.n_samples == 0:
+                break
+            writer.begin_step()
+            for name in dataset.schema.names:
+                writer.write(name, dataset[name][start : start + step_size], codec)
+            writer.end_step()
+
+
+def _export_tfrecord(dataset: Dataset, path: Path) -> None:
+    """TFRecord: record 0 carries the schema; then one Example per sample.
+
+    TFRecord features are flat lists, so per-sample tensors are raveled;
+    the schema's shape information restores them on import.  String
+    columns ride as bytes features.
+    """
+    with TFRecordWriter(path) as writer:
+        writer.write(_meta_blob(dataset).encode("utf-8"))
+        for i in range(dataset.n_samples):
+            example = Example()
+            for spec in dataset.schema:
+                value = dataset[spec.name][i]
+                if spec.dtype.kind in ("U", "S"):
+                    raw = value if isinstance(value, bytes) else str(value).encode()
+                    example.bytes_feature(spec.name, [raw])
+                elif np.issubdtype(spec.dtype, np.integer) or spec.dtype.kind == "b":
+                    example.int64_feature(spec.name, np.atleast_1d(value))
+                else:
+                    example.float_feature(spec.name, np.atleast_1d(value).ravel())
+            writer.write_example(example)
+
+
+# ---------------------------------------------------------------------------
+# import
+# ---------------------------------------------------------------------------
+
+def import_dataset(path: Union[str, Path], format: str = "h5lite") -> Dataset:
+    """Load a container written by :func:`export_dataset`."""
+    path = Path(path)
+    if format == "h5lite":
+        return _import_h5lite(path)
+    if format == "adios":
+        return _import_adios(path)
+    if format == "tfrecord":
+        return _import_tfrecord(path)
+    raise DatasetIOError(f"unknown format {format!r}; supported: {FORMATS}")
+
+
+def _import_h5lite(path: Path) -> Dataset:
+    with H5LiteFile(path, "r") as fh:
+        blob = fh.attrs("/").get("drai_dataset")
+        if blob is None:
+            raise DatasetIOError(f"{path} was not written by export_dataset")
+        schema, metadata = _meta_from_blob(str(blob))
+        columns = {
+            spec.name: fh.read(f"/columns/{spec.name}") for spec in schema
+        }
+    return Dataset(columns, schema, metadata)
+
+
+def _import_adios(path: Path) -> Dataset:
+    with BPReader(path) as reader:
+        if reader.n_steps < 1 or "_drai_meta" not in reader.variables(0):
+            raise DatasetIOError(f"{path} was not written by export_dataset")
+        blob = bytes(reader.read(0, "_drai_meta")).decode("utf-8")
+        schema, metadata = _meta_from_blob(blob)
+        columns: Dict[str, List[np.ndarray]] = {s.name: [] for s in schema}
+        for step in range(1, reader.n_steps):
+            for spec in schema:
+                columns[spec.name].append(reader.read(step, spec.name))
+    merged = {
+        name: (
+            np.concatenate(parts, axis=0)
+            if parts
+            else np.empty((0, *schema[name].shape), dtype=schema[name].dtype)
+        )
+        for name, parts in columns.items()
+    }
+    return Dataset(merged, schema, metadata)
+
+
+def _import_tfrecord(path: Path) -> Dataset:
+    records = iter(TFRecordReader(path))
+    try:
+        header = next(records)
+    except StopIteration:
+        raise DatasetIOError(f"{path} is empty") from None
+    try:
+        schema, metadata = _meta_from_blob(header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError) as exc:
+        raise DatasetIOError(f"{path} was not written by export_dataset") from exc
+    from repro.io.tfrecord import decode_example
+
+    columns: Dict[str, List[np.ndarray]] = {s.name: [] for s in schema}
+    for record in records:
+        example = decode_example(record)
+        for spec in schema:
+            kind, values = example.features[spec.name]
+            if spec.dtype.kind in ("U", "S"):
+                raw = values[0]
+                item = raw if spec.dtype.kind == "S" else raw.decode("utf-8")
+                columns[spec.name].append(np.asarray(item, dtype=spec.dtype))
+            else:
+                array = np.asarray(values).reshape(spec.shape).astype(spec.dtype)
+                columns[spec.name].append(array)
+    merged = {
+        name: (
+            np.stack(parts)
+            if parts
+            else np.empty((0, *schema[name].shape), dtype=schema[name].dtype)
+        )
+        for name, parts in columns.items()
+    }
+    return Dataset(merged, schema, metadata)

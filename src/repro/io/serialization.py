@@ -1,0 +1,131 @@
+"""Array <-> bytes serialization with self-describing headers and checksums.
+
+This is the shared wire layer under every binary format in :mod:`repro.io`.
+An *array block* is::
+
+    MAGIC(4) | version(u8) | codec_id(u8) | dtype_len(u16) |
+    ndim(u8)  | shape(ndim x u64) | raw_nbytes(u64) | payload_nbytes(u64) |
+    crc32(u32 of payload) | dtype_str | payload
+
+Integers are little-endian.  The CRC covers the (possibly compressed)
+payload, so corruption of bytes on disk is detected before decompression.
+Object-dtype arrays are rejected: scientific shard formats carry numeric
+tensors and fixed-width strings only (Section 2.2's precision discussion).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.io.compression import Codec, RawCodec, codec_from_id
+
+__all__ = [
+    "pack_array",
+    "unpack_array",
+    "unpack_array_from",
+    "SerializationError",
+    "array_block_overhead",
+]
+
+MAGIC = b"RPA1"
+_VERSION = 1
+_HEADER_FMT = "<4sBBHB"  # magic, version, codec_id, dtype_len, ndim
+_TAIL_FMT = "<QQI"  # raw_nbytes, payload_nbytes, crc32
+
+
+class SerializationError(ValueError):
+    """Malformed or corrupt array block."""
+
+
+def array_block_overhead(ndim: int, dtype_str_len: int) -> int:
+    """Header bytes for an array block (excluding payload)."""
+    return struct.calcsize(_HEADER_FMT) + 8 * ndim + struct.calcsize(_TAIL_FMT) + dtype_str_len
+
+
+def _dtype_str(dtype: np.dtype) -> str:
+    """A round-trippable dtype token (`<f8`, `<i4`, `|S16`, `<U8`...)."""
+    return dtype.str
+
+
+def pack_array(array: np.ndarray, codec: Optional[Codec] = None) -> bytes:
+    """Serialize *array* into one self-describing block."""
+    codec = codec or RawCodec()
+    array = np.asarray(array)
+    if array.dtype.kind == "O":
+        raise SerializationError("object-dtype arrays cannot be serialized")
+    if array.dtype.hasobject:
+        raise SerializationError("dtypes containing objects cannot be serialized")
+    # note: ascontiguousarray promotes 0-d arrays to 1-d, so shape/ndim are
+    # taken from the original array
+    shape_tuple = array.shape
+    contiguous = np.ascontiguousarray(array)
+    raw = contiguous.tobytes()
+    payload = codec.compress(raw)
+    dtype_token = _dtype_str(contiguous.dtype).encode("ascii")
+    if len(dtype_token) > 0xFFFF:
+        raise SerializationError("dtype token too long")
+    if len(shape_tuple) > 0xFF:
+        raise SerializationError("too many dimensions")
+    header = struct.pack(
+        _HEADER_FMT, MAGIC, _VERSION, codec.codec_id, len(dtype_token), len(shape_tuple)
+    )
+    shape = struct.pack(f"<{len(shape_tuple)}Q", *shape_tuple)
+    tail = struct.pack(_TAIL_FMT, len(raw), len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+    return b"".join((header, shape, tail, dtype_token, payload))
+
+
+def unpack_array_from(buffer: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
+    """Deserialize one block starting at *offset*.
+
+    Returns ``(array, next_offset)`` so callers can walk a stream of
+    concatenated blocks.
+    """
+    header_size = struct.calcsize(_HEADER_FMT)
+    if len(buffer) - offset < header_size:
+        raise SerializationError("truncated block header")
+    magic, version, codec_id, dtype_len, ndim = struct.unpack_from(
+        _HEADER_FMT, buffer, offset
+    )
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r} at offset {offset}")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported block version {version}")
+    pos = offset + header_size
+    try:
+        shape = struct.unpack_from(f"<{ndim}Q", buffer, pos)
+    except struct.error as exc:
+        raise SerializationError("truncated shape") from exc
+    pos += 8 * ndim
+    try:
+        raw_nbytes, payload_nbytes, crc = struct.unpack_from(_TAIL_FMT, buffer, pos)
+    except struct.error as exc:
+        raise SerializationError("truncated block tail") from exc
+    pos += struct.calcsize(_TAIL_FMT)
+    dtype_token = bytes(buffer[pos : pos + dtype_len]).decode("ascii")
+    pos += dtype_len
+    payload = bytes(buffer[pos : pos + payload_nbytes])
+    if len(payload) != payload_nbytes:
+        raise SerializationError("truncated payload")
+    pos += payload_nbytes
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise SerializationError("payload CRC mismatch (corrupt block)")
+    raw = codec_from_id(codec_id).decompress(payload)
+    if len(raw) != raw_nbytes:
+        raise SerializationError(
+            f"decompressed size {len(raw)} != declared {raw_nbytes}"
+        )
+    dtype = np.dtype(dtype_token)
+    array = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    return array, pos
+
+
+def unpack_array(block: bytes) -> np.ndarray:
+    """Deserialize a buffer containing exactly one block."""
+    array, end = unpack_array_from(block, 0)
+    if end != len(block):
+        raise SerializationError(f"{len(block) - end} trailing bytes after block")
+    return array

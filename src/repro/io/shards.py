@@ -1,0 +1,374 @@
+"""Sharded dataset containers and the shard-set manifest.
+
+This is the terminal artifact of the fifth processing stage: a directory of
+fixed-layout binary shard files plus a JSON *manifest* that makes the shard
+set self-describing (schema, split membership, per-shard checksums and
+sample counts).  Parallel trainers open the manifest, claim shards, and
+stream columns without coordination — the "sharded into binary formats for
+scalable ingestion" cell of Table 2.
+
+Shard file layout (``RPS1``)::
+
+    MAGIC 'RPS1' | u32 header_len | JSON column index | column array blocks
+
+Columns are whole-shard arrays (columnar within a shard), each a
+checksummed, optionally compressed block from
+:mod:`repro.io.serialization`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.dataset import (
+    Dataset,
+    DatasetMetadata,
+    FieldRole,
+    FieldSpec,
+    Modality,
+    Schema,
+)
+from repro.io.chunking import ChunkPlan, plan_shards_by_count
+from repro.io.compression import Codec, RawCodec, get_codec
+from repro.io.serialization import pack_array, unpack_array
+
+__all__ = [
+    "ShardError",
+    "write_shard",
+    "read_shard",
+    "ShardInfo",
+    "ShardManifest",
+    "write_shard_set",
+    "ShardSet",
+    "schema_to_dicts",
+    "schema_from_dicts",
+]
+
+MAGIC = b"RPS1"
+_HEADER_LEN = struct.Struct("<I")
+MANIFEST_NAME = "manifest.json"
+
+
+class ShardError(ValueError):
+    """Corrupt shard file or inconsistent manifest."""
+
+
+# ---------------------------------------------------------------------------
+# schema (de)serialization
+# ---------------------------------------------------------------------------
+
+def schema_to_dicts(schema: Schema) -> List[Dict[str, object]]:
+    """JSON-serializable form of a schema."""
+    return [
+        {
+            "name": f.name,
+            "dtype": f.dtype.str,
+            "shape": list(f.shape),
+            "role": f.role.value,
+            "units": f.units,
+            "sensitive": f.sensitive,
+            "categories": list(f.categories) if f.categories is not None else None,
+            "description": f.description,
+        }
+        for f in schema
+    ]
+
+
+def schema_from_dicts(rows: Sequence[Dict[str, object]]) -> Schema:
+    """Inverse of :func:`schema_to_dicts`."""
+    fields = []
+    for row in rows:
+        categories = row.get("categories")
+        fields.append(
+            FieldSpec(
+                name=str(row["name"]),
+                dtype=np.dtype(str(row["dtype"])),
+                shape=tuple(row.get("shape", ())),  # type: ignore[arg-type]
+                role=FieldRole(str(row.get("role", "feature"))),
+                units=row.get("units"),  # type: ignore[arg-type]
+                sensitive=bool(row.get("sensitive", False)),
+                categories=tuple(categories) if categories is not None else None,
+                description=str(row.get("description", "")),
+            )
+        )
+    return Schema(fields)
+
+
+# ---------------------------------------------------------------------------
+# single shard files
+# ---------------------------------------------------------------------------
+
+def write_shard(
+    columns: Dict[str, np.ndarray],
+    path: Union[str, Path],
+    codec: Optional[Codec] = None,
+) -> "ShardInfo":
+    """Write one shard file; returns its :class:`ShardInfo` accounting."""
+    path = Path(path)
+    codec = codec or RawCodec()
+    lengths = {v.shape[0] for v in columns.values()}
+    if len(lengths) > 1:
+        raise ShardError(f"columns disagree on sample count: {sorted(lengths)}")
+    n_samples = lengths.pop() if lengths else 0
+    blocks: List[bytes] = []
+    index: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    for name in sorted(columns):
+        block = pack_array(np.asarray(columns[name]), codec)
+        index[name] = {"offset": offset, "length": len(block)}
+        blocks.append(block)
+        offset += len(block)
+    header = json.dumps({"n_samples": n_samples, "columns": index}, sort_keys=True).encode()
+    digest = hashlib.sha256()
+    with open(path, "wb") as fh:
+        for chunk in (MAGIC, _HEADER_LEN.pack(len(header)), header, *blocks):
+            fh.write(chunk)
+            digest.update(chunk)
+    nbytes = 4 + _HEADER_LEN.size + len(header) + offset
+    return ShardInfo(
+        path=path.name,
+        n_samples=n_samples,
+        nbytes=nbytes,
+        checksum=digest.hexdigest(),
+    )
+
+
+def read_shard(
+    path: Union[str, Path], columns: Optional[Sequence[str]] = None
+) -> Dict[str, np.ndarray]:
+    """Load a shard's columns (all, or a projection)."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(4)
+        if magic != MAGIC:
+            raise ShardError(f"bad magic {magic!r}; not a shard file")
+        raw = fh.read(_HEADER_LEN.size)
+        if len(raw) < _HEADER_LEN.size:
+            raise ShardError("truncated shard header")
+        (header_len,) = _HEADER_LEN.unpack(raw)
+        header = json.loads(fh.read(header_len).decode("utf-8"))
+        data_start = fh.tell()
+        wanted = list(header["columns"]) if columns is None else list(columns)
+        out: Dict[str, np.ndarray] = {}
+        for name in wanted:
+            meta = header["columns"].get(name)
+            if meta is None:
+                raise ShardError(f"shard has no column {name!r}")
+            fh.seek(data_start + int(meta["offset"]))
+            out[name] = unpack_array(fh.read(int(meta["length"])))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shard sets + manifest
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ShardInfo:
+    """Accounting for one shard file, as stored in the manifest."""
+
+    path: str
+    n_samples: int
+    nbytes: int
+    checksum: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "ShardInfo":
+        return cls(
+            path=str(row["path"]),
+            n_samples=int(row["n_samples"]),  # type: ignore[arg-type]
+            nbytes=int(row["nbytes"]),  # type: ignore[arg-type]
+            checksum=str(row["checksum"]),
+        )
+
+
+@dataclasses.dataclass
+class ShardManifest:
+    """The self-describing record of a complete shard set."""
+
+    dataset_name: str
+    schema: Schema
+    splits: Dict[str, List[ShardInfo]]
+    codec: str = "raw"
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        return sum(s.n_samples for shards in self.splits.values() for s in shards)
+
+    @property
+    def n_shards(self) -> int:
+        return sum(len(shards) for shards in self.splits.values())
+
+    def split_samples(self, split: str) -> int:
+        return sum(s.n_samples for s in self.splits.get(split, []))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "dataset_name": self.dataset_name,
+                "schema": schema_to_dicts(self.schema),
+                "codec": self.codec,
+                "metadata": self.metadata,
+                "splits": {
+                    split: [s.to_dict() for s in shards]
+                    for split, shards in self.splits.items()
+                },
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardManifest":
+        blob = json.loads(text)
+        return cls(
+            dataset_name=blob["dataset_name"],
+            schema=schema_from_dicts(blob["schema"]),
+            codec=blob.get("codec", "raw"),
+            metadata=blob.get("metadata", {}),
+            splits={
+                split: [ShardInfo.from_dict(r) for r in rows]
+                for split, rows in blob["splits"].items()
+            },
+        )
+
+
+def write_shard_set(
+    dataset: Dataset,
+    directory: Union[str, Path],
+    *,
+    splits: Optional[Dict[str, np.ndarray]] = None,
+    plan: Optional[ChunkPlan] = None,
+    shards_per_split: int = 4,
+    codec_name: str = "raw",
+    codec_level: Optional[int] = None,
+) -> ShardManifest:
+    """Export *dataset* as a sharded directory with a manifest.
+
+    Parameters
+    ----------
+    splits:
+        Mapping of split name to row indices.  Defaults to a single
+        ``"all"`` split covering every sample.
+    plan:
+        Optional explicit :class:`ChunkPlan` applied within each split;
+        by default each split is cut into *shards_per_split* equal shards.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    codec = get_codec(codec_name, codec_level)
+    if splits is None:
+        splits = {"all": np.arange(dataset.n_samples)}
+    manifest_splits: Dict[str, List[ShardInfo]] = {}
+    for split, indices in splits.items():
+        indices = np.asarray(indices)
+        subset = dataset.take(indices)
+        split_plan = plan or plan_shards_by_count(
+            subset.n_samples, max(1, min(shards_per_split, max(subset.n_samples, 1)))
+        )
+        if split_plan.n_samples != subset.n_samples:
+            raise ShardError(
+                f"plan covers {split_plan.n_samples} samples, split {split!r} "
+                f"has {subset.n_samples}"
+            )
+        infos: List[ShardInfo] = []
+        for i, sl in enumerate(split_plan):
+            shard_columns = {
+                name: subset[name][sl] for name in subset.schema.names
+            }
+            info = write_shard(
+                shard_columns, directory / f"{split}-{i:05d}.rps", codec
+            )
+            infos.append(info)
+        manifest_splits[split] = infos
+    manifest = ShardManifest(
+        dataset_name=dataset.metadata.name,
+        schema=dataset.schema,
+        splits=manifest_splits,
+        codec=codec_name,
+        metadata={
+            "domain": dataset.metadata.domain,
+            "source": dataset.metadata.source,
+            "version": dataset.metadata.version,
+            "modality": dataset.metadata.modality.value,
+        },
+    )
+    (directory / MANIFEST_NAME).write_text(manifest.to_json())
+    return manifest
+
+
+class ShardSet:
+    """Reader over a sharded directory: the trainer-facing ingestion API."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        manifest_path = self.directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ShardError(f"no {MANIFEST_NAME} in {self.directory}")
+        self.manifest = ShardManifest.from_json(manifest_path.read_text())
+
+    @property
+    def splits(self) -> List[str]:
+        return sorted(self.manifest.splits)
+
+    def verify(self) -> None:
+        """Recompute every shard checksum; raise on any mismatch."""
+        for split, shards in self.manifest.splits.items():
+            for info in shards:
+                digest = hashlib.sha256()
+                digest.update((self.directory / info.path).read_bytes())
+                if digest.hexdigest() != info.checksum:
+                    raise ShardError(
+                        f"checksum mismatch for {info.path} in split {split!r}"
+                    )
+
+    def iter_shards(
+        self, split: str, *, rank: int = 0, world: int = 1
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Yield shard columns for *split*, strided across ranks.
+
+        ``rank``/``world`` implement the standard distributed-loader
+        contract: rank *r* of *w* reads shards ``r, r+w, r+2w, ...``.
+        """
+        shards = self.manifest.splits.get(split)
+        if shards is None:
+            raise ShardError(f"no split {split!r}; have {self.splits}")
+        if not 0 <= rank < world:
+            raise ShardError(f"invalid rank {rank} for world size {world}")
+        for info in shards[rank::world]:
+            yield read_shard(self.directory / info.path)
+
+    def load_split(self, split: str) -> Dataset:
+        """Materialize an entire split back into a :class:`Dataset`."""
+        parts = list(self.iter_shards(split))
+        schema = self.manifest.schema
+        if not parts:
+            columns = {
+                f.name: np.empty((0, *f.shape), dtype=f.dtype) for f in schema
+            }
+        else:
+            columns = {
+                name: np.concatenate([p[name] for p in parts], axis=0)
+                for name in schema.names
+            }
+        meta = DatasetMetadata(
+            name=self.manifest.dataset_name,
+            domain=str(self.manifest.metadata.get("domain", "generic")),
+            source=str(self.manifest.metadata.get("source", "shards")),
+            version=str(self.manifest.metadata.get("version", "0")),
+            modality=Modality(
+                self.manifest.metadata.get("modality", Modality.TABULAR.value)
+            ),
+        )
+        return Dataset(columns, schema, meta)

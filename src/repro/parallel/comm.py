@@ -1,0 +1,293 @@
+"""SimComm: an MPI-like communicator executed in-process.
+
+Leadership-facility pipelines are SPMD programs over MPI.  This module
+reproduces the mpi4py programming model — ranks, point-to-point
+``send``/``recv``, and the collectives the readiness pipelines use
+(``bcast``, ``scatter``, ``gather``, ``allgather``, ``reduce``,
+``allreduce``, ``alltoall``, ``barrier``) — on top of per-pair message
+queues and threads, so the *identical code paths* a real MPI port would
+take are exercised deterministically on a single node.
+
+Semantics follow mpi4py's lowercase (object) API: collectives are
+implemented on top of point-to-point messaging rooted at rank 0, so
+message/byte accounting (:class:`CommStats`) reflects a real flat
+implementation and can be compared against the tree schedules in
+:mod:`repro.parallel.reducers`.
+
+Use :func:`run_spmd` to launch an SPMD function across a world::
+
+    def main(comm):
+        part = comm.scatter(chunks if comm.rank == 0 else None)
+        local = part.sum()
+        return comm.allreduce(local)
+
+    results = run_spmd(4, main)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SimComm", "SimWorld", "CommStats", "run_spmd", "CommError"]
+
+
+class CommError(RuntimeError):
+    """Misuse of the communicator (bad rank, root mismatch, etc.)."""
+
+
+@dataclasses.dataclass
+class CommStats:
+    """Per-rank traffic accounting (messages sent and payload bytes)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    def account(self, payload: Any) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += _payload_nbytes(payload)
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Approximate wire size of a payload for accounting purposes."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_nbytes(k) + _payload_nbytes(v) for k, v in payload.items())
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (int, float, complex, bool)) or payload is None:
+        return 8
+    return 64  # opaque object: flat estimate
+
+
+class SimWorld:
+    """Shared state for one communicator world of ``size`` ranks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise CommError(f"world size must be >= 1, got {size}")
+        self.size = size
+        # one queue per (src, dst, tag-agnostic) channel; tags filtered at recv
+        self._queues: Dict[Tuple[int, int], "queue.Queue[Tuple[int, Any]]"] = {
+            (src, dst): queue.Queue() for src in range(size) for dst in range(size)
+        }
+        self._barrier = threading.Barrier(size)
+        self._stashes: List[List[Tuple[int, int, Any]]] = [[] for _ in range(size)]
+
+    def comm(self, rank: int) -> "SimComm":
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} out of range for size {self.size}")
+        return SimComm(self, rank)
+
+
+class SimComm:
+    """One rank's handle on a :class:`SimWorld`."""
+
+    #: wildcard tag for :meth:`recv`
+    ANY_TAG = -1
+    #: default per-receive timeout (seconds); generous but prevents deadlock
+    #: from hanging the test suite forever
+    TIMEOUT = 60.0
+
+    def __init__(self, world: SimWorld, rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.stats = CommStats()
+
+    # -- mpi4py-style accessors --------------------------------------------------
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- point-to-point ------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a Python object to *dest* (asynchronous, buffered)."""
+        if not 0 <= dest < self.size:
+            raise CommError(f"dest {dest} out of range")
+        self.stats.account(obj)
+        self._world._queues[(self.rank, dest)].put((tag, obj))
+
+    def recv(self, source: int, tag: int = ANY_TAG) -> Any:
+        """Receive the next object from *source* (matching *tag* if given)."""
+        if not 0 <= source < self.size:
+            raise CommError(f"source {source} out of range")
+        stash = self._world._stashes[self.rank]
+        for i, (s, t, obj) in enumerate(stash):
+            if s == source and (tag == self.ANY_TAG or t == tag):
+                stash.pop(i)
+                return obj
+        channel = self._world._queues[(source, self.rank)]
+        while True:
+            try:
+                t, obj = channel.get(timeout=self.TIMEOUT)
+            except queue.Empty:
+                raise CommError(
+                    f"rank {self.rank} timed out receiving from {source} (tag={tag})"
+                ) from None
+            if tag == self.ANY_TAG or t == tag:
+                return obj
+            stash.append((source, t, obj))
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send+receive (deadlock-free under the buffered model)."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- collectives -----------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank in the world has entered the barrier."""
+        self._world._barrier.wait(timeout=self.TIMEOUT)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast *obj* from *root* to every rank; returns the object."""
+        tag = -1001
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag)
+            return obj
+        return self.recv(root, tag)
+
+    def scatter(self, sendobj: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from *root*; each rank gets one item."""
+        tag = -1002
+        if self.rank == root:
+            if sendobj is None or len(sendobj) != self.size:
+                raise CommError(
+                    f"root must pass a sequence of exactly {self.size} items"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(sendobj[dest], dest, tag)
+            return sendobj[root]
+        return self.recv(root, tag)
+
+    def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one item per rank at *root* (rank order); others get None."""
+        tag = -1003
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = sendobj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag)
+            return out
+        self.send(sendobj, root, tag)
+        return None
+
+    def allgather(self, sendobj: Any) -> List[Any]:
+        """Gather to rank 0 then broadcast: every rank gets the full list."""
+        gathered = self.gather(sendobj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(
+        self,
+        sendobj: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        root: int = 0,
+    ) -> Any:
+        """Reduce with a binary *op* at *root*; associative ops only."""
+        gathered = self.gather(sendobj, root=root)
+        if self.rank != root:
+            return None
+        assert gathered is not None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(
+        self, sendobj: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b
+    ) -> Any:
+        """Reduce at rank 0, then broadcast the result to all."""
+        reduced = self.reduce(sendobj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def alltoall(self, sendobj: Sequence[Any]) -> List[Any]:
+        """Each rank sends item *j* to rank *j*; receives one from each."""
+        if len(sendobj) != self.size:
+            raise CommError(f"alltoall needs exactly {self.size} items")
+        tag = -1004
+        for dest in range(self.size):
+            if dest != self.rank:
+                self.send(sendobj[dest], dest, tag)
+        out: List[Any] = [None] * self.size
+        out[self.rank] = sendobj[self.rank]
+        for src in range(self.size):
+            if src != self.rank:
+                out[src] = self.recv(src, tag)
+        return out
+
+    # -- buffer-style helpers (mpi4py uppercase idiom) ------------------------------
+    def Bcast(self, array: np.ndarray, root: int = 0) -> None:
+        """In-place broadcast of a NumPy array (like ``comm.Bcast``)."""
+        data = self.bcast(array if self.rank == root else None, root=root)
+        if self.rank != root:
+            np.copyto(array, data)
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Element-wise sum allreduce into *recvbuf*."""
+        total = self.allreduce(np.asarray(sendbuf))
+        np.copyto(recvbuf, total)
+
+    def __repr__(self) -> str:
+        return f"SimComm(rank={self.rank}, size={self.size})"
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 120.0,
+) -> List[Any]:
+    """Run ``fn(comm, *args)`` on every rank of a fresh world.
+
+    Returns the per-rank return values in rank order.  The first exception
+    raised by any rank is re-raised in the caller after all threads have
+    been joined, so failures surface instead of deadlocking.
+    """
+    world = SimWorld(size)
+    results: List[Any] = [None] * size
+    errors: List[Tuple[int, BaseException]] = []
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(world.comm(rank), *args)
+        except BaseException as exc:  # noqa: BLE001 - propagated to caller
+            errors.append((rank, exc))
+            world._barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), daemon=True)
+        for rank in range(size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    alive = [t for t in threads if t.is_alive()]
+    if alive and not errors:
+        raise CommError(f"{len(alive)} rank(s) did not finish within {timeout}s")
+    if errors:
+        # a broken barrier is collateral damage from some rank's real
+        # failure — surface the root cause, not the abort echo
+        def priority(entry: Tuple[int, BaseException]) -> Tuple[int, int]:
+            rank, exc = entry
+            collateral = isinstance(exc, threading.BrokenBarrierError)
+            return (1 if collateral else 0, rank)
+
+        _, exc = sorted(errors, key=priority)[0]
+        raise exc
+    return results

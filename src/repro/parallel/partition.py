@@ -1,0 +1,147 @@
+"""Work partitioning: who processes which samples/shots/files.
+
+Three strategies, matching DESIGN.md ablation 4:
+
+* **block** — contiguous ranges; best locality, poor balance on skewed work.
+* **cyclic** — round-robin; statistically balanced under skew, poor locality.
+* **balanced (LPT)** — greedy longest-processing-time assignment using
+  per-item weights; near-optimal balance at the cost of arbitrary order.
+
+All partitioners satisfy two invariants verified by property tests:
+*completeness* (every index assigned exactly once) and *bounds*
+(assignments only to valid ranks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PartitionError",
+    "block_partition",
+    "block_slice",
+    "cyclic_partition",
+    "balanced_partition",
+    "partition_imbalance",
+    "Assignment",
+]
+
+
+class PartitionError(ValueError):
+    """Invalid partition parameters."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Assignment:
+    """One rank's share of the work."""
+
+    rank: int
+    indices: np.ndarray  # item indices owned by this rank
+    weight: float  # total weight of owned items
+
+    @property
+    def n_items(self) -> int:
+        return int(self.indices.size)
+
+
+def _check(n_items: int, n_ranks: int) -> None:
+    if n_items < 0:
+        raise PartitionError("n_items must be >= 0")
+    if n_ranks < 1:
+        raise PartitionError("n_ranks must be >= 1")
+
+
+def block_slice(n_items: int, rank: int, n_ranks: int) -> slice:
+    """The contiguous slice owned by *rank* under block partitioning.
+
+    Remainder items go to the lowest ranks, so sizes differ by at most one.
+    """
+    _check(n_items, n_ranks)
+    if not 0 <= rank < n_ranks:
+        raise PartitionError(f"rank {rank} out of range")
+    base, rem = divmod(n_items, n_ranks)
+    start = rank * base + min(rank, rem)
+    stop = start + base + (1 if rank < rem else 0)
+    return slice(start, stop)
+
+
+def block_partition(
+    n_items: int, n_ranks: int, weights: Sequence[float] | None = None
+) -> List[Assignment]:
+    """Contiguous near-equal-count assignment for every rank."""
+    _check(n_items, n_ranks)
+    w = _weights(n_items, weights)
+    out = []
+    for rank in range(n_ranks):
+        sl = block_slice(n_items, rank, n_ranks)
+        idx = np.arange(sl.start, sl.stop)
+        out.append(Assignment(rank=rank, indices=idx, weight=float(w[idx].sum())))
+    return out
+
+
+def cyclic_partition(
+    n_items: int, n_ranks: int, weights: Sequence[float] | None = None
+) -> List[Assignment]:
+    """Round-robin assignment: rank *r* owns items ``r, r+P, r+2P, ...``."""
+    _check(n_items, n_ranks)
+    w = _weights(n_items, weights)
+    out = []
+    for rank in range(n_ranks):
+        idx = np.arange(rank, n_items, n_ranks)
+        out.append(Assignment(rank=rank, indices=idx, weight=float(w[idx].sum())))
+    return out
+
+
+def balanced_partition(weights: Sequence[float], n_ranks: int) -> List[Assignment]:
+    """Greedy LPT assignment by weight (largest item to least-loaded rank).
+
+    Guarantees a makespan within 4/3 of optimal for this classic
+    scheduling heuristic; in practice nearly perfect for the long-tailed
+    shot-length distributions of the fusion archetype.
+    """
+    weights_arr = np.asarray(list(weights), dtype=np.float64)
+    if np.any(weights_arr < 0):
+        raise PartitionError("weights must be non-negative")
+    _check(weights_arr.size, n_ranks)
+    order = np.argsort(weights_arr)[::-1]
+    heap = [(0.0, rank) for rank in range(n_ranks)]
+    heapq.heapify(heap)
+    owned: List[List[int]] = [[] for _ in range(n_ranks)]
+    loads = [0.0] * n_ranks
+    for idx in order:
+        load, rank = heapq.heappop(heap)
+        owned[rank].append(int(idx))
+        loads[rank] = load + float(weights_arr[idx])
+        heapq.heappush(heap, (loads[rank], rank))
+    return [
+        Assignment(
+            rank=rank,
+            indices=np.asarray(sorted(owned[rank]), dtype=np.int64),
+            weight=loads[rank],
+        )
+        for rank in range(n_ranks)
+    ]
+
+
+def _weights(n_items: int, weights: Sequence[float] | None) -> np.ndarray:
+    if weights is None:
+        return np.ones(n_items)
+    w = np.asarray(list(weights), dtype=np.float64)
+    if w.size != n_items:
+        raise PartitionError(f"{w.size} weights for {n_items} items")
+    if np.any(w < 0):
+        raise PartitionError("weights must be non-negative")
+    return w
+
+
+def partition_imbalance(assignments: Sequence[Assignment]) -> float:
+    """Makespan ratio ``max_load / mean_load``; 1.0 is perfect balance."""
+    loads = np.asarray([a.weight for a in assignments], dtype=np.float64)
+    mean = loads.mean() if loads.size else 0.0
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)

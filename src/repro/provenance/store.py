@@ -1,0 +1,65 @@
+"""Durable provenance store: append-only JSONL with replay and verification.
+
+The facility-side half of provenance capture: records stream to disk as
+they happen (one JSON object per line, append-only, crash-tolerant — a
+partial trailing line is ignored on load), and a stored lineage can be
+rebuilt into a :class:`~repro.provenance.graph.LineageGraph` in any later
+session.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.provenance.graph import LineageGraph
+from repro.provenance.record import ProvenanceRecord
+
+__all__ = ["ProvenanceStore"]
+
+
+class ProvenanceStore:
+    """Append-only JSONL-backed store of provenance records."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, record: ProvenanceRecord) -> None:
+        """Durably append one record."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record.to_dict(), sort_keys=True))
+            fh.write("\n")
+
+    def __iter__(self) -> Iterator[ProvenanceRecord]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    blob = json.loads(line)
+                except json.JSONDecodeError:
+                    # torn final write after a crash: ignore, stay consistent
+                    continue
+                yield ProvenanceRecord.from_dict(blob)
+
+    def load(self) -> List[ProvenanceRecord]:
+        return list(self)
+
+    def build_graph(self) -> LineageGraph:
+        """Rebuild the lineage DAG from everything stored."""
+        graph = LineageGraph()
+        graph.extend(self.load())
+        return graph
+
+    def verify_chain(self, output_fingerprint: str) -> bool:
+        """Check a stored artifact traces to a root acquisition."""
+        graph = self.build_graph()
+        return graph.verify_connected(output_fingerprint)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)

@@ -1,0 +1,181 @@
+"""Data quality metrics: completeness, balance, noise, coverage, outliers.
+
+Section 5 ("Data Quality, Bias, and Fairness") calls for "addressing
+coverage, representativeness, imbalance, and noise."  These metrics are
+the quantitative inputs to datasheets, readiness evidence payloads, and
+the assessment gates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FieldRole
+from repro.transforms.cleaning import missing_mask, outlier_mask
+
+__all__ = [
+    "completeness",
+    "class_balance",
+    "imbalance_ratio",
+    "effective_classes",
+    "noise_estimate",
+    "coverage",
+    "outlier_rate",
+    "QualityReport",
+    "quality_report",
+]
+
+
+def completeness(values: np.ndarray, sentinel: Optional[float] = None) -> float:
+    """Fraction of non-missing entries, in [0, 1]."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 1.0
+    return 1.0 - float(missing_mask(values, sentinel).mean())
+
+
+def class_balance(labels: np.ndarray) -> Dict[object, float]:
+    """Per-class sample fractions."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return {}
+    values, counts = np.unique(labels, return_counts=True)
+    total = labels.size
+    return {v: float(c) / total for v, c in zip(values.tolist(), counts.tolist())}
+
+
+def imbalance_ratio(labels: np.ndarray) -> float:
+    """Majority/minority class count ratio; 1.0 is perfectly balanced."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 1.0
+    _, counts = np.unique(labels, return_counts=True)
+    return float(counts.max() / counts.min())
+
+
+def effective_classes(labels: np.ndarray) -> float:
+    """Exponential of label entropy — "how many classes, effectively".
+
+    Equal to the class count for balanced data; collapses toward 1 as
+    imbalance grows.  A scale-free alternative to the imbalance ratio.
+    """
+    balance = class_balance(labels)
+    if not balance:
+        return 0.0
+    fractions = np.asarray(list(balance.values()))
+    entropy = -(fractions * np.log(fractions)).sum()
+    return float(np.exp(entropy))
+
+
+def noise_estimate(series: np.ndarray) -> float:
+    """Noise-to-signal estimate via first differences.
+
+    For a smooth signal sampled adequately, ``std(diff)/sqrt(2)``
+    estimates the additive noise sigma; dividing by the signal's own std
+    yields a unitless noise fraction.  Values near or above 1 indicate a
+    channel that is mostly noise (the fusion archetype's "sparse/noisy
+    data" challenge, made measurable).
+    """
+    series = np.asarray(series, dtype=np.float64).ravel()
+    series = series[np.isfinite(series)]
+    if series.size < 3:
+        return 0.0
+    signal_std = series.std()
+    if signal_std == 0:
+        return 0.0
+    noise_sigma = np.diff(series).std() / np.sqrt(2.0)
+    return float(noise_sigma / signal_std)
+
+
+def coverage(values: np.ndarray, lo: float, hi: float, n_bins: int = 20) -> float:
+    """Fraction of an expected range actually populated with data.
+
+    Bins ``[lo, hi]`` and reports the occupied-bin fraction — low coverage
+    flags "incomplete observational coverage" (Section 5) such as a
+    climate archive missing whole latitude bands.
+    """
+    if not hi > lo:
+        raise ValueError("need hi > lo")
+    values = np.asarray(values, dtype=np.float64).ravel()
+    values = values[np.isfinite(values)]
+    inside = values[(values >= lo) & (values <= hi)]
+    if inside.size == 0:
+        return 0.0
+    bins = np.clip(
+        ((inside - lo) / (hi - lo) * n_bins).astype(int), 0, n_bins - 1
+    )
+    return float(np.unique(bins).size / n_bins)
+
+
+def outlier_rate(values: np.ndarray, n_sigma: float = 5.0) -> float:
+    """Fraction of robust-sigma outliers."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return 0.0
+    return float(outlier_mask(values, n_sigma).mean())
+
+
+@dataclasses.dataclass
+class QualityReport:
+    """Per-dataset quality summary used by datasheets and assessment."""
+
+    n_samples: int
+    completeness_by_column: Dict[str, float]
+    outlier_rate_by_column: Dict[str, float]
+    noise_by_column: Dict[str, float]
+    label_balance: Dict[object, float]
+    imbalance: float
+
+    @property
+    def overall_completeness(self) -> float:
+        if not self.completeness_by_column:
+            return 1.0
+        return float(np.mean(list(self.completeness_by_column.values())))
+
+    @property
+    def worst_noise(self) -> float:
+        if not self.noise_by_column:
+            return 0.0
+        return max(self.noise_by_column.values())
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n_samples}, completeness={self.overall_completeness:.3f}, "
+            f"imbalance={self.imbalance:.2f}, worst_noise={self.worst_noise:.2f}"
+        )
+
+
+def quality_report(dataset: Dataset, label_column: Optional[str] = None) -> QualityReport:
+    """Compute the standard quality metrics over a dataset's numeric columns."""
+    completeness_by: Dict[str, float] = {}
+    outliers_by: Dict[str, float] = {}
+    noise_by: Dict[str, float] = {}
+    for spec in dataset.schema:
+        if not np.issubdtype(spec.dtype, np.number):
+            continue
+        column = dataset[spec.name]
+        completeness_by[spec.name] = completeness(column)
+        if np.issubdtype(spec.dtype, np.floating) and spec.shape == ():
+            outliers_by[spec.name] = outlier_rate(column)
+            noise_by[spec.name] = noise_estimate(column)
+    if label_column is None:
+        label_names = dataset.schema.label_names
+        label_column = label_names[0] if label_names else None
+    balance: Dict[object, float] = {}
+    imbalance = 1.0
+    if label_column is not None and label_column in dataset.schema:
+        labels = dataset[label_column]
+        balance = class_balance(labels)
+        if balance:
+            imbalance = imbalance_ratio(labels)
+    return QualityReport(
+        n_samples=dataset.n_samples,
+        completeness_by_column=completeness_by,
+        outlier_rate_by_column=outliers_by,
+        noise_by_column=noise_by,
+        label_balance=balance,
+        imbalance=imbalance,
+    )

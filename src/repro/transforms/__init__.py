@@ -1,0 +1,95 @@
+"""Shared preprocessing transforms implementing the Figure 1 steps:
+cleaning, normalization, encoding, augmentation, labeling, feature
+engineering, splitting, temporal alignment, and spatial regridding.
+"""
+
+from repro.transforms.cleaning import (
+    CleaningReport,
+    clean_dataset,
+    clip_outliers,
+    drop_duplicate_rows,
+    harmonize_units,
+    impute,
+    missing_fraction,
+    missing_mask,
+    UnitConverter,
+)
+from repro.transforms.normalize import (
+    LogNormalizer,
+    MinMaxNormalizer,
+    Normalizer,
+    RobustNormalizer,
+    ZScoreNormalizer,
+    make_normalizer,
+    normalize_dataset,
+)
+from repro.transforms.encode import (
+    DNA_ALPHABET,
+    OneHotEncoder,
+    OrdinalEncoder,
+    Vocabulary,
+    dna_decode,
+    dna_one_hot,
+    one_hot_dataset_column,
+)
+from repro.transforms.augment import (
+    add_gaussian_noise,
+    amplitude_scale,
+    augment_batch,
+    flip,
+    rotate90,
+    smote_like,
+    time_jitter,
+)
+from repro.transforms.label import (
+    UNLABELED,
+    NearestCentroidModel,
+    PseudoLabelResult,
+    labeled_fraction,
+    propagate_labels,
+    pseudo_label,
+)
+from repro.transforms.features import (
+    SelectionReport,
+    correlation_filter,
+    derivative_features,
+    mutual_information,
+    rolling_features,
+    select_k_best,
+    variance_threshold,
+)
+from repro.transforms.split import (
+    SplitSpec,
+    group_split,
+    random_split,
+    stratified_split,
+    temporal_split,
+)
+from repro.transforms.align import (
+    Signal,
+    align_signals,
+    common_time_base,
+    resample,
+    sliding_windows,
+    window_series,
+)
+from repro.transforms.regrid import RegularGrid, area_weighted_mean, regrid
+
+__all__ = [
+    "CleaningReport", "clean_dataset", "clip_outliers", "drop_duplicate_rows",
+    "harmonize_units", "impute", "missing_fraction", "missing_mask", "UnitConverter",
+    "LogNormalizer", "MinMaxNormalizer", "Normalizer", "RobustNormalizer",
+    "ZScoreNormalizer", "make_normalizer", "normalize_dataset",
+    "DNA_ALPHABET", "OneHotEncoder", "OrdinalEncoder", "Vocabulary",
+    "dna_decode", "dna_one_hot", "one_hot_dataset_column",
+    "add_gaussian_noise", "amplitude_scale", "augment_batch", "flip",
+    "rotate90", "smote_like", "time_jitter",
+    "UNLABELED", "NearestCentroidModel", "PseudoLabelResult",
+    "labeled_fraction", "propagate_labels", "pseudo_label",
+    "SelectionReport", "correlation_filter", "derivative_features",
+    "mutual_information", "rolling_features", "select_k_best", "variance_threshold",
+    "SplitSpec", "group_split", "random_split", "stratified_split", "temporal_split",
+    "Signal", "align_signals", "common_time_base", "resample",
+    "sliding_windows", "window_series",
+    "RegularGrid", "area_weighted_mean", "regrid",
+]

@@ -1,0 +1,212 @@
+"""Encoding: categorical variables, vocabularies, and sequence one-hot.
+
+"Managing categorical variables" (Section 2.1) plus the bio archetype's
+one-hot DNA encoding (Section 3.3, Enformer).  Encoders are fitted objects
+with an explicit vocabulary so train/test encoding is consistent and
+serializable for provenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FieldRole, FieldSpec
+
+__all__ = [
+    "Vocabulary",
+    "OrdinalEncoder",
+    "OneHotEncoder",
+    "dna_one_hot",
+    "dna_decode",
+    "one_hot_dataset_column",
+    "EncodingError",
+    "DNA_ALPHABET",
+]
+
+
+class EncodingError(ValueError):
+    """Unknown category, unfitted encoder, or malformed sequence."""
+
+
+class Vocabulary:
+    """An ordered mapping of category values to dense indices."""
+
+    def __init__(self, values: Sequence[object]):
+        self._values: List[object] = []
+        self._index: Dict[object, int] = {}
+        for v in values:
+            if v not in self._index:
+                self._index[v] = len(self._values)
+                self._values.append(v)
+
+    @classmethod
+    def fit(cls, column: np.ndarray) -> "Vocabulary":
+        """Build from observed values, sorted for determinism."""
+        uniques = np.unique(np.asarray(column))
+        return cls(uniques.tolist())
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._index
+
+    @property
+    def values(self) -> List[object]:
+        return list(self._values)
+
+    def index_of(self, value: object) -> int:
+        try:
+            return self._index[value]
+        except KeyError:
+            raise EncodingError(f"value {value!r} not in vocabulary") from None
+
+    def encode(self, column: np.ndarray, *, unknown: Optional[int] = None) -> np.ndarray:
+        """Vectorized value->index mapping.
+
+        *unknown* substitutes for out-of-vocabulary values; by default OOV
+        raises (train/serve skew should fail loudly in a readiness pipeline).
+        """
+        column = np.asarray(column)
+        flat = column.ravel()
+        out = np.empty(flat.shape, dtype=np.int64)
+        for i, v in enumerate(flat.tolist()):
+            idx = self._index.get(v)
+            if idx is None:
+                if unknown is None:
+                    raise EncodingError(f"value {v!r} not in vocabulary")
+                idx = unknown
+            out[i] = idx
+        return out.reshape(column.shape)
+
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self)):
+            raise EncodingError("index out of vocabulary range")
+        values = np.asarray(self._values, dtype=object)
+        return values[indices]
+
+
+class OrdinalEncoder:
+    """Category -> dense integer codes, one vocabulary per fitted column."""
+
+    def __init__(self) -> None:
+        self.vocabulary: Optional[Vocabulary] = None
+
+    def fit(self, column: np.ndarray) -> "OrdinalEncoder":
+        self.vocabulary = Vocabulary.fit(column)
+        return self
+
+    def transform(self, column: np.ndarray) -> np.ndarray:
+        if self.vocabulary is None:
+            raise EncodingError("OrdinalEncoder used before fit()")
+        return self.vocabulary.encode(column)
+
+    def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
+        if self.vocabulary is None:
+            raise EncodingError("OrdinalEncoder used before fit()")
+        return self.vocabulary.decode(codes)
+
+
+class OneHotEncoder:
+    """Category -> one-hot rows (float32, shape ``(n, |vocab|)``)."""
+
+    def __init__(self) -> None:
+        self.vocabulary: Optional[Vocabulary] = None
+
+    def fit(self, column: np.ndarray) -> "OneHotEncoder":
+        self.vocabulary = Vocabulary.fit(column)
+        return self
+
+    def transform(self, column: np.ndarray) -> np.ndarray:
+        if self.vocabulary is None:
+            raise EncodingError("OneHotEncoder used before fit()")
+        codes = self.vocabulary.encode(column)
+        out = np.zeros((codes.size, len(self.vocabulary)), dtype=np.float32)
+        out[np.arange(codes.size), codes.ravel()] = 1.0
+        return out
+
+    def inverse_transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.vocabulary is None:
+            raise EncodingError("OneHotEncoder used before fit()")
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.vocabulary):
+            raise EncodingError("one-hot matrix has wrong width")
+        return self.vocabulary.decode(matrix.argmax(axis=1))
+
+
+# ---------------------------------------------------------------------------
+# DNA sequences (bio archetype)
+# ---------------------------------------------------------------------------
+
+DNA_ALPHABET = "ACGT"
+_DNA_INDEX = np.full(256, -1, dtype=np.int8)
+for _i, _c in enumerate(DNA_ALPHABET):
+    _DNA_INDEX[ord(_c)] = _i
+    _DNA_INDEX[ord(_c.lower())] = _i
+_DNA_INDEX[ord("N")] = 4
+_DNA_INDEX[ord("n")] = 4
+
+
+def dna_one_hot(sequence: str | bytes) -> np.ndarray:
+    """Encode a DNA string to a ``(len, 4)`` float32 one-hot matrix.
+
+    Ambiguity code ``N`` encodes as the uniform 0.25 vector (Enformer's
+    convention); any other character raises.
+    """
+    if isinstance(sequence, str):
+        sequence = sequence.encode("ascii")
+    raw = np.frombuffer(sequence, dtype=np.uint8)
+    codes = _DNA_INDEX[raw]
+    if np.any(codes < 0):
+        bad = chr(raw[int(np.argmax(codes < 0))])
+        raise EncodingError(f"invalid DNA character {bad!r}")
+    out = np.zeros((raw.size, 4), dtype=np.float32)
+    known = codes < 4
+    out[np.nonzero(known)[0], codes[known]] = 1.0
+    out[~known] = 0.25
+    return out
+
+
+def dna_decode(matrix: np.ndarray) -> str:
+    """Inverse of :func:`dna_one_hot` (N for uniform rows)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != 4:
+        raise EncodingError("expected a (len, 4) one-hot matrix")
+    chars = []
+    for row in matrix:
+        if np.allclose(row, 0.25):
+            chars.append("N")
+        else:
+            chars.append(DNA_ALPHABET[int(row.argmax())])
+    return "".join(chars)
+
+
+def one_hot_dataset_column(dataset: Dataset, column: str) -> Tuple[Dataset, OneHotEncoder]:
+    """Replace a categorical column with its one-hot expansion.
+
+    The new column is named ``{column}_onehot`` with per-sample shape
+    ``(|vocab|,)``; the original column is dropped.  Uses the schema's
+    declared categories when present so absent-but-legal categories still
+    get a slot.
+    """
+    spec = dataset.schema[column]
+    encoder = OneHotEncoder()
+    if spec.categories is not None:
+        encoder.vocabulary = Vocabulary(spec.categories)
+    else:
+        encoder.fit(dataset[column])
+    assert encoder.vocabulary is not None
+    matrix = encoder.transform(dataset[column])
+    new_spec = FieldSpec(
+        name=f"{column}_onehot",
+        dtype=np.dtype(np.float32),
+        shape=(len(encoder.vocabulary),),
+        role=FieldRole.FEATURE,
+        description=f"one-hot of {column!r} over {encoder.vocabulary.values}",
+    )
+    out = dataset.with_column(new_spec, matrix).drop_columns(column)
+    return out, encoder

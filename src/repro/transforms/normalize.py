@@ -1,0 +1,334 @@
+"""Normalization: fitted, invertible, and streaming-statistics-backed.
+
+"Normalizing by mean and standard deviation" is the transform every domain
+archetype shares (Sections 2.1, 3.1-3.4).  Normalizers here follow the
+fit/transform/inverse_transform contract, can be *fit from merged
+parallel statistics* (:class:`~repro.parallel.stats.FeatureStats`) so the
+same object works in SPMD pipelines, and serialize to plain dicts for
+provenance capture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset, FieldRole
+from repro.parallel.stats import FeatureStats
+
+__all__ = [
+    "Normalizer",
+    "ZScoreNormalizer",
+    "MinMaxNormalizer",
+    "RobustNormalizer",
+    "LogNormalizer",
+    "make_normalizer",
+    "normalize_dataset",
+    "NormalizationError",
+]
+
+
+class NormalizationError(ValueError):
+    """Fit/transform misuse (unfitted transform, degenerate statistics)."""
+
+
+class Normalizer:
+    """Base fit/transform/inverse contract."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.fitted = False
+
+    def fit(self, values: np.ndarray) -> "Normalizer":
+        raise NotImplementedError
+
+    def fit_from_stats(self, stats: FeatureStats) -> "Normalizer":
+        """Fit from pre-computed (possibly distributed) statistics."""
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot fit from streaming statistics"
+        )
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise NormalizationError(f"{type(self).__name__} used before fit()")
+
+    # -- provenance ---------------------------------------------------------
+    def params(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_params(blob: Dict[str, object]) -> "Normalizer":
+        name = str(blob["name"])
+        cls = {
+            ZScoreNormalizer.name: ZScoreNormalizer,
+            MinMaxNormalizer.name: MinMaxNormalizer,
+            RobustNormalizer.name: RobustNormalizer,
+            LogNormalizer.name: LogNormalizer,
+        }.get(name)
+        if cls is None:
+            raise NormalizationError(f"unknown normalizer {name!r}")
+        return cls._from_params(blob)
+
+
+class ZScoreNormalizer(Normalizer):
+    """``(x - mean) / std`` with epsilon-guarded constant features."""
+
+    name = "zscore"
+
+    def __init__(self, epsilon: float = 1e-12):
+        super().__init__()
+        self.epsilon = epsilon
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "ZScoreNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        self.mean = values.mean(axis=0)
+        self.std = values.std(axis=0)
+        self.fitted = True
+        return self
+
+    def fit_from_stats(self, stats: FeatureStats) -> "ZScoreNormalizer":
+        if stats.count == 0:
+            raise NormalizationError("cannot fit from empty statistics")
+        self.mean = np.array(stats.mean, dtype=np.float64)
+        self.std = np.array(stats.std, dtype=np.float64)
+        self.fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        std = np.where(np.asarray(self.std) < self.epsilon, 1.0, self.std)
+        return (np.asarray(values, dtype=np.float64) - self.mean) / std
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        std = np.where(np.asarray(self.std) < self.epsilon, 1.0, self.std)
+        return np.asarray(values, dtype=np.float64) * std + self.mean
+
+    def params(self) -> Dict[str, object]:
+        self._require_fitted()
+        return {
+            "name": self.name,
+            "mean": np.asarray(self.mean).tolist(),
+            "std": np.asarray(self.std).tolist(),
+        }
+
+    @classmethod
+    def _from_params(cls, blob: Dict[str, object]) -> "ZScoreNormalizer":
+        out = cls()
+        out.mean = np.asarray(blob["mean"], dtype=np.float64)
+        out.std = np.asarray(blob["std"], dtype=np.float64)
+        out.fitted = True
+        return out
+
+
+class MinMaxNormalizer(Normalizer):
+    """Scale to ``[lo, hi]`` (default [0, 1]); constant features map to lo."""
+
+    name = "minmax"
+
+    def __init__(self, feature_range: Tuple[float, float] = (0.0, 1.0)):
+        super().__init__()
+        lo, hi = feature_range
+        if not hi > lo:
+            raise NormalizationError(f"invalid feature_range {feature_range}")
+        self.lo, self.hi = float(lo), float(hi)
+        self.data_min: Optional[np.ndarray] = None
+        self.data_max: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        self.data_min = values.min(axis=0)
+        self.data_max = values.max(axis=0)
+        self.fitted = True
+        return self
+
+    def fit_from_stats(self, stats: FeatureStats) -> "MinMaxNormalizer":
+        if stats.count == 0:
+            raise NormalizationError("cannot fit from empty statistics")
+        self.data_min = np.array(stats.extrema.min, dtype=np.float64)
+        self.data_max = np.array(stats.extrema.max, dtype=np.float64)
+        self.fitted = True
+        return self
+
+    def _span(self) -> np.ndarray:
+        span = np.asarray(self.data_max) - np.asarray(self.data_min)
+        return np.where(span == 0, 1.0, span)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        unit = (np.asarray(values, dtype=np.float64) - self.data_min) / self._span()
+        return unit * (self.hi - self.lo) + self.lo
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        unit = (np.asarray(values, dtype=np.float64) - self.lo) / (self.hi - self.lo)
+        return unit * self._span() + self.data_min
+
+    def params(self) -> Dict[str, object]:
+        self._require_fitted()
+        return {
+            "name": self.name,
+            "range": [self.lo, self.hi],
+            "data_min": np.asarray(self.data_min).tolist(),
+            "data_max": np.asarray(self.data_max).tolist(),
+        }
+
+    @classmethod
+    def _from_params(cls, blob: Dict[str, object]) -> "MinMaxNormalizer":
+        lo, hi = blob["range"]  # type: ignore[misc]
+        out = cls((float(lo), float(hi)))
+        out.data_min = np.asarray(blob["data_min"], dtype=np.float64)
+        out.data_max = np.asarray(blob["data_max"], dtype=np.float64)
+        out.fitted = True
+        return out
+
+
+class RobustNormalizer(Normalizer):
+    """``(x - median) / IQR``: insensitive to the heavy tails of diagnostics."""
+
+    name = "robust"
+
+    def __init__(self, epsilon: float = 1e-12):
+        super().__init__()
+        self.epsilon = epsilon
+        self.median: Optional[np.ndarray] = None
+        self.iqr: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "RobustNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        self.median = np.median(values, axis=0)
+        q75, q25 = np.percentile(values, [75, 25], axis=0)
+        self.iqr = q75 - q25
+        self.fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        iqr = np.where(np.asarray(self.iqr) < self.epsilon, 1.0, self.iqr)
+        return (np.asarray(values, dtype=np.float64) - self.median) / iqr
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        iqr = np.where(np.asarray(self.iqr) < self.epsilon, 1.0, self.iqr)
+        return np.asarray(values, dtype=np.float64) * iqr + self.median
+
+    def params(self) -> Dict[str, object]:
+        self._require_fitted()
+        return {
+            "name": self.name,
+            "median": np.asarray(self.median).tolist(),
+            "iqr": np.asarray(self.iqr).tolist(),
+        }
+
+    @classmethod
+    def _from_params(cls, blob: Dict[str, object]) -> "RobustNormalizer":
+        out = cls()
+        out.median = np.asarray(blob["median"], dtype=np.float64)
+        out.iqr = np.asarray(blob["iqr"], dtype=np.float64)
+        out.fitted = True
+        return out
+
+
+class LogNormalizer(Normalizer):
+    """``log1p`` for strictly non-negative, heavy-tailed quantities.
+
+    Composes a z-score in log space so the output is both compressed and
+    centred; the inverse restores original units exactly.
+    """
+
+    name = "log"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._inner = ZScoreNormalizer()
+
+    def fit(self, values: np.ndarray) -> "LogNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        if np.any(values < 0):
+            raise NormalizationError("log normalizer requires non-negative values")
+        self._inner.fit(np.log1p(values))
+        self.fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        if np.any(values < 0):
+            raise NormalizationError("log normalizer requires non-negative values")
+        return self._inner.transform(np.log1p(values))
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.expm1(self._inner.inverse_transform(values))
+
+    def params(self) -> Dict[str, object]:
+        self._require_fitted()
+        inner = self._inner.params()
+        return {"name": self.name, "inner": inner}
+
+    @classmethod
+    def _from_params(cls, blob: Dict[str, object]) -> "LogNormalizer":
+        out = cls()
+        out._inner = ZScoreNormalizer._from_params(blob["inner"])  # type: ignore[arg-type]
+        out.fitted = True
+        return out
+
+
+def make_normalizer(name: str, **kwargs: object) -> Normalizer:
+    """Factory by registry name (``zscore``/``minmax``/``robust``/``log``)."""
+    registry = {
+        "zscore": ZScoreNormalizer,
+        "minmax": MinMaxNormalizer,
+        "robust": RobustNormalizer,
+        "log": LogNormalizer,
+    }
+    try:
+        return registry[name](**kwargs)  # type: ignore[arg-type]
+    except KeyError:
+        raise NormalizationError(
+            f"unknown normalizer {name!r}; available: {sorted(registry)}"
+        ) from None
+
+
+def normalize_dataset(
+    dataset: Dataset,
+    method: str = "zscore",
+    columns: Optional[Tuple[str, ...]] = None,
+) -> Tuple[Dataset, Dict[str, Normalizer]]:
+    """Fit-and-apply a normalizer per numeric feature column.
+
+    Returns the normalized dataset and the fitted normalizers keyed by
+    column, which pipelines persist for provenance and for denormalizing
+    model outputs.
+    """
+    if columns is None:
+        columns = tuple(
+            f.name
+            for f in dataset.schema.by_role(FieldRole.FEATURE)
+            if np.issubdtype(f.dtype, np.number)
+        )
+    out = dataset
+    fitted: Dict[str, Normalizer] = {}
+    for name in columns:
+        spec = out.schema[name]
+        normalizer = make_normalizer(method)
+        values = normalizer.fit_transform(out[name])
+        fitted[name] = normalizer
+        out = out.with_column(
+            spec.with_(dtype=np.dtype(np.float64), units=None), values, replace=True
+        )
+    return out, fitted

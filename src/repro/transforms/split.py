@@ -1,0 +1,146 @@
+"""Train/validation/test splitting.
+
+Figure 1's penultimate step.  Four strategies cover the archetypes:
+
+* **random** — i.i.d. tabular data.
+* **stratified** — preserves class proportions (materials imbalance).
+* **group** — all samples of one group (a fusion *shot*, a patient) land
+  in the same split, preventing leakage across windows of the same event.
+* **temporal** — chronological split for forecast-style climate tasks,
+  where random splits would leak the future into training.
+
+All return index arrays (never copies) so callers compose with
+:meth:`Dataset.take` and the shard writer's split argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SplitSpec", "SplitError", "random_split", "stratified_split",
+           "group_split", "temporal_split"]
+
+
+class SplitError(ValueError):
+    """Invalid fractions or insufficient data for the requested split."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitSpec:
+    """Fractions for train/val/test; must sum to 1 (+/- 1e-9)."""
+
+    train: float = 0.8
+    val: float = 0.1
+    test: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name, frac in self.items():
+            if not 0.0 <= frac <= 1.0:
+                raise SplitError(f"{name} fraction {frac} outside [0, 1]")
+        if abs(self.train + self.val + self.test - 1.0) > 1e-9:
+            raise SplitError("split fractions must sum to 1")
+
+    def items(self) -> Tuple[Tuple[str, float], ...]:
+        return (("train", self.train), ("val", self.val), ("test", self.test))
+
+
+def _cut(n: int, spec: SplitSpec) -> Tuple[int, int]:
+    n_train = int(round(n * spec.train))
+    n_val = int(round(n * spec.val))
+    n_train = min(n_train, n)
+    n_val = min(n_val, n - n_train)
+    return n_train, n_val
+
+
+def _package(order: np.ndarray, n_train: int, n_val: int) -> Dict[str, np.ndarray]:
+    return {
+        "train": np.sort(order[:n_train]),
+        "val": np.sort(order[n_train : n_train + n_val]),
+        "test": np.sort(order[n_train + n_val :]),
+    }
+
+
+def random_split(
+    n_samples: int,
+    spec: SplitSpec = SplitSpec(),
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Uniform random permutation split."""
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(n_samples)
+    n_train, n_val = _cut(n_samples, spec)
+    return _package(order, n_train, n_val)
+
+
+def stratified_split(
+    labels: np.ndarray,
+    spec: SplitSpec = SplitSpec(),
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Per-class random split so every split mirrors class proportions."""
+    rng = rng or np.random.default_rng(0)
+    labels = np.asarray(labels)
+    splits: Dict[str, list] = {"train": [], "val": [], "test": []}
+    for cls in np.unique(labels):
+        idx = np.flatnonzero(labels == cls)
+        order = rng.permutation(idx)
+        n_train, n_val = _cut(idx.size, spec)
+        splits["train"].append(order[:n_train])
+        splits["val"].append(order[n_train : n_train + n_val])
+        splits["test"].append(order[n_train + n_val :])
+    return {
+        name: np.sort(np.concatenate(parts)) if parts else np.array([], dtype=np.int64)
+        for name, parts in splits.items()
+    }
+
+
+def group_split(
+    groups: np.ndarray,
+    spec: SplitSpec = SplitSpec(),
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Split whole groups: no group straddles two splits.
+
+    Groups are randomly ordered, then cut so the *sample* fractions are
+    approximately honoured (greedy accumulation of group sizes).
+    """
+    rng = rng or np.random.default_rng(0)
+    groups = np.asarray(groups)
+    unique = np.unique(groups)
+    order = rng.permutation(unique)
+    sizes = {g: int((groups == g).sum()) for g in unique.tolist()}
+    n_total = groups.size
+    targets = {"train": spec.train * n_total, "val": spec.val * n_total}
+    assigned: Dict[str, list] = {"train": [], "val": [], "test": []}
+    acc = {"train": 0, "val": 0}
+    for g in order.tolist():
+        if acc["train"] + sizes[g] <= targets["train"] or not assigned["train"]:
+            bucket = "train"
+        elif (acc["val"] + sizes[g] <= targets["val"] or not assigned["val"]) and spec.val > 0:
+            bucket = "val"
+        else:
+            bucket = "test"
+        assigned[bucket].append(g)
+        if bucket in acc:
+            acc[bucket] += sizes[g]
+    out: Dict[str, np.ndarray] = {}
+    for name, members in assigned.items():
+        if members:
+            mask = np.isin(groups, np.asarray(members))
+            out[name] = np.flatnonzero(mask)
+        else:
+            out[name] = np.array([], dtype=np.int64)
+    return out
+
+
+def temporal_split(
+    timestamps: np.ndarray, spec: SplitSpec = SplitSpec()
+) -> Dict[str, np.ndarray]:
+    """Chronological split: earliest -> train, middle -> val, latest -> test."""
+    timestamps = np.asarray(timestamps)
+    order = np.argsort(timestamps, kind="stable")
+    n_train, n_val = _cut(timestamps.size, spec)
+    return _package(order, n_train, n_val)

@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# single-core CI box: keep property tests fast and deadline-free
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_dataset():
+    """A small typed dataset with features, a label, and metadata columns."""
+    from repro.core.dataset import (
+        Dataset,
+        DatasetMetadata,
+        FieldRole,
+        FieldSpec,
+        Schema,
+    )
+
+    generator = np.random.default_rng(7)
+    n = 50
+    schema = Schema(
+        [
+            FieldSpec("x1", np.dtype(np.float64), role=FieldRole.FEATURE),
+            FieldSpec("x2", np.dtype(np.float64), role=FieldRole.FEATURE),
+            FieldSpec("grid", np.dtype(np.float32), shape=(4, 4), role=FieldRole.FEATURE),
+            FieldSpec("label", np.dtype(np.int64), role=FieldRole.LABEL),
+            FieldSpec("sample_id", np.dtype(np.int64), role=FieldRole.IDENTIFIER),
+        ]
+    )
+    columns = {
+        "x1": generator.normal(size=n),
+        "x2": generator.normal(3.0, 2.0, size=n),
+        "grid": generator.normal(size=(n, 4, 4)).astype(np.float32),
+        "label": generator.integers(0, 3, size=n),
+        "sample_id": np.arange(n),
+    }
+    return Dataset(columns, schema, DatasetMetadata(name="unit-test"))

@@ -1,0 +1,77 @@
+"""Crosswalks to NOAA/METRIC maturity models."""
+
+import pytest
+
+from repro.core.assessment import ReadinessAssessor
+from repro.core.crosswalk import (
+    METRIC_CLUSTERS,
+    NOAA_CDR_LEVELS,
+    crosswalk_report,
+    to_metric_clusters,
+    to_noaa_maturity,
+)
+from repro.core.levels import DataReadinessLevel
+
+from tests.core.test_assessment import evidence_up_to
+
+
+class TestNOAA:
+    def test_monotone_mapping(self):
+        noaa_levels = [to_noaa_maturity(level).level for level in DataReadinessLevel]
+        assert noaa_levels == sorted(noaa_levels)
+
+    def test_extremes(self):
+        assert to_noaa_maturity(DataReadinessLevel.RAW).name == "conceptual"
+        assert to_noaa_maturity(DataReadinessLevel.AI_READY).name == "operational"
+
+    def test_never_claims_sustained(self):
+        """Conservative mapping: DRAI alone never certifies NOAA level 6."""
+        for level in DataReadinessLevel:
+            assert to_noaa_maturity(level).level < 6
+
+    def test_noaa_scale_well_formed(self):
+        assert [l.level for l in NOAA_CDR_LEVELS] == [1, 2, 3, 4, 5, 6]
+
+
+class TestMETRIC:
+    def test_cluster_coverage_monotone(self):
+        previous = -1
+        for level in DataReadinessLevel:
+            covered = sum(to_metric_clusters(level).values())
+            assert covered >= previous
+            previous = covered
+
+    def test_raw_addresses_nothing(self):
+        assert not any(to_metric_clusters(DataReadinessLevel.RAW).values())
+
+    def test_ai_ready_addresses_everything(self):
+        assert all(to_metric_clusters(DataReadinessLevel.AI_READY).values())
+
+    def test_deployment_readiness_needs_level_5(self):
+        clusters = to_metric_clusters(DataReadinessLevel.FEATURE_ENGINEERED)
+        assert not clusters["deployment-readiness"]
+        assert clusters["annotation-quality"]
+
+    def test_all_clusters_documented(self):
+        for cluster, (description, minimum) in METRIC_CLUSTERS.items():
+            assert description
+            assert isinstance(minimum, DataReadinessLevel)
+
+
+class TestReport:
+    def test_report_renders_from_real_assessment(self):
+        assessment = ReadinessAssessor().assess(
+            evidence_up_to(DataReadinessLevel.LABELED)
+        )
+        report = crosswalk_report(assessment)
+        assert "DRAI Data Readiness Level : 3" in report
+        assert "provisional" in report
+        assert "[x] measurement-process" in report
+        assert "[ ] deployment-readiness" in report
+
+    def test_level_5_report_notes_sustainment(self):
+        assessment = ReadinessAssessor().assess(
+            evidence_up_to(DataReadinessLevel.AI_READY)
+        )
+        report = crosswalk_report(assessment)
+        assert "NOAA level 6" in report

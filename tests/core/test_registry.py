@@ -1,0 +1,62 @@
+"""Archetype registry: Table 1 contents and queries."""
+
+import pytest
+
+from repro.core.registry import default_registry
+
+
+class TestDefaultRegistry:
+    def test_four_domains(self):
+        registry = default_registry()
+        assert registry.domains == ["climate", "fusion", "bio", "materials"]
+        assert len(registry) == 4
+
+    def test_table1_challenges_present(self):
+        registry = default_registry()
+        assert "redundant fields" in registry.get("climate").challenges
+        assert "limited labels" in registry.get("fusion").challenges
+        assert "PHI/PII compliance" in registry.get("bio").challenges
+        assert "class imbalance" in registry.get("materials").challenges
+
+    def test_architectures_match_table1(self):
+        registry = default_registry()
+        assert "Transformer" in registry.get("climate").architectures
+        assert "LSTM" in registry.get("fusion").architectures
+        assert registry.get("materials").architectures == ("GNN",)
+
+    def test_patterns_are_five_stage(self):
+        for entry in default_registry():
+            assert len(entry.pattern) == 5
+            assert entry.pattern[-1] == "shard"
+
+    def test_pattern_strings(self):
+        registry = default_registry()
+        assert registry.get("climate").pattern_string().startswith("download -> regrid")
+        assert registry.get("fusion").pattern_string().startswith("extract -> align")
+
+    def test_shared_challenges_cross_cutting(self):
+        """'limited labels' appears in fusion AND bio — Section 5's
+        fragmentation observation is derivable from the registry."""
+        shared = default_registry().shared_challenges()
+        assert "limited labels" in shared
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError, match="unknown domain"):
+            default_registry().get("astro")
+
+    def test_render_table_markdown(self):
+        table = default_registry().render_table()
+        lines = table.splitlines()
+        assert lines[0].startswith("| Domain |")
+        assert len(lines) == 2 + 4
+        assert "Climate" in table and "GNN" in table
+
+    def test_duplicate_domain_rejected(self):
+        from repro.core.registry import ArchetypeEntry, ArchetypeRegistry
+
+        entry = ArchetypeEntry(
+            domain="x", datasets=(), workflow_steps=(), architectures=(),
+            modality="", challenges=(), pattern=("a",) * 5,
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            ArchetypeRegistry([entry, entry])

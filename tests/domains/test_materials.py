@@ -1,0 +1,169 @@
+"""Materials archetype: structures, graphs, fidelity correction, imbalance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.domains.materials.graphs import (
+    DESCRIPTOR_NAMES,
+    build_graph,
+    graph_descriptor,
+)
+from repro.domains.materials.pipeline import FAMILY_TO_CLASS, MaterialsArchetype
+from repro.domains.materials.synthetic import (
+    CRYSTAL_FAMILIES,
+    MaterialsSourceConfig,
+    generate_structure,
+    synthesize_materials_archive,
+)
+from repro.io.adios import BPReader
+
+CONFIG = MaterialsSourceConfig(n_structures=100, seed=13)
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    arch = MaterialsArchetype(seed=13, config=CONFIG)
+    return arch.run(tmp_path_factory.mktemp("materials"))
+
+
+class TestSyntheticArchive:
+    def test_jsonl_records_well_formed(self, tmp_path):
+        manifest = synthesize_materials_archive(tmp_path, CONFIG)
+        with open(manifest["calculations"]) as fh:
+            records = [json.loads(line) for line in fh]
+        assert len(records) == CONFIG.n_structures
+        record = records[0]
+        assert set(record) >= {"id", "lattice", "species", "positions",
+                               "energy_ev", "forces", "fidelity"}
+
+    def test_family_distribution_imbalanced(self, rng):
+        config = MaterialsSourceConfig(n_structures=400, seed=0)
+        families = [
+            generate_structure(i, config, rng)["crystal_family"]
+            for i in range(400)
+        ]
+        counts = {f: families.count(f) for f in set(families)}
+        assert counts.get("cubic", 0) > counts.get("triclinic", 1) * 5
+
+    def test_atoms_not_overlapping(self, rng):
+        record = generate_structure(0, CONFIG, rng)
+        lattice = np.asarray(record["lattice"])
+        positions = np.asarray(record["positions"])
+        n = positions.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                frac = positions[i] - positions[j]
+                frac -= np.round(frac)
+                assert np.linalg.norm(frac @ lattice) > 1.0
+
+    def test_energies_physical_scale(self, rng):
+        energies = [
+            generate_structure(i, CONFIG, rng)["energy_ev"] for i in range(30)
+        ]
+        assert np.abs(energies).max() < 500  # no astronomic repulsion
+
+    def test_experimental_offset_planted(self, rng):
+        config = MaterialsSourceConfig(
+            n_structures=1, experimental_fraction=1.0, experimental_offset=5.0, seed=0
+        )
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        experimental = generate_structure(0, config, rng_a)
+        dft_config = MaterialsSourceConfig(
+            n_structures=1, experimental_fraction=0.0, seed=0
+        )
+        dft = generate_structure(0, dft_config, rng_b)
+        assert experimental["energy_ev"] > dft["energy_ev"] + 3.0
+
+
+class TestGraphs:
+    def test_build_graph_has_bonds(self, rng):
+        record = generate_structure(0, CONFIG, rng)
+        sg = build_graph(record["id"], record["lattice"], record["species"],
+                         record["positions"])
+        assert sg.n_atoms == len(record["species"])
+        assert sg.n_bonds >= 0
+
+    def test_descriptor_fixed_size(self, rng):
+        record = generate_structure(1, CONFIG, rng)
+        sg = build_graph(record["id"], record["lattice"], record["species"],
+                         record["positions"])
+        descriptor = graph_descriptor(sg)
+        assert descriptor.shape == (len(DESCRIPTOR_NAMES),)
+        assert np.all(np.isfinite(descriptor))
+
+    def test_composition_fractions_sum_to_one(self, rng):
+        record = generate_structure(2, CONFIG, rng)
+        sg = build_graph(record["id"], record["lattice"], record["species"],
+                         record["positions"])
+        descriptor = graph_descriptor(sg)
+        composition = descriptor[9:]
+        assert composition.sum() == pytest.approx(1.0)
+
+    def test_cutoff_scale_controls_connectivity(self, rng):
+        record = generate_structure(3, CONFIG, rng)
+        tight = build_graph(record["id"], record["lattice"], record["species"],
+                            record["positions"], cutoff_scale=1.0)
+        loose = build_graph(record["id"], record["lattice"], record["species"],
+                            record["positions"], cutoff_scale=2.0)
+        assert loose.n_bonds >= tight.n_bonds
+
+
+class TestPipeline:
+    def test_reaches_level_5(self, result):
+        assert result.readiness_level == 5, result.assessment.gap_report()
+
+    def test_fidelity_offset_recovered(self, result):
+        """The regression recovers the planted +0.8 eV offset."""
+        offset = result.run.context.artifacts["fidelity_offset_ev"]
+        assert offset == pytest.approx(CONFIG.experimental_offset, abs=0.4)
+
+    def test_imbalance_reduced(self, result):
+        before = result.run.context.artifacts["imbalance_before"]
+        after = result.run.context.artifacts["imbalance_after"]
+        assert before > after
+        assert after <= 4.5
+
+    def test_synthetic_samples_flagged(self, result):
+        ds = result.dataset
+        synthetic = ds["is_synthetic"]
+        assert synthetic.sum() > 0
+        originals = ds.take(synthetic == 0)
+        assert originals.n_samples == CONFIG.n_structures
+
+    def test_descriptor_standardized(self, result):
+        originals = result.dataset.take(result.dataset["is_synthetic"] == 0)
+        descriptors = originals["descriptor"].astype(np.float64)
+        assert np.abs(descriptors.mean(axis=0)).max() < 0.5
+
+    def test_adios_export_one_step_per_structure(self, result):
+        bp_path = result.run.context.artifacts["bp_path"]
+        with BPReader(bp_path) as reader:
+            assert reader.n_steps == CONFIG.n_structures
+            assert "edges" in reader.variables(0)
+            lattice = reader.read(0, "lattice")
+            assert lattice.shape == (3, 3)
+
+    def test_energy_target_learnable(self, result):
+        """Descriptors carry real signal for the energy target: a linear
+        fit beats the mean predictor."""
+        originals = result.dataset.take(result.dataset["is_synthetic"] == 0)
+        features = originals["descriptor"].astype(np.float64)
+        target = originals["energy_per_atom"]
+        design = np.column_stack([features, np.ones(len(target))])
+        coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
+        residual = target - design @ coefficients
+        assert residual.var() < target.var() * 0.8
+
+    def test_challenges_detected(self, result):
+        text = " ".join(result.detected_challenges)
+        assert "class imbalance" in text
+        assert "fidelity mismatch" in text
+        assert "graph complexity" in text
+
+    def test_stratified_split_covers_rare_classes(self, result):
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.split_samples("train") > manifest.split_samples("test")

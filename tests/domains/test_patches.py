@@ -1,0 +1,118 @@
+"""Spatiotemporal patching (the Pangu-Weather structuring step)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.domains.climate.patches import (
+    PatchError,
+    PatchSpec,
+    extract_patches,
+    reassemble_patches,
+)
+
+
+class TestSpec:
+    def test_strides_default_to_patch_size(self):
+        spec = PatchSpec(t=2, h=4, w=8)
+        assert (spec.stride_t, spec.stride_h, spec.stride_w) == (2, 4, 8)
+
+    def test_counts(self):
+        spec = PatchSpec(t=2, h=4, w=8)
+        assert spec.counts((6, 16, 32)) == (3, 4, 4)
+
+    def test_non_tiling_spatial_shape_rejected(self):
+        spec = PatchSpec(t=1, h=5, w=5)
+        with pytest.raises(PatchError, match="tile"):
+            spec.counts((4, 16, 32))
+
+    def test_too_few_timesteps_rejected(self):
+        with pytest.raises(PatchError, match="timesteps"):
+            PatchSpec(t=8, h=4, w=4).counts((4, 8, 8))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(PatchError):
+            PatchSpec(t=0, h=4, w=4)
+
+
+class TestExtract:
+    def test_shapes_and_positions(self, rng):
+        field = rng.normal(size=(6, 16, 32))
+        spec = PatchSpec(t=2, h=4, w=8)
+        patches, positions = extract_patches(field, spec)
+        assert patches.shape == (3 * 4 * 4, 2, 4, 8)
+        assert positions.shape == (48, 3)
+        assert positions.min() == 0
+        assert tuple(positions.max(axis=0)) == (4, 12, 24)
+
+    def test_patch_content_matches_field(self, rng):
+        field = rng.normal(size=(4, 8, 8))
+        spec = PatchSpec(t=2, h=4, w=4)
+        patches, positions = extract_patches(field, spec)
+        for patch, (t, h, w) in zip(patches, positions):
+            assert np.array_equal(patch, field[t : t + 2, h : h + 4, w : w + 4])
+
+    def test_temporal_overlap(self, rng):
+        field = rng.normal(size=(5, 4, 4))
+        spec = PatchSpec(t=2, h=4, w=4, stride_t=1)
+        patches, positions = extract_patches(field, spec)
+        assert patches.shape[0] == 4  # t origins 0..3
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(PatchError, match="T, H, W"):
+            extract_patches(rng.normal(size=(4, 4)), PatchSpec(1, 2, 2))
+
+
+class TestReassemble:
+    def test_exact_inverse_when_non_overlapping(self, rng):
+        field = rng.normal(size=(6, 12, 24))
+        spec = PatchSpec(t=3, h=4, w=8)
+        patches, positions = extract_patches(field, spec)
+        restored = reassemble_patches(patches, positions, field.shape)
+        assert np.allclose(restored, field)
+
+    def test_overlap_averages(self, rng):
+        field = rng.normal(size=(4, 4, 4))
+        spec = PatchSpec(t=2, h=4, w=4, stride_t=1)
+        patches, positions = extract_patches(field, spec)
+        restored = reassemble_patches(patches, positions, field.shape)
+        assert np.allclose(restored, field)  # averaging identical copies
+
+    @given(
+        st.integers(1, 3), st.integers(1, 3), st.integers(1, 3),
+        st.integers(1, 3), st.integers(1, 4), st.integers(1, 4),
+    )
+    def test_property_round_trip(self, t, nh, nw, n_t_patches, h, w):
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=(t * n_t_patches, h * nh, w * nw))
+        spec = PatchSpec(t=t, h=h, w=w)
+        patches, positions = extract_patches(field, spec)
+        restored = reassemble_patches(patches, positions, field.shape)
+        assert np.allclose(restored, field)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(PatchError):
+            reassemble_patches(rng.normal(size=(2, 2, 2)), np.zeros((2, 3)), (4, 4, 4))
+        with pytest.raises(PatchError):
+            reassemble_patches(
+                rng.normal(size=(2, 1, 2, 2)), np.zeros((3, 3), dtype=int), (4, 4, 4)
+            )
+
+
+class TestPipelineIntegration:
+    def test_patches_of_real_climate_fields(self):
+        """The Pangu pattern on the synthetic archive: regrid -> patch."""
+        from repro.domains.climate.synthetic import (
+            ClimateSourceConfig,
+            generate_model_dataset,
+        )
+        from repro.transforms.regrid import RegularGrid, regrid
+
+        nc = generate_model_dataset(0, ClimateSourceConfig(n_timesteps=12, seed=2))
+        source = RegularGrid(lat=nc["lat"].data, lon=nc["lon"].data)
+        target = RegularGrid.global_grid(16, 32)
+        tas = regrid(nc["tas"].data, source, target, "bilinear")
+        patches, positions = extract_patches(tas, PatchSpec(t=4, h=8, w=8))
+        assert patches.shape == (3 * 2 * 4, 4, 8, 8)
+        restored = reassemble_patches(patches, positions, tas.shape)
+        assert np.allclose(restored, tas)

@@ -1,0 +1,157 @@
+"""Secure enclave: sealing, gated access, audit, declassification."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset, FieldSpec, Schema
+from repro.governance.enclave import (
+    AccessDenied,
+    EnclaveError,
+    SecureEnclave,
+)
+from repro.governance.policy import open_release_policy
+
+
+@pytest.fixture
+def sensitive_dataset(rng):
+    n = 150
+    return Dataset(
+        {
+            "patient_name": np.asarray([f"Person {i}" for i in range(n)], dtype="U16"),
+            "value": rng.normal(size=n),
+        },
+        Schema([
+            FieldSpec("patient_name", np.dtype("U16"), sensitive=True),
+            FieldSpec("value", np.dtype(np.float64)),
+        ]),
+    )
+
+
+@pytest.fixture
+def enclave(sensitive_dataset):
+    enclave = SecureEnclave(key=b"0" * 32)
+    enclave.ingest("clinical", sensitive_dataset)
+    enclave.authorize("alice")
+    return enclave
+
+
+class TestSealing:
+    def test_round_trip_through_session(self, enclave, sensitive_dataset):
+        with enclave.session("alice") as session:
+            back = session.read("clinical")
+        assert np.array_equal(back["value"], sensitive_dataset["value"])
+        assert np.array_equal(back["patient_name"], sensitive_dataset["patient_name"])
+
+    def test_at_rest_bytes_do_not_leak_plaintext(self, enclave):
+        blob = enclave.raw_blob("clinical", "patient_name")
+        assert b"Person" not in blob
+
+    def test_ciphertext_integrity_protected(self, enclave):
+        blob = bytearray(enclave.raw_blob("clinical", "value"))
+        blob[20] ^= 0xFF
+        enclave._store["clinical"].column_blobs["value"] = bytes(blob)
+        with enclave.session("alice") as session:
+            with pytest.raises(EnclaveError, match="integrity"):
+                session.read("clinical")
+
+    def test_duplicate_ingest_rejected(self, enclave, sensitive_dataset):
+        with pytest.raises(EnclaveError, match="already sealed"):
+            enclave.ingest("clinical", sensitive_dataset)
+
+    def test_holdings(self, enclave):
+        assert enclave.holdings() == ["clinical"]
+
+
+class TestAccessControl:
+    def test_unauthorized_session_denied(self, enclave):
+        with pytest.raises(AccessDenied):
+            enclave.session("mallory")
+
+    def test_denial_is_audited(self, enclave):
+        with pytest.raises(AccessDenied):
+            enclave.session("mallory")
+        denied = [e for e in enclave.audit if e.action == "session-denied"]
+        assert denied and denied[0].actor == "mallory"
+
+    def test_revocation(self, enclave):
+        enclave.revoke("alice")
+        with pytest.raises(AccessDenied):
+            enclave.session("alice")
+
+    def test_closed_session_unusable(self, enclave):
+        session = enclave.session("alice")
+        session.close()
+        with pytest.raises(EnclaveError, match="closed"):
+            session.read("clinical")
+
+    def test_reads_are_audited(self, enclave):
+        with enclave.session("alice") as session:
+            session.read("clinical")
+        reads = [e for e in enclave.audit if e.action == "read"]
+        assert len(reads) == 1 and reads[0].subject == "clinical"
+        enclave.audit.verify()
+
+    def test_missing_dataset(self, enclave):
+        with enclave.session("alice") as session:
+            with pytest.raises(EnclaveError, match="no sealed dataset"):
+                session.read("nope")
+
+
+class TestDeclassification:
+    def test_blocked_without_anonymization(self, enclave):
+        released, report = enclave.declassify(
+            "clinical", "alice", open_release_policy(min_samples=10)
+        )
+        assert released is None
+        assert not report.compliant
+        blocked = [e for e in enclave.audit if e.action == "declassify-blocked"]
+        assert len(blocked) == 1
+
+    def test_approved_with_anonymizing_transform(self, enclave):
+        def strip(dataset):
+            return dataset.drop_columns("patient_name")
+
+        released, report = enclave.declassify(
+            "clinical", "alice", open_release_policy(min_samples=10), transform=strip
+        )
+        assert report.compliant
+        assert released is not None and "patient_name" not in released
+        approved = [e for e in enclave.audit if e.action == "declassify-approved"]
+        assert len(approved) == 1
+
+    def test_declassify_requires_authorization(self, enclave):
+        with pytest.raises(AccessDenied):
+            enclave.declassify("clinical", "mallory", open_release_policy())
+
+
+class TestSealProperties:
+    """Property tests on the seal/unseal primitive itself."""
+
+    def test_round_trip_property(self):
+        from hypothesis import given, strategies as st
+        from repro.governance.enclave import _seal, _unseal
+
+        @given(st.binary(max_size=4096), st.binary(min_size=16, max_size=32))
+        def check(plaintext, key):
+            assert _unseal(key, _seal(key, plaintext)) == plaintext
+
+        check()
+
+    def test_same_plaintext_different_ciphertexts(self):
+        from repro.governance.enclave import _seal
+
+        key = b"k" * 32
+        assert _seal(key, b"hello") != _seal(key, b"hello")  # fresh nonces
+
+    def test_wrong_key_rejected(self):
+        from repro.governance.enclave import EnclaveError, _seal, _unseal
+
+        blob = _seal(b"a" * 32, b"payload")
+        with pytest.raises(EnclaveError, match="integrity"):
+            _unseal(b"b" * 32, blob)
+
+    def test_truncated_blob_rejected(self):
+        from repro.governance.enclave import EnclaveError, _unseal
+
+        with pytest.raises(EnclaveError, match="too short"):
+            _unseal(b"k" * 32, b"short")

@@ -1,0 +1,104 @@
+"""Policy engine: rule evaluation and the preset policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset, FieldSpec, Schema
+from repro.governance.policy import (
+    ComplianceReport,
+    PolicyEngine,
+    PolicyRule,
+    hipaa_deidentified_policy,
+    open_release_policy,
+)
+
+
+@pytest.fixture
+def identified(rng):
+    n = 30
+    return Dataset(
+        {
+            "ssn": np.asarray([f"{100+i:03d}-22-3333" for i in range(n)], dtype="U11"),
+            "age": rng.integers(20, 80, n).astype(np.float64),
+            "sex": rng.choice(["F", "M"], n).astype("U1"),
+            "value": rng.normal(size=n),
+        },
+        Schema([
+            FieldSpec("ssn", np.dtype("U11"), sensitive=True),
+            FieldSpec("age", np.dtype(np.float64)),
+            FieldSpec("sex", np.dtype("U1")),
+            FieldSpec("value", np.dtype(np.float64)),
+        ]),
+    )
+
+
+@pytest.fixture
+def deidentified(rng):
+    n = 200
+    return Dataset.from_arrays({
+        "age_band": (rng.integers(2, 8, n) * 10).astype(np.float64),
+        "value": rng.normal(size=n),
+    })
+
+
+class TestHipaaPolicy:
+    def test_blocks_identified_data(self, identified):
+        report = hipaa_deidentified_policy().evaluate(identified)
+        assert not report.compliant
+        assert any("no-direct-identifiers" == v.rule for v in report.blocking)
+        assert any("no-declared-sensitive" in v.rule for v in report.blocking)
+
+    def test_passes_deidentified_data(self, deidentified):
+        report = hipaa_deidentified_policy(["age_band"], k=3).evaluate(deidentified)
+        assert report.compliant, [str(v) for v in report.violations]
+
+    def test_k_anonymity_rule(self, rng):
+        # a unique quasi-identifier combination violates k
+        ds = Dataset.from_arrays({
+            "age_band": np.asarray([30.0] * 10 + [90.0]),  # lone 90
+        })
+        report = hipaa_deidentified_policy(["age_band"], k=2).evaluate(ds)
+        assert not report.compliant
+        assert any(v.rule == "k-anonymity" for v in report.blocking)
+
+    def test_missing_quasi_identifier_columns_ignored(self, deidentified):
+        report = hipaa_deidentified_policy(["zip3"], k=5).evaluate(deidentified)
+        assert report.compliant
+
+
+class TestOpenReleasePolicy:
+    def test_blocks_any_sensitive_content(self, identified):
+        assert not open_release_policy().evaluate(identified).compliant
+
+    def test_small_dataset_warns_but_complies(self, rng):
+        ds = Dataset.from_arrays({"v": rng.normal(size=5)})
+        report = open_release_policy(min_samples=100).evaluate(ds)
+        assert report.compliant
+        assert len(report.warnings) == 1
+
+    def test_summary_strings(self, identified, deidentified):
+        blocked = open_release_policy().evaluate(identified)
+        assert "BLOCKED" in blocked.summary()
+        ok = open_release_policy(min_samples=10).evaluate(deidentified)
+        assert "COMPLIANT" in ok.summary()
+
+
+class TestCustomRules:
+    def test_custom_engine(self, deidentified):
+        rule = PolicyRule(
+            name="max-rows",
+            severity="block",
+            check=lambda ds, findings: (
+                None if ds.n_samples <= 100 else f"{ds.n_samples} rows > 100"
+            ),
+        )
+        engine = PolicyEngine("custom", [rule])
+        report = engine.evaluate(deidentified)  # 200 rows
+        assert not report.compliant
+        assert "200 rows" in report.blocking[0].message
+
+    def test_violation_str(self):
+        from repro.governance.policy import PolicyViolation
+
+        v = PolicyViolation(rule="r", severity="warn", message="m")
+        assert str(v) == "[warn] r: m"

@@ -1,0 +1,145 @@
+"""Step-based container: step semantics, trailer sealing, variable queries."""
+
+import numpy as np
+import pytest
+
+from repro.io.adios import BPError, BPReader, BPWriter
+
+
+@pytest.fixture
+def stepped_file(tmp_path, rng):
+    path = tmp_path / "steps.bp"
+    steps = []
+    with BPWriter(path) as writer:
+        for i in range(4):
+            writer.begin_step()
+            values = rng.normal(size=(i + 1, 3))
+            writer.write("positions", values)
+            writer.write("energy", np.asarray(float(i)))
+            if i % 2 == 0:
+                writer.write("forces", values * 2)
+            writer.end_step()
+            steps.append(values)
+    return path, steps
+
+
+class TestStepSemantics:
+    def test_n_steps(self, stepped_file):
+        path, steps = stepped_file
+        with BPReader(path) as reader:
+            assert reader.n_steps == len(steps)
+
+    def test_read_by_step_and_name(self, stepped_file):
+        path, steps = stepped_file
+        with BPReader(path) as reader:
+            for i, expected in enumerate(steps):
+                assert np.array_equal(reader.read(i, "positions"), expected)
+
+    def test_variables_per_step(self, stepped_file):
+        path, _ = stepped_file
+        with BPReader(path) as reader:
+            assert reader.variables(0) == ["energy", "forces", "positions"]
+            assert reader.variables(1) == ["energy", "positions"]
+
+    def test_all_variables_union(self, stepped_file):
+        path, _ = stepped_file
+        with BPReader(path) as reader:
+            assert reader.all_variables() == ["energy", "forces", "positions"]
+
+    def test_read_all_skips_absent_steps(self, stepped_file):
+        path, _ = stepped_file
+        with BPReader(path) as reader:
+            forces = reader.read_all("forces")
+            assert len(forces) == 2  # only even steps wrote it
+
+    def test_shape_query(self, stepped_file):
+        path, _ = stepped_file
+        with BPReader(path) as reader:
+            assert reader.shape(2, "positions") == (3, 3)
+
+    def test_ragged_steps_supported(self, stepped_file):
+        """Per-step shapes differ — the HydraGNN graph-per-step pattern."""
+        path, _ = stepped_file
+        with BPReader(path) as reader:
+            shapes = [reader.shape(i, "positions") for i in range(reader.n_steps)]
+        assert shapes == [(1, 3), (2, 3), (3, 3), (4, 3)]
+
+
+class TestProtocolErrors:
+    def test_write_outside_step(self, tmp_path):
+        with BPWriter(tmp_path / "x.bp") as writer:
+            with pytest.raises(BPError, match="outside"):
+                writer.write("v", np.zeros(3))
+            writer.begin_step()
+            writer.end_step()
+
+    def test_double_begin_step(self, tmp_path):
+        writer = BPWriter(tmp_path / "x.bp")
+        writer.begin_step()
+        with pytest.raises(BPError, match="not ended"):
+            writer.begin_step()
+        writer.end_step()
+        writer.close()
+
+    def test_duplicate_variable_in_step(self, tmp_path):
+        writer = BPWriter(tmp_path / "x.bp")
+        writer.begin_step()
+        writer.write("v", np.zeros(2))
+        with pytest.raises(BPError, match="already written"):
+            writer.write("v", np.zeros(2))
+        writer.end_step()
+        writer.close()
+
+    def test_close_with_open_step_raises(self, tmp_path):
+        writer = BPWriter(tmp_path / "x.bp")
+        writer.begin_step()
+        with pytest.raises(BPError, match="open step"):
+            writer.close()
+        writer.end_step()
+        writer.close()
+
+    def test_step_out_of_range(self, stepped_file):
+        path, _ = stepped_file
+        with BPReader(path) as reader:
+            with pytest.raises(BPError, match="out of range"):
+                reader.read(99, "positions")
+
+    def test_missing_variable(self, stepped_file):
+        path, _ = stepped_file
+        with BPReader(path) as reader:
+            with pytest.raises(BPError, match="no variable"):
+                reader.read(1, "forces")
+
+    def test_unsealed_file_rejected(self, tmp_path):
+        path = tmp_path / "crash.bp"
+        writer = BPWriter(path)
+        writer.begin_step()
+        writer.write("v", np.zeros(4))
+        writer.end_step()
+        writer._fh.flush()
+        # simulate a crash before close(): no trailer written
+        import shutil
+        shutil.copy(path, tmp_path / "crash-copy.bp")
+        with pytest.raises(BPError, match="trailer"):
+            BPReader(tmp_path / "crash-copy.bp")
+        writer.close()
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bp"
+        path.write_bytes(b"nope" + b"\x00" * 40)
+        with pytest.raises(BPError, match="magic"):
+            BPReader(path)
+
+    def test_abandoned_step_on_exception_still_seals(self, tmp_path):
+        path = tmp_path / "partial.bp"
+        try:
+            with BPWriter(path) as writer:
+                writer.begin_step()
+                writer.write("v", np.zeros(2))
+                writer.end_step()
+                writer.begin_step()
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with BPReader(path) as reader:
+            assert reader.n_steps == 1  # committed step survives

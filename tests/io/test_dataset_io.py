@@ -1,0 +1,115 @@
+"""Cross-format dataset export/import round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset, DatasetMetadata, FieldRole, FieldSpec, Schema
+from repro.io.dataset_io import (
+    FORMATS,
+    DatasetIOError,
+    export_dataset,
+    import_dataset,
+)
+
+
+@pytest.fixture
+def mixed_dataset(rng):
+    n = 25
+    return Dataset(
+        {
+            "tensor": rng.normal(size=(n, 3, 2)).astype(np.float32),
+            "scalar": rng.normal(size=n),
+            "count": rng.integers(0, 100, n),
+            "tag": np.asarray([f"tag{i % 4}" for i in range(n)], dtype="U6"),
+        },
+        Schema([
+            FieldSpec("tensor", np.dtype(np.float32), shape=(3, 2)),
+            FieldSpec("scalar", np.dtype(np.float64), units="K"),
+            FieldSpec("count", np.dtype(np.int64), role=FieldRole.LABEL),
+            FieldSpec("tag", np.dtype("U6"), role=FieldRole.METADATA),
+        ]),
+        DatasetMetadata(name="mixed", domain="unit-test", version="3"),
+    )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("format", FORMATS)
+    def test_full_round_trip(self, mixed_dataset, tmp_path, format):
+        path = export_dataset(mixed_dataset, tmp_path / f"d.{format}", format)
+        back = import_dataset(path, format)
+        assert back.schema == mixed_dataset.schema
+        assert back.metadata.name == "mixed"
+        assert back.metadata.version == "3"
+        for name in mixed_dataset.schema.names:
+            original = mixed_dataset[name]
+            restored = back[name]
+            if np.issubdtype(original.dtype, np.floating):
+                assert np.allclose(restored, original), (format, name)
+            else:
+                assert np.array_equal(restored, original), (format, name)
+
+    @pytest.mark.parametrize("format", ["h5lite", "adios"])
+    def test_compressed_round_trip(self, mixed_dataset, tmp_path, format):
+        path = export_dataset(
+            mixed_dataset, tmp_path / "c.bin", format,
+            codec_name="zlib", codec_level=4,
+        )
+        back = import_dataset(path, format)
+        assert np.allclose(back["tensor"], mixed_dataset["tensor"])
+
+    def test_adios_step_size(self, mixed_dataset, tmp_path):
+        from repro.io.adios import BPReader
+
+        path = export_dataset(mixed_dataset, tmp_path / "s.bp", "adios", step_size=7)
+        with BPReader(path) as reader:
+            # 1 meta step + ceil(25/7)=4 data steps
+            assert reader.n_steps == 5
+        back = import_dataset(path, "adios")
+        assert back.n_samples == 25
+
+    def test_empty_dataset_round_trip(self, tmp_path):
+        empty = Dataset(
+            {"x": np.empty((0, 2), dtype=np.float64)},
+            Schema([FieldSpec("x", np.dtype(np.float64), shape=(2,))]),
+        )
+        for format in ("h5lite", "adios"):
+            path = export_dataset(empty, tmp_path / f"e.{format}", format)
+            back = import_dataset(path, format)
+            assert back.n_samples == 0
+            assert back.schema == empty.schema
+
+
+class TestErrors:
+    def test_unknown_format(self, mixed_dataset, tmp_path):
+        with pytest.raises(DatasetIOError, match="unknown format"):
+            export_dataset(mixed_dataset, tmp_path / "x", "parquet")
+        with pytest.raises(DatasetIOError, match="unknown format"):
+            import_dataset(tmp_path / "x", "parquet")
+
+    def test_foreign_h5lite_rejected(self, tmp_path, rng):
+        from repro.io.h5lite import H5LiteFile
+
+        path = tmp_path / "foreign.h5l"
+        with H5LiteFile(path, "w") as fh:
+            fh.create_dataset("/data", rng.normal(size=4))
+        with pytest.raises(DatasetIOError, match="not written by"):
+            import_dataset(path, "h5lite")
+
+    def test_foreign_tfrecord_rejected(self, tmp_path):
+        from repro.io.tfrecord import TFRecordWriter
+
+        path = tmp_path / "foreign.tfrecord"
+        with TFRecordWriter(path) as writer:
+            writer.write(b"\x00\x01\x02 not json")
+        with pytest.raises(DatasetIOError, match="not written by"):
+            import_dataset(path, "tfrecord")
+
+    def test_empty_tfrecord_rejected(self, tmp_path):
+        path = tmp_path / "empty.tfrecord"
+        path.write_bytes(b"")
+        with pytest.raises(DatasetIOError, match="empty"):
+            import_dataset(path, "tfrecord")
+
+    def test_bad_step_size(self, mixed_dataset, tmp_path):
+        with pytest.raises(DatasetIOError, match="step_size"):
+            export_dataset(mixed_dataset, tmp_path / "x.bp", "adios", step_size=0)

@@ -1,0 +1,95 @@
+"""NetCDF-like model consistency and file round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.io.netcdf import NCDataset, NetCDFError, read_netcdf, write_netcdf
+
+
+@pytest.fixture
+def gridded(rng):
+    nc = NCDataset(attrs={"title": "test archive", "institution": "unit-test"})
+    nc.create_dimension("time", 6)
+    nc.create_dimension("lat", 4)
+    nc.create_dimension("lon", 8)
+    nc.create_variable("time", ["time"], np.arange(6.0), {"units": "months"})
+    nc.create_variable("lat", ["lat"], np.linspace(-60, 60, 4), {"units": "degrees_north"})
+    nc.create_variable("lon", ["lon"], np.linspace(0, 315, 8), {"units": "degrees_east"})
+    nc.create_variable(
+        "tas", ["time", "lat", "lon"], rng.normal(280, 10, size=(6, 4, 8)), {"units": "K"}
+    )
+    return nc
+
+
+class TestModel:
+    def test_dimension_consistency_enforced(self, gridded, rng):
+        with pytest.raises(NetCDFError, match="dimension"):
+            gridded.create_variable("bad", ["time", "lat", "lon"], rng.normal(size=(6, 4, 9)))
+
+    def test_undeclared_dimension_rejected(self, gridded, rng):
+        with pytest.raises(NetCDFError, match="undeclared"):
+            gridded.create_variable("bad", ["depth"], rng.normal(size=5))
+
+    def test_duplicate_variable_rejected(self, gridded, rng):
+        with pytest.raises(NetCDFError, match="already exists"):
+            gridded.create_variable("tas", ["time", "lat", "lon"], rng.normal(size=(6, 4, 8)))
+
+    def test_redefining_dimension_size_rejected(self, gridded):
+        with pytest.raises(NetCDFError, match="redefined"):
+            gridded.create_dimension("lat", 99)
+
+    def test_rank_mismatch_rejected(self, gridded, rng):
+        with pytest.raises(NetCDFError, match="dims"):
+            gridded.create_variable("bad", ["time"], rng.normal(size=(6, 4)))
+
+    def test_coordinate_vs_data_variables(self, gridded):
+        assert gridded.coordinate_variables() == ["lat", "lon", "time"]
+        assert gridded.data_variables() == ["tas"]
+
+    def test_units_accessor(self, gridded):
+        assert gridded["tas"].units == "K"
+
+    def test_missing_variable_raises(self, gridded):
+        with pytest.raises(NetCDFError, match="no variable"):
+            gridded["nope"]
+
+
+class TestFileRoundTrip:
+    def test_full_round_trip(self, gridded, tmp_path):
+        path = write_netcdf(gridded, tmp_path / "a.ncl")
+        back = read_netcdf(path)
+        assert back.dimensions == gridded.dimensions
+        assert back.attrs["title"] == "test archive"
+        for name, var in gridded.variables.items():
+            assert np.array_equal(back[name].data, var.data), name
+            assert back[name].dims == var.dims
+            assert back[name].attrs == var.attrs
+
+    def test_compressed_round_trip(self, gridded, tmp_path):
+        from repro.io.compression import ZlibCodec
+
+        path = write_netcdf(gridded, tmp_path / "c.ncl", codec=ZlibCodec(5))
+        back = read_netcdf(path)
+        assert np.array_equal(back["tas"].data, gridded["tas"].data)
+
+    def test_compression_shrinks_smooth_fields(self, tmp_path):
+        from repro.io.compression import ZlibCodec
+
+        nc = NCDataset()
+        nc.create_dimension("x", 10000)
+        nc.create_variable("v", ["x"], np.zeros(10000))
+        raw_path = write_netcdf(nc, tmp_path / "raw.ncl")
+        z_path = write_netcdf(nc, tmp_path / "z.ncl", codec=ZlibCodec(5))
+        assert z_path.stat().st_size < raw_path.stat().st_size / 10
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.ncl"
+        path.write_bytes(b"JUNKJUNKJUNK")
+        with pytest.raises(NetCDFError, match="magic"):
+            read_netcdf(path)
+
+    def test_empty_dataset_round_trip(self, tmp_path):
+        nc = NCDataset(attrs={"note": "empty"})
+        back = read_netcdf(write_netcdf(nc, tmp_path / "e.ncl"))
+        assert back.attrs["note"] == "empty"
+        assert back.variables == {}

@@ -1,0 +1,117 @@
+"""Streaming batch ingestion over shard sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.io.shards import ShardSet, write_shard_set
+from repro.io.stream import ShardStreamer, StreamError
+
+
+@pytest.fixture(scope="module")
+def shard_set(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("stream")
+    dataset = Dataset.from_arrays({
+        "v": np.arange(500, dtype=np.float64),
+        "label": np.arange(500) % 3,
+    })
+    write_shard_set(dataset, directory, shards_per_split=6)
+    return ShardSet(directory)
+
+
+class TestCoverage:
+    def test_sequential_covers_everything_in_order(self, shard_set):
+        streamer = ShardStreamer(shard_set, "all", batch_size=37)
+        values = np.concatenate([b["v"] for b in streamer])
+        assert np.array_equal(values, np.arange(500))
+
+    def test_shuffled_covers_everything_once(self, shard_set):
+        streamer = ShardStreamer(
+            shard_set, "all", batch_size=32, shuffle=True, shuffle_buffer=100
+        )
+        values = np.concatenate([b["v"] for b in streamer])
+        assert sorted(values.tolist()) == list(range(500))
+        assert not np.array_equal(values, np.arange(500))  # actually shuffled
+
+    def test_rank_partition_disjoint_and_complete(self, shard_set):
+        seen = []
+        for rank in range(3):
+            streamer = ShardStreamer(shard_set, "all", batch_size=64,
+                                     rank=rank, world=3)
+            seen.extend(np.concatenate([b["v"] for b in streamer]).tolist())
+        assert sorted(seen) == list(range(500))
+
+    def test_batch_sizes(self, shard_set):
+        streamer = ShardStreamer(shard_set, "all", batch_size=64)
+        sizes = [b["v"].size for b in streamer]
+        assert all(s == 64 for s in sizes[:-1])
+        assert sum(sizes) == 500
+
+    def test_drop_last(self, shard_set):
+        streamer = ShardStreamer(shard_set, "all", batch_size=64, drop_last=True)
+        sizes = [b["v"].size for b in streamer]
+        assert all(s == 64 for s in sizes)
+        assert sum(sizes) == (500 // 64) * 64
+
+    def test_column_projection(self, shard_set):
+        streamer = ShardStreamer(shard_set, "all", batch_size=100, columns=["label"])
+        batch = next(iter(streamer))
+        assert set(batch) == {"label"}
+
+
+class TestDeterminism:
+    def test_same_epoch_same_order(self, shard_set):
+        a = ShardStreamer(shard_set, "all", batch_size=50, shuffle=True, seed=3)
+        b = ShardStreamer(shard_set, "all", batch_size=50, shuffle=True, seed=3)
+        for batch_a, batch_b in zip(a, b):
+            assert np.array_equal(batch_a["v"], batch_b["v"])
+
+    def test_epochs_differ(self, shard_set):
+        streamer = ShardStreamer(shard_set, "all", batch_size=50, shuffle=True, seed=3)
+        epoch0 = np.concatenate([b["v"] for b in streamer])
+        epoch1 = np.concatenate([b["v"] for b in streamer])  # auto-incremented
+        assert not np.array_equal(epoch0, epoch1)
+        assert sorted(epoch0.tolist()) == sorted(epoch1.tolist())
+
+    def test_set_epoch_replays(self, shard_set):
+        streamer = ShardStreamer(shard_set, "all", batch_size=50, shuffle=True, seed=9)
+        first = np.concatenate([b["v"] for b in streamer])
+        streamer.set_epoch(0)
+        replay = np.concatenate([b["v"] for b in streamer])
+        assert np.array_equal(first, replay)
+
+    def test_seeds_differ(self, shard_set):
+        a = ShardStreamer(shard_set, "all", batch_size=50, shuffle=True, seed=1)
+        b = ShardStreamer(shard_set, "all", batch_size=50, shuffle=True, seed=2)
+        va = np.concatenate([x["v"] for x in a])
+        vb = np.concatenate([x["v"] for x in b])
+        assert not np.array_equal(va, vb)
+
+
+class TestAccounting:
+    def test_samples_and_batches_per_epoch(self, shard_set):
+        streamer = ShardStreamer(shard_set, "all", batch_size=64)
+        assert streamer.samples_per_epoch() == 500
+        assert streamer.batches_per_epoch() == 8  # ceil(500/64)
+        dropping = ShardStreamer(shard_set, "all", batch_size=64, drop_last=True)
+        assert dropping.batches_per_epoch() == 7
+
+    def test_rank_accounting(self, shard_set):
+        totals = [
+            ShardStreamer(shard_set, "all", batch_size=10,
+                          rank=r, world=2).samples_per_epoch()
+            for r in range(2)
+        ]
+        assert sum(totals) == 500
+
+
+class TestValidation:
+    def test_bad_params(self, shard_set):
+        with pytest.raises(StreamError):
+            ShardStreamer(shard_set, "all", batch_size=0)
+        with pytest.raises(StreamError):
+            ShardStreamer(shard_set, "all", shuffle_buffer=0)
+        with pytest.raises(StreamError):
+            ShardStreamer(shard_set, "all", rank=2, world=2)
+        with pytest.raises(StreamError, match="no split"):
+            ShardStreamer(shard_set, "validation")

@@ -1,0 +1,160 @@
+"""SimComm: point-to-point, collectives, SPMD driver, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import CommError, SimComm, SimWorld, run_spmd
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_spmd(2, main)
+        assert results[1] == {"a": 7}
+
+    def test_tag_filtering_with_stash(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)  # out of order
+            first = comm.recv(source=0, tag=1)  # served from stash
+            return (first, second)
+
+        assert run_spmd(2, main)[1] == ("first", "second")
+
+    def test_sendrecv_ring(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left, tag=5)
+
+        results = run_spmd(4, main)
+        assert results == [3, 0, 1, 2]
+
+    def test_invalid_dest(self):
+        def main(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(CommError, match="out of range"):
+            run_spmd(2, main)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def main(comm):
+            data = {"key": [1, 2]} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert all(r == {"key": [1, 2]} for r in run_spmd(4, main))
+
+    def test_scatter_gather_round_trip(self):
+        def main(comm):
+            chunks = [[i, i * i] for i in range(comm.size)] if comm.rank == 0 else None
+            mine = comm.scatter(chunks, root=0)
+            assert mine == [comm.rank, comm.rank**2]
+            return comm.gather(mine, root=0)
+
+        results = run_spmd(3, main)
+        assert results[0] == [[0, 0], [1, 1], [2, 4]]
+        assert results[1] is None
+
+    def test_scatter_wrong_length(self):
+        def main(comm):
+            comm.scatter([1], root=0)
+
+        with pytest.raises(CommError, match="exactly"):
+            run_spmd(3, main)
+
+    def test_allgather(self):
+        results = run_spmd(4, lambda comm: comm.allgather(comm.rank * 10))
+        assert all(r == [0, 10, 20, 30] for r in results)
+
+    def test_reduce_sum_at_root(self):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, root=2)
+
+        results = run_spmd(4, main)
+        assert results[2] == 10
+        assert results[0] is None
+
+    def test_allreduce_custom_op(self):
+        results = run_spmd(4, lambda comm: comm.allreduce(comm.rank, op=max))
+        assert results == [3, 3, 3, 3]
+
+    def test_alltoall(self):
+        def main(comm):
+            out = [f"{comm.rank}->{j}" for j in range(comm.size)]
+            received = comm.alltoall(out)
+            return received
+
+        results = run_spmd(3, main)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_barrier_all_reach(self):
+        def main(comm):
+            comm.barrier()
+            return True
+
+        assert run_spmd(5, main) == [True] * 5
+
+    def test_numpy_bcast_in_place(self):
+        def main(comm):
+            buffer = np.arange(6.0) if comm.rank == 0 else np.zeros(6)
+            comm.Bcast(buffer, root=0)
+            return buffer
+
+        for result in run_spmd(3, main):
+            assert np.array_equal(result, np.arange(6.0))
+
+    def test_numpy_allreduce(self):
+        def main(comm):
+            send = np.full(4, float(comm.rank))
+            recv = np.empty(4)
+            comm.Allreduce(send, recv)
+            return recv
+
+        for result in run_spmd(4, main):
+            assert np.array_equal(result, np.full(4, 6.0))  # 0+1+2+3
+
+
+class TestDriver:
+    def test_world_size_one(self):
+        assert run_spmd(1, lambda comm: comm.allreduce(5)) == [5]
+
+    def test_exceptions_propagate(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.barrier()
+
+        with pytest.raises((RuntimeError, Exception), match="rank 1 died|Barrier"):
+            run_spmd(3, main)
+
+    def test_invalid_world_size(self):
+        with pytest.raises(CommError):
+            SimWorld(0)
+
+    def test_comm_rank_range(self):
+        world = SimWorld(2)
+        with pytest.raises(CommError):
+            world.comm(5)
+
+    def test_stats_account_traffic(self):
+        def main(comm):
+            comm.send(np.zeros(1000), dest=(comm.rank + 1) % comm.size)
+            comm.recv(source=(comm.rank - 1) % comm.size)
+            return comm.stats
+
+        stats = run_spmd(2, main)
+        assert all(s.messages_sent == 1 for s in stats)
+        assert all(s.bytes_sent == 8000 for s in stats)
+
+    def test_results_in_rank_order(self):
+        assert run_spmd(6, lambda comm: comm.rank) == list(range(6))

@@ -1,0 +1,108 @@
+"""Partitioning invariants: completeness, disjointness, balance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.partition import (
+    PartitionError,
+    balanced_partition,
+    block_partition,
+    block_slice,
+    cyclic_partition,
+    partition_imbalance,
+)
+
+
+def assert_complete_and_disjoint(assignments, n_items):
+    seen = np.concatenate([a.indices for a in assignments]) if assignments else np.array([])
+    assert sorted(seen.tolist()) == list(range(n_items))
+
+
+class TestBlock:
+    @given(st.integers(0, 2000), st.integers(1, 32))
+    def test_complete_disjoint(self, n, p):
+        assert_complete_and_disjoint(block_partition(n, p), n)
+
+    @given(st.integers(0, 2000), st.integers(1, 32))
+    def test_contiguous_and_balanced(self, n, p):
+        assignments = block_partition(n, p)
+        for a in assignments:
+            if a.n_items > 1:
+                assert np.array_equal(np.diff(a.indices), np.ones(a.n_items - 1))
+        sizes = [a.n_items for a in assignments]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_block_slice_matches_partition(self):
+        n, p = 103, 7
+        assignments = block_partition(n, p)
+        for rank in range(p):
+            sl = block_slice(n, rank, p)
+            assert assignments[rank].indices.tolist() == list(range(sl.start, sl.stop))
+
+    def test_invalid_rank(self):
+        with pytest.raises(PartitionError):
+            block_slice(10, 5, 4)
+
+
+class TestCyclic:
+    @given(st.integers(0, 2000), st.integers(1, 32))
+    def test_complete_disjoint(self, n, p):
+        assert_complete_and_disjoint(cyclic_partition(n, p), n)
+
+    def test_stride_pattern(self):
+        assignments = cyclic_partition(10, 3)
+        assert assignments[0].indices.tolist() == [0, 3, 6, 9]
+        assert assignments[1].indices.tolist() == [1, 4, 7]
+
+    def test_balances_sorted_skew_better_than_block(self):
+        # monotonically increasing weights: block puts all heavy items on
+        # the last rank; cyclic interleaves
+        weights = np.arange(1, 101, dtype=float)
+        block_imbalance = partition_imbalance(block_partition(100, 4, weights))
+        cyclic_imbalance = partition_imbalance(cyclic_partition(100, 4, weights))
+        assert cyclic_imbalance < block_imbalance
+
+
+class TestBalanced:
+    @given(
+        st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=0, max_size=200),
+        st.integers(1, 16),
+    )
+    def test_complete_disjoint(self, weights, p):
+        assignments = balanced_partition(weights, p)
+        assert_complete_and_disjoint(assignments, len(weights))
+
+    def test_lpt_handles_pathological_skew(self):
+        weights = [1000.0] + [1.0] * 99
+        assignments = balanced_partition(weights, 4)
+        # the giant item is alone-ish; others share the small ones
+        imbalance = partition_imbalance(assignments)
+        mean = sum(weights) / 4
+        assert max(a.weight for a in assignments) == 1000.0
+        assert imbalance == pytest.approx(1000.0 / mean)
+
+    def test_beats_block_on_long_tail(self, rng):
+        weights = np.concatenate([rng.uniform(1, 2, 95), rng.uniform(50, 100, 5)])
+        rng.shuffle(weights)
+        lpt = partition_imbalance(balanced_partition(weights.tolist(), 8))
+        block = partition_imbalance(block_partition(100, 8, weights.tolist()))
+        assert lpt <= block
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(PartitionError, match="non-negative"):
+            balanced_partition([1.0, -2.0], 2)
+
+
+class TestValidation:
+    def test_zero_ranks_rejected(self):
+        for fn in (block_partition, cyclic_partition):
+            with pytest.raises(PartitionError):
+                fn(10, 0)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(PartitionError, match="weights"):
+            block_partition(10, 2, weights=[1.0, 2.0])
+
+    def test_imbalance_of_empty(self):
+        assert partition_imbalance(block_partition(0, 4)) == 1.0

@@ -1,0 +1,92 @@
+"""Scaling model: strong-scaling shape, crossovers, Amdahl plateau."""
+
+import pytest
+
+from repro.parallel.cluster import commodity_cluster, leadership_system, workstation
+from repro.parallel.simulate import PipelineScalingModel, WorkloadSpec
+
+
+@pytest.fixture
+def workload():
+    return WorkloadSpec(
+        name="climate-pass",
+        input_bytes=2e12,
+        output_bytes=1e12,
+        compute_passes=2.0,
+        serial_fraction=1e-4,
+    )
+
+
+class TestShape:
+    def test_speedup_monotone_in_linear_region(self, workload):
+        model = PipelineScalingModel(leadership_system(128))
+        curve = model.sweep(workload, [1, 2, 4, 8, 16, 32])
+        speedups = curve.speedup()
+        assert all(b >= a * 0.95 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[0] == pytest.approx(1.0)
+
+    def test_efficiency_degrades_at_scale(self, workload):
+        model = PipelineScalingModel(commodity_cluster(64))
+        curve = model.sweep(workload, [1, 16, 64, 256, 1024])
+        eff = curve.efficiency()
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[-1] < eff[0]
+
+    def test_io_crossover_exists_on_narrow_filesystem(self, workload):
+        """On a commodity machine the pipeline becomes I/O-bound — the
+        paper's core scalability argument."""
+        model = PipelineScalingModel(commodity_cluster(64))
+        curve = model.sweep(workload, [1, 4, 16, 64, 256, 1024])
+        crossover = curve.io_dominated_from()
+        assert crossover is not None
+        assert crossover > 1
+
+    def test_leadership_filesystem_pushes_crossover_out(self, workload):
+        commodity = PipelineScalingModel(commodity_cluster(64)).sweep(
+            workload, [1, 4, 16, 64, 256]
+        )
+        leadership = PipelineScalingModel(leadership_system(512)).sweep(
+            workload, [1, 4, 16, 64, 256]
+        )
+        c_cross = commodity.io_dominated_from() or 10**9
+        l_cross = leadership.io_dominated_from() or 10**9
+        assert l_cross >= c_cross
+
+    def test_serial_fraction_caps_speedup(self):
+        """Amdahl: 1% serial caps speedup near 100x regardless of ranks."""
+        amdahl = WorkloadSpec(
+            "serial-heavy", input_bytes=1e12, output_bytes=1e9,
+            serial_fraction=0.01,
+        )
+        model = PipelineScalingModel(leadership_system(512))
+        point = model.evaluate(amdahl, 16384)
+        serial_time = point.serial_seconds
+        assert point.total_seconds > serial_time
+        base = model.evaluate(amdahl, 1).total_seconds
+        assert base / point.total_seconds < 110
+
+
+class TestValidation:
+    def test_rank_bounds(self, workload):
+        model = PipelineScalingModel(workstation())
+        with pytest.raises(ValueError, match="exceeds"):
+            model.evaluate(workload, 10**6)
+        with pytest.raises(ValueError, match="ranks"):
+            model.evaluate(workload, 0)
+
+    def test_throughput_positive(self, workload):
+        model = PipelineScalingModel(workstation())
+        point = model.evaluate(workload, 4)
+        assert point.throughput(workload.input_bytes) > 0
+
+    def test_stripe_sweep_has_optimum_range(self, workload):
+        model = PipelineScalingModel(commodity_cluster(16))
+        times = model.stripe_sweep(workload, ranks=64, stripe_counts=[1, 2, 4, 8, 16])
+        # wider striping should never be dramatically worse, and 1 stripe is
+        # the worst or near-worst configuration
+        assert times[1] >= max(times[8], times[16]) * 0.99
+
+    def test_cluster_presets_validate(self):
+        for cluster in (workstation(), commodity_cluster(), leadership_system()):
+            cluster.validate()
+            assert cluster.max_ranks >= 8

@@ -1,0 +1,66 @@
+"""JSONL provenance store: durability, replay, crash tolerance."""
+
+from repro.provenance.graph import LineageGraph
+from repro.provenance.record import ProvenanceRecord
+from repro.provenance.store import ProvenanceStore
+
+
+def chain_records():
+    r1 = ProvenanceRecord.create("acquire", [], "raw")
+    r2 = ProvenanceRecord.create("clean", ["raw"], "cleaned")
+    r3 = ProvenanceRecord.create("shard", ["cleaned"], "shards")
+    return [r1, r2, r3]
+
+
+class TestStore:
+    def test_append_and_load(self, tmp_path):
+        store = ProvenanceStore(tmp_path / "p.jsonl")
+        records = chain_records()
+        for record in records:
+            store.append(record)
+        loaded = store.load()
+        assert loaded == records
+        assert len(store) == 3
+
+    def test_rebuild_graph(self, tmp_path):
+        store = ProvenanceStore(tmp_path / "p.jsonl")
+        for record in chain_records():
+            store.append(record)
+        graph = store.build_graph()
+        assert isinstance(graph, LineageGraph)
+        assert graph.roots() == ["raw"]
+        assert graph.leaves() == ["shards"]
+
+    def test_verify_chain(self, tmp_path):
+        store = ProvenanceStore(tmp_path / "p.jsonl")
+        for record in chain_records():
+            store.append(record)
+        assert store.verify_chain("shards")
+
+    def test_survives_new_session(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        store = ProvenanceStore(path)
+        for record in chain_records():
+            store.append(record)
+        del store
+        resumed = ProvenanceStore(path)
+        assert len(resumed) == 3
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        store = ProvenanceStore(path)
+        for record in chain_records():
+            store.append(record)
+        with open(path, "a") as fh:
+            fh.write('{"record_id": "incomplete...')  # crash mid-write
+        assert len(ProvenanceStore(path).load()) == 3
+
+    def test_empty_store(self, tmp_path):
+        store = ProvenanceStore(tmp_path / "missing.jsonl")
+        assert store.load() == []
+        assert len(store) == 0
+
+    def test_parent_dirs_created(self, tmp_path):
+        store = ProvenanceStore(tmp_path / "deep" / "nested" / "p.jsonl")
+        store.append(ProvenanceRecord.create("a", [], "o"))
+        assert len(store) == 1

@@ -1,0 +1,84 @@
+"""Datasheet generation from measured properties."""
+
+import numpy as np
+import pytest
+
+from repro.core.assessment import ReadinessAssessor
+from repro.core.dataset import Dataset, DatasetMetadata, FieldSpec, Modality, Schema
+from repro.quality.datasheet import build_datasheet
+
+from tests.core.test_assessment import evidence_up_to
+from repro.core.levels import DataReadinessLevel
+
+
+@pytest.fixture
+def documented_dataset(rng):
+    n = 60
+    return Dataset(
+        {
+            "tas": rng.normal(280, 10, n),
+            "patient_email": np.asarray([f"p{i}@h.org" for i in range(n)], dtype="U16"),
+            "label": rng.integers(0, 2, n),
+        },
+        Schema([
+            FieldSpec("tas", np.dtype(np.float64), units="K",
+                      description="surface temperature"),
+            FieldSpec("patient_email", np.dtype("U16"), sensitive=True),
+            FieldSpec("label", np.dtype(np.int64),
+                      role=__import__("repro.core.dataset", fromlist=["FieldRole"]).FieldRole.LABEL),
+        ]),
+        DatasetMetadata(
+            name="doc-test", domain="bio", source="synthetic", version="2",
+            description="A documented dataset.", license="CC-BY",
+            modality=Modality.TABULAR,
+        ),
+    )
+
+
+class TestBuild:
+    def test_fields_and_metadata(self, documented_dataset):
+        sheet = build_datasheet(documented_dataset)
+        assert sheet.name == "doc-test"
+        assert sheet.license == "CC-BY"
+        assert len(sheet.fields) == 3
+        assert sheet.n_samples == 60
+
+    def test_privacy_findings_included(self, documented_dataset):
+        sheet = build_datasheet(documented_dataset)
+        assert sheet.privacy_findings  # email + declared sensitive
+
+    def test_quality_measured(self, documented_dataset):
+        sheet = build_datasheet(documented_dataset)
+        assert sheet.quality.overall_completeness == 1.0
+        assert sheet.quality.label_balance
+
+    def test_with_assessment(self, documented_dataset):
+        assessment = ReadinessAssessor().assess(
+            evidence_up_to(DataReadinessLevel.LABELED)
+        )
+        sheet = build_datasheet(documented_dataset, assessment=assessment)
+        assert sheet.readiness_level == 3
+        assert sheet.readiness_gaps
+
+
+class TestRender:
+    def test_markdown_sections(self, documented_dataset):
+        md = build_datasheet(documented_dataset).render_markdown()
+        for heading in ("# Datasheet: doc-test", "## Composition", "## Quality",
+                        "## Privacy & Compliance"):
+            assert heading in md
+        assert "| tas | float64" in md
+        assert "yes |" in md  # sensitive marker
+
+    def test_clean_dataset_reports_no_findings(self, rng):
+        ds = Dataset.from_arrays({"x": rng.normal(size=30)})
+        md = build_datasheet(ds).render_markdown()
+        assert "No PHI/PII findings" in md
+
+    def test_readiness_section_present_when_assessed(self, documented_dataset):
+        assessment = ReadinessAssessor().assess(
+            evidence_up_to(DataReadinessLevel.AI_READY)
+        )
+        md = build_datasheet(documented_dataset, assessment=assessment).render_markdown()
+        assert "## AI-Readiness" in md
+        assert "5 / 5" in md

@@ -1,0 +1,106 @@
+"""Validation: schema + physical constraints."""
+
+import numpy as np
+import pytest
+
+from repro.quality.validation import (
+    ConstraintValidator,
+    check_bounds,
+    check_conservation,
+    check_finite,
+    check_monotonic,
+    check_precision,
+    validate_schema,
+)
+
+
+class TestChecks:
+    def test_finite_flags_nan_and_inf(self):
+        issues = check_finite(np.asarray([1.0, np.nan, np.inf]), "x")
+        assert len(issues) == 1
+        assert "2 non-finite" in issues[0].message
+        assert issues[0].severity == "error"
+
+    def test_finite_skips_integers(self):
+        assert check_finite(np.asarray([1, 2, 3]), "i") == []
+
+    def test_bounds(self):
+        issues = check_bounds(np.asarray([100.0, 200.0, 400.0]), 150, 350, "t")
+        assert len(issues) == 1
+        assert "1 below" in issues[0].message and "1 above" in issues[0].message
+        assert check_bounds(np.asarray([200.0]), 150, 350) == []
+
+    def test_bounds_ignores_nan(self):
+        assert check_bounds(np.asarray([np.nan, 200.0]), 150, 350) == []
+
+    def test_precision_warning(self):
+        half = np.asarray([1.0], dtype=np.float16)
+        issues = check_precision(half, minimum_bits=32, column="v")
+        assert issues and issues[0].severity == "warning"
+        assert check_precision(np.asarray([1.0], dtype=np.float32), 32) == []
+        assert check_precision(np.asarray([1]), 32) == []  # ints skipped
+
+    def test_monotonic(self):
+        assert check_monotonic(np.asarray([1.0, 2.0, 3.0])) == []
+        issues = check_monotonic(np.asarray([1.0, 1.0, 2.0]))
+        assert issues
+        assert check_monotonic(np.asarray([1.0, 1.0]), strictly=False) == []
+
+    def test_conservation_pass_and_fail(self, rng):
+        before = rng.normal(10, 1, size=(8, 8))
+        assert check_conservation(before, before * 1.0001, rtol=1e-3) == []
+        issues = check_conservation(before, before * 1.5, rtol=1e-3)
+        assert issues and issues[0].check == "conservation"
+
+    def test_conservation_weighted(self):
+        """Different resolutions compare via weighted means."""
+        before = np.full(100, 5.0)
+        after = np.full(10, 5.0)
+        assert check_conservation(before, after) == []
+
+
+class TestSchemaValidation:
+    def test_valid_dataset(self, small_dataset):
+        assert validate_schema(small_dataset).ok
+
+    def test_structured_failure(self, small_dataset):
+        small_dataset._columns["x1"] = small_dataset["x1"].astype(np.float32)
+        result = validate_schema(small_dataset)
+        assert not result.ok
+        assert result.errors[0].check == "schema"
+
+
+class TestConstraintValidator:
+    def test_bundle(self, small_dataset):
+        validator = (
+            ConstraintValidator()
+            .require_finite("x1")
+            .require_bounds("x2", -100, 100)
+            .require_precision("grid", 32)
+        )
+        assert validator.validate(small_dataset).ok
+
+    def test_violations_collected(self, rng):
+        from repro.core.dataset import Dataset
+
+        ds = Dataset.from_arrays({
+            "t": np.asarray([np.nan, 500.0, 250.0]),
+        })
+        validator = (
+            ConstraintValidator().require_finite("t").require_bounds("t", 150, 350)
+        )
+        result = validator.validate(ds)
+        assert not result.ok
+        checks = {i.check for i in result.issues}
+        assert checks == {"finite", "bounds"}
+
+    def test_custom_constraint(self, small_dataset):
+        from repro.quality.validation import ValidationIssue
+
+        def labels_present(ds):
+            if (ds["label"] >= 0).all():
+                return []
+            return [ValidationIssue("labels", "label", "error", "negative labels")]
+
+        validator = ConstraintValidator().require("labels", labels_present)
+        assert validator.validate(small_dataset).ok

@@ -1,0 +1,75 @@
+"""CLI surface: every subcommand runs and produces the expected artifact."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_validates_domain(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "astro", "--workdir", "/tmp/x"])
+
+    def test_crosswalk_validates_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crosswalk", "9"])
+
+
+class TestCommands:
+    def test_matrix(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "1 - Raw" in out and "(n/a)" in out
+
+    def test_archetypes(self, capsys):
+        assert main(["archetypes"]) == 0
+        out = capsys.readouterr().out
+        assert "download -> regrid" in out
+        assert "cross-cutting challenges" in out
+
+    def test_templates_list(self, capsys):
+        assert main(["templates"]) == 0
+        out = capsys.readouterr().out
+        assert "climate" in out and "materials" in out
+
+    def test_templates_single(self, capsys):
+        assert main(["templates", "bio"]) == 0
+        out = capsys.readouterr().out
+        assert "# Preprocessing template: bio" in out
+        assert "anonymize" in out
+
+    def test_crosswalk(self, capsys):
+        assert main(["crosswalk", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "provisional" in out
+        assert "[ ] deployment-readiness" in out
+
+    def test_run_and_inspect(self, tmp_path, capsys):
+        assert main(["run", "materials", "--workdir", str(tmp_path), "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Data Readiness Level: 5 / 5" in out
+        assert "detected challenges" in out
+        assert main(["inspect", str(tmp_path / "shards")]) == 0
+        out = capsys.readouterr().out
+        assert "checksums: OK" in out
+        assert "materials-graph-descriptors" in out
+
+    def test_inspect_missing_directory(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_inspect_detects_corruption(self, tmp_path, capsys):
+        assert main(["run", "materials", "--workdir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        shard_dir = tmp_path / "shards"
+        victim = next(shard_dir.glob("train-*.rps"))
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert main(["inspect", str(shard_dir)]) == 1
+        assert "FAILED" in capsys.readouterr().err

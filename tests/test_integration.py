@@ -1,0 +1,249 @@
+"""Cross-module integration and failure-injection tests.
+
+These tie subsystems together the way a facility deployment would:
+pipelines feeding shard sets feeding streamers; provenance stores replayed
+across sessions; drift monitoring between data drops; and deliberate
+corruption/violation scenarios that must fail loudly, not silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.pipeline import PipelineError
+from repro.io.dataset_io import export_dataset, import_dataset
+from repro.io.shards import ShardError, ShardSet
+from repro.io.stream import ShardStreamer
+from repro.quality.drift import detect_drift
+
+
+@pytest.fixture(scope="module")
+def climate_result(tmp_path_factory):
+    from repro.domains.climate import ClimateArchetype, ClimateSourceConfig
+
+    archetype = ClimateArchetype(
+        seed=31, config=ClimateSourceConfig(n_models=2, n_timesteps=16, seed=31)
+    )
+    return archetype.run(tmp_path_factory.mktemp("climate-int"))
+
+
+class TestPipelineToTrainer:
+    """Archetype output -> streamer -> training batches, with verification."""
+
+    def test_streamer_over_archetype_shards(self, climate_result, tmp_path):
+        shard_dir = climate_result.run.context.artifacts["manifest"]
+        directory = None
+        # the archetype wrote into <workdir>/shards; find it via the manifest files
+        # the manifest object doesn't store its dir, so reconstruct from result
+        # (integration point: ShardSet only needs the directory)
+        import pathlib
+
+        # locate by searching for manifest.json beside the run
+        for candidate in pathlib.Path(climate_result.run.context.artifacts.get(
+                "tfrecord_dir", tmp_path)).parents:
+            pass
+        # simpler: re-export through distributed write into tmp_path
+        from repro.parallel.executor import distributed_shard_write
+
+        ds = climate_result.dataset
+        manifest = distributed_shard_write(
+            ds, tmp_path / "restream",
+            {"train": np.arange(ds.n_samples)},
+            n_ranks=2, shards_per_split=4,
+        )
+        shard_set = ShardSet(tmp_path / "restream")
+        shard_set.verify()
+        streamer = ShardStreamer(shard_set, "train", batch_size=8, shuffle=True,
+                                 shuffle_buffer=16, seed=0)
+        n_rows = sum(batch["tas"].shape[0] for batch in streamer)
+        assert n_rows == ds.n_samples
+        batch = next(iter(streamer))
+        assert batch["tas"].shape[1:] == (16, 32)
+
+    def test_two_rank_training_sees_disjoint_shards(self, climate_result, tmp_path):
+        from repro.parallel.executor import distributed_shard_write
+
+        ds = climate_result.dataset
+        distributed_shard_write(
+            ds, tmp_path / "ranks", {"train": np.arange(ds.n_samples)},
+            n_ranks=2, shards_per_split=6,
+        )
+        shard_set = ShardSet(tmp_path / "ranks")
+        seen = []
+        for rank in range(2):
+            streamer = ShardStreamer(shard_set, "train", batch_size=16,
+                                     rank=rank, world=2)
+            for batch in streamer:
+                seen.extend(batch["time_index"].tolist())
+        assert sorted(seen) == sorted(ds["time_index"].tolist())
+
+
+class TestFormatInterop:
+    def test_archetype_dataset_round_trips_every_format(self, climate_result, tmp_path):
+        ds = climate_result.dataset
+        for fmt in ("h5lite", "adios"):
+            path = export_dataset(ds, tmp_path / f"x.{fmt}", fmt,
+                                  codec_name="zlib", codec_level=1)
+            back = import_dataset(path, fmt)
+            assert back.fingerprint() == ds.fingerprint()
+
+    def test_round_trip_preserves_drift_stability(self, climate_result, tmp_path):
+        """An export/import cycle must not register as drift."""
+        ds = climate_result.dataset
+        path = export_dataset(ds, tmp_path / "rt.h5l", "h5lite")
+        back = import_dataset(path, "h5lite")
+        report = detect_drift(ds, back)
+        assert report.stable
+
+
+class TestProvenanceSessions:
+    def test_store_replay_across_sessions(self, tmp_path):
+        from repro.core.evidence import EvidenceKind
+        from repro.core.levels import DataProcessingStage
+        from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+        from repro.provenance.store import ProvenanceStore
+
+        store_path = tmp_path / "prov.jsonl"
+
+        def run_once():
+            def stage(payload, ctx):
+                ctx.record(EvidenceKind.ACQUIRED)
+                return payload * 2
+
+            pipeline = Pipeline("session", [
+                PipelineStage("double", DataProcessingStage.INGEST, stage,
+                              params={"factor": 2}),
+            ])
+            context = PipelineContext(provenance_store=ProvenanceStore(store_path))
+            return pipeline.run(np.arange(4.0), context)
+
+        first = run_once()
+        second = run_once()
+        # a later session rebuilds lineage from disk and sees both runs
+        graph = ProvenanceStore(store_path).build_graph()
+        final = first.results[-1].output_fingerprint
+        assert graph.verify_connected(final)
+        # identical input + identical recipe => identical output fingerprint
+        assert first.results[-1].output_fingerprint == \
+            second.results[-1].output_fingerprint
+
+
+class TestFailureInjection:
+    def test_corrupt_shard_blocks_training(self, climate_result, tmp_path):
+        from repro.parallel.executor import distributed_shard_write
+
+        ds = climate_result.dataset
+        distributed_shard_write(
+            ds, tmp_path / "corrupt", {"train": np.arange(ds.n_samples)},
+            n_ranks=1, shards_per_split=3,
+        )
+        shard_set = ShardSet(tmp_path / "corrupt")
+        victim = next((tmp_path / "corrupt").glob("train-*.rps"))
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(ShardError):
+            shard_set.verify()
+        # and the streamer hits the CRC on read rather than yielding garbage
+        with pytest.raises(Exception):
+            for _ in ShardStreamer(shard_set, "train", batch_size=8):
+                pass
+
+    def test_pipeline_failure_is_audited_and_wrapped(self):
+        from repro.core.levels import DataProcessingStage
+        from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+
+        def bad_stage(payload, ctx):
+            raise KeyError("missing diagnostic channel")
+
+        pipeline = Pipeline("failing", [
+            PipelineStage("extract", DataProcessingStage.INGEST, bad_stage),
+        ])
+        context = PipelineContext()
+        with pytest.raises(PipelineError, match="missing diagnostic channel"):
+            pipeline.run({}, context)
+        assert any(e.action == "stage-failed" for e in context.audit)
+        context.audit.verify()
+
+    def test_bio_pipeline_blocks_on_unachievable_k(self, tmp_path):
+        """If policy cannot be satisfied, the pipeline refuses to shard."""
+        from repro.domains.bio import BioArchetype, BioSourceConfig
+
+        archetype = BioArchetype(
+            seed=1,
+            config=BioSourceConfig(n_subjects=6, sequence_length=64, seed=1),
+            k_anonymity=50,  # impossible with 6 subjects
+        )
+        with pytest.raises(PipelineError):
+            archetype.run(tmp_path / "blocked")
+
+    def test_fusion_handles_campaign_with_all_channels_missing(self, tmp_path):
+        from repro.domains.fusion.pipeline import FusionArchetype
+        from repro.domains.fusion.shottree import ShotTreeStore
+        from repro.transforms.align import Signal
+
+        store = ShotTreeStore(tmp_path / "mds")
+        # shots lacking ip/mirnov are unusable; a campaign of only those
+        # must fail with a clear message, not produce an empty dataset
+        times = np.linspace(0, 1, 50)
+        store.write_shot(1, {"density": Signal("density", times, np.ones(50))}, {})
+        archetype = FusionArchetype(seed=0)
+        pipeline = archetype.build_pipeline(tmp_path / "out")
+        from repro.core.pipeline import PipelineContext
+
+        with pytest.raises(PipelineError, match="no usable shots"):
+            pipeline.run({"store": str(store.directory)}, PipelineContext())
+
+    def test_streamer_on_empty_split(self, tmp_path):
+        from repro.io.shards import write_shard_set
+
+        ds = Dataset.from_arrays({"x": np.arange(10.0)})
+        write_shard_set(ds, tmp_path / "e",
+                        splits={"train": np.arange(10), "val": np.array([], dtype=int)})
+        shard_set = ShardSet(tmp_path / "e")
+        batches = list(ShardStreamer(shard_set, "val", batch_size=4))
+        assert batches == []
+
+
+class TestDriftAcrossDataDrops:
+    def test_new_seed_same_generator_is_stable(self, tmp_path):
+        """Two drops from the same physical process shouldn't drift."""
+        from repro.domains.materials.synthetic import (
+            MaterialsSourceConfig,
+            generate_structure,
+        )
+
+        def energies(seed):
+            rng = np.random.default_rng(seed)
+            config = MaterialsSourceConfig(n_structures=150, seed=seed)
+            return np.asarray([
+                generate_structure(i, config, rng)["energy_ev"] for i in range(150)
+            ])
+
+        reference = Dataset.from_arrays({"energy": energies(1)})
+        current = Dataset.from_arrays({"energy": energies(2)})
+        report = detect_drift(reference, current)
+        assert report.features[0].psi < 0.25
+
+    def test_changed_process_drifts(self):
+        from repro.domains.materials.synthetic import (
+            MaterialsSourceConfig,
+            generate_structure,
+        )
+
+        def energies(config, seed):
+            rng = np.random.default_rng(seed)
+            return np.asarray([
+                generate_structure(i, config, rng)["energy_ev"] for i in range(150)
+            ])
+
+        reference = Dataset.from_arrays({
+            "energy": energies(MaterialsSourceConfig(n_structures=150), 1)
+        })
+        # a calibration change: all experimental, bigger offset
+        shifted_config = MaterialsSourceConfig(
+            n_structures=150, experimental_fraction=1.0, experimental_offset=10.0
+        )
+        current = Dataset.from_arrays({"energy": energies(shifted_config, 1)})
+        report = detect_drift(reference, current)
+        assert report.refit_required()

@@ -1,0 +1,154 @@
+"""Feature selection and derived time-series features."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.features import (
+    FeatureError,
+    correlation_filter,
+    derivative_features,
+    mutual_information,
+    rolling_features,
+    select_k_best,
+    variance_threshold,
+)
+
+
+class TestVarianceThreshold:
+    def test_drops_constant_columns(self, rng):
+        features = np.column_stack([
+            rng.normal(size=100), np.full(100, 7.0), rng.normal(size=100)
+        ])
+        report = variance_threshold(features)
+        assert report.dropped == (1,)
+        assert report.kept == (0, 2)
+        assert report.method == "variance"
+
+    def test_keeps_everything_varied(self, rng):
+        report = variance_threshold(rng.normal(size=(50, 4)))
+        assert report.n_kept == 4
+
+    def test_shape_check(self, rng):
+        with pytest.raises(FeatureError):
+            variance_threshold(rng.normal(size=10))
+
+
+class TestCorrelationFilter:
+    def test_drops_duplicated_column(self, rng):
+        base = rng.normal(size=200)
+        features = np.column_stack([base, rng.normal(size=200), base * 2 + 1])
+        report = correlation_filter(features, max_abs_correlation=0.98)
+        assert 2 in report.dropped  # rescaled duplicate of column 0
+        assert 0 in report.kept and 1 in report.kept
+
+    def test_drops_constant_columns_too(self, rng):
+        features = np.column_stack([rng.normal(size=50), np.zeros(50)])
+        report = correlation_filter(features)
+        assert 1 in report.dropped
+
+    def test_anticorrelation_also_caught(self, rng):
+        base = rng.normal(size=200)
+        features = np.column_stack([base, -base])
+        report = correlation_filter(features)
+        assert report.dropped == (1,)
+
+    def test_independent_columns_survive(self, rng):
+        report = correlation_filter(rng.normal(size=(500, 5)))
+        assert report.n_kept == 5
+
+
+class TestMutualInformation:
+    def test_informative_feature_beats_noise(self, rng):
+        labels = rng.integers(0, 2, 1000)
+        informative = labels * 2.0 + rng.normal(0, 0.1, 1000)
+        noise = rng.normal(size=1000)
+        assert mutual_information(informative, labels) > mutual_information(noise, labels) + 0.1
+
+    def test_constant_feature_zero(self, rng):
+        labels = rng.integers(0, 2, 100)
+        assert mutual_information(np.ones(100), labels) == 0.0
+
+    def test_mi_nonnegative(self, rng):
+        for _ in range(5):
+            mi = mutual_information(rng.normal(size=200), rng.integers(0, 3, 200))
+            assert mi >= -1e-12
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(FeatureError):
+            mutual_information(rng.normal(size=5), np.zeros(4))
+
+
+class TestSelectKBest:
+    def test_selects_informative_columns(self, rng):
+        labels = rng.integers(0, 2, 500)
+        features = np.column_stack([
+            rng.normal(size=500),
+            labels + rng.normal(0, 0.2, 500),
+            rng.normal(size=500),
+            labels * -3 + rng.normal(0, 0.2, 500),
+        ])
+        report = select_k_best(features, labels, k=2)
+        assert set(report.kept) == {1, 3}
+        assert report.method == "mutual_information"
+
+    def test_k_zero_and_k_all(self, rng):
+        features = rng.normal(size=(50, 3))
+        labels = rng.integers(0, 2, 50)
+        assert select_k_best(features, labels, k=0).kept == ()
+        assert select_k_best(features, labels, k=3).n_kept == 3
+        assert select_k_best(features, labels, k=99).n_kept == 3
+
+    def test_negative_k(self, rng):
+        with pytest.raises(FeatureError):
+            select_k_best(rng.normal(size=(5, 2)), np.zeros(5), k=-1)
+
+
+class TestDerivatives:
+    def test_first_derivative_of_linear_ramp(self):
+        series = np.arange(50.0)[None, :]  # slope 1
+        d = derivative_features(series, dt=1.0, orders=(1,))
+        assert np.allclose(d, 1.0)
+
+    def test_second_derivative_of_quadratic(self):
+        t = np.arange(50.0)
+        series = (t**2)[None, :]
+        d2 = derivative_features(series, dt=1.0, orders=(2,))
+        assert np.allclose(d2[0, 2:-2], 2.0)
+
+    def test_multi_order_concatenated_channels(self, rng):
+        series = rng.normal(size=(4, 30, 2))
+        out = derivative_features(series, orders=(1, 2))
+        assert out.shape == (4, 30, 4)
+
+    def test_dt_scaling(self):
+        series = np.arange(20.0)[None, :]
+        fine = derivative_features(series, dt=0.5)
+        assert np.allclose(fine, 2.0)
+
+    def test_invalid_order_and_dt(self, rng):
+        with pytest.raises(FeatureError):
+            derivative_features(rng.normal(size=(2, 10)), orders=(0,))
+        with pytest.raises(FeatureError):
+            derivative_features(rng.normal(size=(2, 10)), dt=0)
+
+
+class TestRolling:
+    def test_shapes_and_values(self):
+        series = np.tile(np.arange(12.0), (2, 1))
+        out = rolling_features(series, window=4, statistics=("mean", "max"))
+        assert out.shape == (2, 3, 2)
+        assert np.allclose(out[0, 0, 0], 1.5)  # mean of 0..3
+        assert np.allclose(out[0, 2, 1], 11.0)  # max of 8..11
+
+    def test_ptp_statistic(self, rng):
+        series = rng.normal(size=(3, 20))
+        out = rolling_features(series, window=5, statistics=("ptp",))
+        assert (out >= 0).all()
+
+    def test_window_longer_than_series(self, rng):
+        with pytest.raises(FeatureError, match="longer"):
+            rolling_features(rng.normal(size=(1, 4)), window=10)
+
+    def test_unknown_statistic(self, rng):
+        with pytest.raises(FeatureError, match="unknown"):
+            rolling_features(rng.normal(size=(1, 10)), window=2, statistics=("kurtosis",))

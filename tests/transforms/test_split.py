@@ -1,0 +1,113 @@
+"""Splitting: fraction honouring, disjointness, leakage prevention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transforms.split import (
+    SplitError,
+    SplitSpec,
+    group_split,
+    random_split,
+    stratified_split,
+    temporal_split,
+)
+
+
+def assert_partition(splits, n):
+    merged = np.concatenate([splits[k] for k in ("train", "val", "test")])
+    assert sorted(merged.tolist()) == list(range(n))
+
+
+class TestSpec:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(SplitError, match="sum to 1"):
+            SplitSpec(0.5, 0.5, 0.5)
+
+    def test_negative_fraction(self):
+        with pytest.raises(SplitError):
+            SplitSpec(1.2, -0.1, -0.1)
+
+    def test_default(self):
+        spec = SplitSpec()
+        assert spec.train == 0.8
+
+
+class TestRandom:
+    @given(st.integers(0, 500))
+    def test_partition_property(self, n):
+        assert_partition(random_split(n), n)
+
+    def test_fractions_approximately_honoured(self):
+        splits = random_split(1000, SplitSpec(0.8, 0.1, 0.1))
+        assert len(splits["train"]) == 800
+        assert len(splits["val"]) == 100
+
+    def test_deterministic_with_rng(self):
+        a = random_split(100, rng=np.random.default_rng(5))
+        b = random_split(100, rng=np.random.default_rng(5))
+        assert np.array_equal(a["train"], b["train"])
+
+    def test_shuffled_not_contiguous(self):
+        splits = random_split(1000)
+        assert not np.array_equal(splits["train"], np.arange(800))
+
+
+class TestStratified:
+    def test_class_proportions_preserved(self, rng):
+        labels = np.asarray([0] * 800 + [1] * 200)
+        splits = stratified_split(labels, SplitSpec(0.7, 0.15, 0.15), rng)
+        for name in ("train", "val", "test"):
+            fraction = (labels[splits[name]] == 1).mean()
+            assert fraction == pytest.approx(0.2, abs=0.03)
+
+    def test_partition_complete(self, rng):
+        labels = rng.integers(0, 4, size=203)
+        assert_partition(stratified_split(labels, rng=rng), labels.size)
+
+    def test_rare_class_lands_in_train_first(self, rng):
+        labels = np.asarray([0] * 99 + [1])
+        splits = stratified_split(labels, SplitSpec(0.8, 0.1, 0.1), rng)
+        assert 99 in splits["train"].tolist()
+
+
+class TestGroup:
+    def test_no_group_straddles_splits(self, rng):
+        groups = np.repeat(np.arange(30), 7)
+        splits = group_split(groups, rng=rng)
+        memberships = [set(groups[splits[k]].tolist()) for k in ("train", "val", "test")]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not memberships[i] & memberships[j]
+
+    def test_partition_complete(self, rng):
+        groups = rng.integers(0, 12, size=150)
+        assert_partition(group_split(groups, rng=rng), groups.size)
+
+    def test_sample_fractions_approximate(self, rng):
+        groups = np.repeat(np.arange(100), 10)
+        splits = group_split(groups, SplitSpec(0.7, 0.15, 0.15), rng)
+        assert len(splits["train"]) == pytest.approx(700, abs=60)
+
+    def test_single_group_all_in_train(self, rng):
+        groups = np.zeros(20, dtype=int)
+        splits = group_split(groups, rng=rng)
+        assert len(splits["train"]) == 20
+
+
+class TestTemporal:
+    def test_train_strictly_before_test(self):
+        timestamps = np.arange(100)[::-1].copy()  # reversed on purpose
+        splits = temporal_split(timestamps, SplitSpec(0.6, 0.2, 0.2))
+        train_max = timestamps[splits["train"]].max()
+        test_min = timestamps[splits["test"]].min()
+        assert train_max < test_min
+
+    def test_partition_complete(self, rng):
+        timestamps = rng.uniform(0, 1, 77)
+        assert_partition(temporal_split(timestamps), timestamps.size)
+
+    def test_ties_handled_stably(self):
+        timestamps = np.zeros(10)
+        splits = temporal_split(timestamps, SplitSpec(0.5, 0.25, 0.25))
+        assert_partition(splits, 10)
