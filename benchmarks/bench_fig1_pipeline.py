@@ -5,21 +5,31 @@ Paper artifact: the general transformation diagram of Section 2.1 — source
 (semi-supervised) -> feature-engineer -> split -> shard, plus the
 iterative feedback cycle from model evaluation back into labeling.
 
-The bench runs every step on a synthetic tabular dataset and prints one
-row per Figure 1 box: what ran, what it changed, and the evidence it
-recorded.  The feedback loop then runs until label coverage converges.
+The bench expresses every Figure 1 box as a stage of a declarative
+:class:`StagePlan` and drives it through the layered engine
+(:class:`PipelineRunner`), so the diagram regeneration exercises the same
+plan/backend/run machinery the domain archetypes use.  It prints one row
+per box: what ran, what it changed, and the evidence it recorded.  The
+feedback loop then runs until label coverage converges.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.dataset import Dataset, DatasetMetadata, FieldRole, FieldSpec, Schema
 from repro.core.feedback import (
     FeedbackController,
     FeedbackRule,
     holdout_accuracy_evaluator,
+)
+from repro.core.levels import DataProcessingStage
+from repro.core.pipeline import (
+    Parallelism,
+    PipelineContext,
+    PipelineRunner,
+    PipelineStage,
+    StagePlan,
 )
 from repro.core.report import render_table
 from repro.transforms.augment import smote_like
@@ -28,7 +38,8 @@ from repro.transforms.features import select_k_best
 from repro.transforms.label import UNLABELED, propagate_labels, pseudo_label
 from repro.transforms.normalize import normalize_dataset
 from repro.transforms.split import SplitSpec, stratified_split
-from repro.io.shards import write_shard_set
+
+S = DataProcessingStage
 
 
 def make_raw_dataset(seed: int = 0, n: int = 600) -> Dataset:
@@ -59,75 +70,132 @@ def make_raw_dataset(seed: int = 0, n: int = 600) -> Dataset:
     )
 
 
+def build_figure1_plan(tmp_path, seed: int = 0) -> StagePlan:
+    """Every Figure 1 box as one stage of a declarative plan.
+
+    Stages append their report row to ``ctx.artifacts["fig1_rows"]`` and
+    publish the labelled dataset (feedback-loop input) as
+    ``ctx.artifacts["labeled_dataset"]``.
+    """
+
+    def _row(ctx: PipelineContext, step: str, effect: str, notes: str) -> None:
+        ctx.artifacts.setdefault("fig1_rows", []).append((step, effect, notes))
+
+    def source(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        _row(ctx, "source", f"{ds.n_samples} raw samples", "synthetic acquisition")
+        return ds
+
+    def clean(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        ds, report = clean_dataset(ds, target_units={"temperature": "K"})
+        _row(
+            ctx,
+            "clean",
+            report.summary(),
+            "missing values imputed, outliers clipped, units harmonized",
+        )
+        return ds
+
+    def normalize(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        ds, normalizers = normalize_dataset(ds, "zscore")
+        _row(
+            ctx,
+            "normalize",
+            f"{len(normalizers)} variables z-scored",
+            "per-variable mean/std (Section 2.1)",
+        )
+        return ds
+
+    def label(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        features = np.stack([ds["signal"], ds["noise"]], axis=1)
+        result = pseudo_label(features, ds["label"], confidence_threshold=0.75)
+        labels = propagate_labels(features, result.labels, k_neighbors=7)
+        ds = ds.with_column(ds.schema["label"], labels, replace=True)
+        covered = float((labels != UNLABELED).mean())
+        _row(
+            ctx,
+            "label (semi-supervised)",
+            f"coverage {covered:.0%} after {len(result.rounds)} pseudo-label rounds",
+            "pseudo-labeling + propagation",
+        )
+        ctx.add_artifact("features", features)
+        ctx.add_artifact("labeled_dataset", ds)
+        return ds
+
+    def augment(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        rng = np.random.default_rng(seed)
+        features = ctx.artifacts["features"]
+        labeled_mask = ds["label"] != UNLABELED
+        X = features[labeled_mask]
+        y = ds["label"][labeled_mask]
+        counts = {int(c): int((y == c).sum()) for c in np.unique(y)}
+        minority = min(counts, key=counts.get)
+        n_extra = max(counts.values()) - counts[minority]
+        if n_extra > 0 and counts[minority] >= 2:
+            smote_like(X, y, minority, rng, n_synthetic=n_extra)
+            _row(
+                ctx,
+                "augment",
+                f"{n_extra} SMOTE samples for class {minority}",
+                "balance {0}:{1}".format(*sorted(counts.values())),
+            )
+        ctx.add_artifact("labeled_X", X)
+        ctx.add_artifact("labeled_y", y)
+        return ds
+
+    def feature_engineering(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        selection = select_k_best(ctx.artifacts["labeled_X"], ctx.artifacts["labeled_y"], k=1)
+        _row(
+            ctx,
+            "feature engineering",
+            f"kept feature idx {selection.kept} by mutual information",
+            f"scores={ {k: round(v, 3) for k, v in selection.scores.items()} }",
+        )
+        return ds
+
+    def split(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        labeled_mask = ds["label"] != UNLABELED
+        final = ds.take(np.flatnonzero(labeled_mask))
+        splits = stratified_split(final["label"], SplitSpec(0.8, 0.1, 0.1),
+                                  np.random.default_rng(seed))
+        _row(
+            ctx,
+            "split",
+            ", ".join(f"{k}={len(v)}" for k, v in splits.items()),
+            "stratified train/val/test",
+        )
+        ctx.add_artifact("splits", splits)
+        return final
+
+    def shard(ds: Dataset, ctx: PipelineContext) -> Dataset:
+        manifest = ctx.backend.shard_write(
+            ds, tmp_path / "shards", ctx.artifacts["splits"],
+            shards_per_split=2, codec_name="zlib", codec_level=3,
+        )
+        _row(
+            ctx,
+            "shard",
+            f"{manifest.n_shards} compressed shards, {manifest.n_samples} samples",
+            "binary export with manifest",
+        )
+        return ds
+
+    return StagePlan.build("fig1", [
+        PipelineStage("source", S.INGEST, source),
+        PipelineStage("clean", S.PREPROCESS, clean),
+        PipelineStage("normalize", S.TRANSFORM, normalize),
+        PipelineStage("label", S.TRANSFORM, label),
+        PipelineStage("augment", S.TRANSFORM, augment),
+        PipelineStage("feature-engineering", S.TRANSFORM, feature_engineering),
+        PipelineStage("split", S.STRUCTURE, split),
+        PipelineStage("shard", S.SHARD, shard,
+                      params={"codec": "zlib"}, parallelism=Parallelism.WRITE),
+    ])
+
+
 def run_figure1_steps(tmp_path, seed=0):
-    rows = []
-    ds = make_raw_dataset(seed)
-    rows.append(("source", f"{ds.n_samples} raw samples", "synthetic acquisition"))
-
-    ds, report = clean_dataset(ds, target_units={"temperature": "K"})
-    rows.append((
-        "clean",
-        report.summary(),
-        "missing values imputed, outliers clipped, units harmonized",
-    ))
-
-    ds, normalizers = normalize_dataset(ds, "zscore")
-    rows.append((
-        "normalize",
-        f"{len(normalizers)} variables z-scored",
-        "per-variable mean/std (Section 2.1)",
-    ))
-
-    features = np.stack([ds["signal"], ds["noise"]], axis=1)
-    result = pseudo_label(features, ds["label"], confidence_threshold=0.75)
-    labels = propagate_labels(features, result.labels, k_neighbors=7)
-    ds = ds.with_column(ds.schema["label"], labels, replace=True)
-    covered = float((labels != UNLABELED).mean())
-    rows.append((
-        "label (semi-supervised)",
-        f"coverage {covered:.0%} after {len(result.rounds)} pseudo-label rounds",
-        "pseudo-labeling + propagation",
-    ))
-
-    rng = np.random.default_rng(seed)
-    labeled_mask = ds["label"] != UNLABELED
-    X = features[labeled_mask]
-    y = ds["label"][labeled_mask]
-    counts = {int(c): int((y == c).sum()) for c in np.unique(y)}
-    minority = min(counts, key=counts.get)
-    n_extra = max(counts.values()) - counts[minority]
-    if n_extra > 0 and counts[minority] >= 2:
-        synth_X, synth_y = smote_like(X, y, minority, rng, n_synthetic=n_extra)
-        rows.append((
-            "augment",
-            f"{n_extra} SMOTE samples for class {minority}",
-            "balance {0}:{1}".format(*sorted(counts.values())),
-        ))
-
-    selection = select_k_best(X, y, k=1)
-    rows.append((
-        "feature engineering",
-        f"kept feature idx {selection.kept} by mutual information",
-        f"scores={ {k: round(v, 3) for k, v in selection.scores.items()} }",
-    ))
-
-    final = ds.take(np.flatnonzero(labeled_mask))
-    splits = stratified_split(final["label"], SplitSpec(0.8, 0.1, 0.1),
-                              np.random.default_rng(seed))
-    rows.append((
-        "split",
-        ", ".join(f"{k}={len(v)}" for k, v in splits.items()),
-        "stratified train/val/test",
-    ))
-
-    manifest = write_shard_set(final, tmp_path / "shards", splits=splits,
-                               shards_per_split=2, codec_name="zlib", codec_level=3)
-    rows.append((
-        "shard",
-        f"{manifest.n_shards} compressed shards, {manifest.n_samples} samples",
-        "binary export with manifest",
-    ))
-    return rows, ds
+    runner = PipelineRunner(build_figure1_plan(tmp_path, seed))
+    run = runner.run(make_raw_dataset(seed))
+    return run.context.artifacts["fig1_rows"], run.context.artifacts["labeled_dataset"]
 
 
 def test_fig1_pipeline(benchmark, tmp_path, write_report):

@@ -7,8 +7,14 @@ technical readiness"; this CLI is that tool::
     python -m repro archetypes                # render Table 1 (registry)
     python -m repro templates [DOMAIN]        # preprocessing templates
     python -m repro run DOMAIN --workdir DIR  # run an archetype end-to-end
+    python -m repro backends                  # list execution backends
     python -m repro inspect SHARD_DIR         # verify + describe a shard set
     python -m repro crosswalk LEVEL           # NOAA/METRIC crosswalks
+
+``run`` drives the layered engine: ``--backend`` picks the execution
+backend (serial, threaded, simspmd — all bitwise-equivalent),
+``--checkpoint-dir`` persists per-stage checkpoints, and ``--resume``
+restarts a previously interrupted run from its last completed stage.
 
 Everything the CLI prints is produced by the same public API the examples
 use; the CLI adds no behaviour of its own.
@@ -21,9 +27,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.assessment import ReadinessAssessment, ReadinessAssessor
+from repro.core.assessment import ReadinessAssessment
+from repro.core.backends import BACKENDS
 from repro.core.crosswalk import crosswalk_report
-from repro.core.evidence import ReadinessEvidence
 from repro.core.levels import DataReadinessLevel
 from repro.core.matrix import MaturityMatrix
 from repro.core.registry import default_registry
@@ -52,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("domain", choices=["climate", "fusion", "bio", "materials"])
     run.add_argument("--workdir", required=True, type=Path)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--backend", choices=sorted(BACKENDS), default="serial",
+                     help="execution backend for data-parallel stage internals")
+    run.add_argument("--checkpoint-dir", type=Path, default=None,
+                     help="persist per-stage checkpoints under this directory")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the last completed checkpointed stage "
+                          "(requires --checkpoint-dir)")
+    run.add_argument("--events", action="store_true",
+                     help="print the structured run-event log after the run")
+
+    sub.add_parser("backends", help="list the available execution backends")
 
     inspect = sub.add_parser("inspect", help="verify and describe a shard set")
     inspect.add_argument("directory", type=Path)
@@ -93,7 +110,15 @@ def _cmd_templates(domain: Optional[str]) -> int:
     return 0
 
 
-def _cmd_run(domain: str, workdir: Path, seed: int) -> int:
+def _cmd_run(
+    domain: str,
+    workdir: Path,
+    seed: int,
+    backend: str = "serial",
+    checkpoint_dir: Optional[Path] = None,
+    resume: bool = False,
+    events: bool = False,
+) -> int:
     from repro.domains import (
         BioArchetype,
         ClimateArchetype,
@@ -101,16 +126,38 @@ def _cmd_run(domain: str, workdir: Path, seed: int) -> int:
         MaterialsArchetype,
     )
 
+    if resume and checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     classes = {
         "climate": ClimateArchetype,
         "fusion": FusionArchetype,
         "bio": BioArchetype,
         "materials": MaterialsArchetype,
     }
+    from repro.core.pipeline import CheckpointError, PipelineError
+
     archetype = classes[domain](seed=seed)
-    print(f"running {domain} archetype ({archetype.pattern_string()}) ...")
-    result = archetype.run(workdir)
+    print(f"running {domain} archetype ({archetype.pattern_string()}) "
+          f"on the {backend} backend ...")
+    try:
+        result = archetype.run(
+            workdir, backend=backend, checkpoint_dir=checkpoint_dir, resume=resume
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except PipelineError as exc:
+        where = f" (stage {exc.stage_name!r})" if exc.stage_name else ""
+        print(f"error{where}: {exc}", file=sys.stderr)
+        return 1
+    if result.run.resumed_from is not None:
+        skipped = result.run.resumed_from + 1
+        print(f"resumed from checkpoint: {skipped} stage(s) restored, not re-run")
     print(result.run.stage_table())
+    if events:
+        print(section("run events"))
+        print(result.run.event_log())
     print(section("assessment"))
     print(f"Data Readiness Level: {result.readiness_level} / 5")
     print(MaturityMatrix.from_assessment(result.assessment).render_compact())
@@ -125,6 +172,17 @@ def _cmd_run(domain: str, workdir: Path, seed: int) -> int:
             for split in sorted(result.manifest.splits)
         ]
         print(render_table(["split", "samples", "shards"], rows))
+    return 0
+
+
+def _cmd_backends() -> int:
+    rows = []
+    for name in sorted(BACKENDS):
+        backend = BACKENDS[name]()
+        rows.append((name, backend.width, (backend.__doc__ or "").splitlines()[0]))
+    print(render_table(["backend", "default width", "description"], rows))
+    print("\nall backends produce bitwise-identical payloads, statistics, "
+          "and shard files for the same plan and input.")
     return 0
 
 
@@ -172,7 +230,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "templates":
         return _cmd_templates(args.domain)
     if args.command == "run":
-        return _cmd_run(args.domain, args.workdir, args.seed)
+        return _cmd_run(
+            args.domain,
+            args.workdir,
+            args.seed,
+            backend=args.backend,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            events=args.events,
+        )
+    if args.command == "backends":
+        return _cmd_backends()
     if args.command == "inspect":
         return _cmd_inspect(args.directory)
     if args.command == "crosswalk":

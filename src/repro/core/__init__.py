@@ -28,6 +28,22 @@ from repro.core.assessment import (
     StageAssessment,
 )
 from repro.core.matrix import CellStatus, MatrixCell, MaturityMatrix
+from repro.core.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    SerialBackend,
+    SimSPMDBackend,
+    ThreadedBackend,
+    get_backend,
+)
+from repro.core.plan import Parallelism, StagePlan
+from repro.core.runner import (
+    CheckpointError,
+    PipelineRunner,
+    RunCheckpointer,
+    RunEvent,
+    RunEventKind,
+)
 from repro.core.pipeline import (
     Pipeline,
     PipelineContext,
@@ -68,6 +84,11 @@ __all__ = [
     "CellStatus", "MatrixCell", "MaturityMatrix",
     "Pipeline", "PipelineContext", "PipelineError", "PipelineRun",
     "PipelineStage", "StageResult", "fingerprint_payload",
+    "StagePlan", "Parallelism",
+    "ExecutionBackend", "SerialBackend", "ThreadedBackend", "SimSPMDBackend",
+    "BACKENDS", "get_backend",
+    "PipelineRunner", "RunEvent", "RunEventKind",
+    "RunCheckpointer", "CheckpointError",
     "FeedbackController", "FeedbackHistory", "FeedbackIteration",
     "FeedbackRule", "holdout_accuracy_evaluator",
     "ArchetypeEntry", "ArchetypeRegistry", "default_registry",

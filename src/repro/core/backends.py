@@ -1,0 +1,333 @@
+"""Pluggable execution backends: the *how* of pipeline execution.
+
+The plan layer (:mod:`repro.core.plan`) describes what runs; an
+:class:`ExecutionBackend` decides how the data-parallel inner work of a
+stage executes.  Stages reach their backend through ``ctx.backend`` and
+speak one small protocol — :meth:`~ExecutionBackend.map`,
+:meth:`~ExecutionBackend.stats`, :meth:`~ExecutionBackend.shard_write` —
+so the same stage code runs serially, over a thread pool, or over the
+simulated SPMD world without modification.  Three implementations ship:
+
+* :class:`SerialBackend` — everything inline, one partition at a time
+  (the reference semantics every other backend must reproduce);
+* :class:`ThreadedBackend` — a thread pool over the same partitions,
+  suited to NumPy-heavy work that releases the GIL;
+* :class:`SimSPMDBackend` — the SPMD drivers of
+  :mod:`repro.parallel.executor` (rank-per-partition over SimComm), the
+  code path a real MPI port would take.
+
+**Numeric reproducibility contract.**  Statistics are always computed
+over the same logical *block partition* and partials are merged in
+partition order, whichever backend runs them.  Execution strategy
+therefore never changes the numbers: Serial, Threaded, and SimSPMD
+produce bitwise-identical statistics, payloads, and shard files for the
+same plan and input.  Backend parity is enforced by tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.io.compression import get_codec
+from repro.io.shards import MANIFEST_NAME, ShardInfo, ShardManifest, write_shard
+from repro.parallel.executor import (
+    distributed_shard_write,
+    distributed_stats,
+    parallel_map,
+)
+from repro.parallel.partition import block_partition
+from repro.parallel.stats import FeatureStats
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "SimSPMDBackend",
+    "BACKENDS",
+    "get_backend",
+]
+
+#: canonical partition count for statistics — shared by every backend so
+#: merge order (and therefore floating-point results) never depends on
+#: which backend executed the reduction
+DEFAULT_STATS_PARTITIONS = 4
+
+
+def _shard_table(
+    splits: Dict[str, np.ndarray], shards_per_split: int
+) -> List[Tuple[str, int, np.ndarray]]:
+    """The global shard table: (split, shard index, row indices) per file.
+
+    Must stay in lockstep with :func:`repro.parallel.executor.
+    distributed_shard_write` so all backends cut identical shard files.
+    """
+    table: List[Tuple[str, int, np.ndarray]] = []
+    for split, indices in splits.items():
+        indices = np.asarray(indices)
+        n_shards = max(1, min(shards_per_split, max(indices.size, 1)))
+        for i, chunk in enumerate(np.array_split(indices, n_shards)):
+            table.append((split, i, chunk))
+    return table
+
+
+class ExecutionBackend(abc.ABC):
+    """The protocol every backend implements (stages see it as ``ctx.backend``)."""
+
+    #: registry name; also used in run events and evidence details
+    name: str = "abstract"
+
+    @property
+    def width(self) -> int:
+        """Degree of parallelism the backend runs at (1 for serial)."""
+        return 1
+
+    @abc.abstractmethod
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        """Apply *fn* to every item; results return in input order.
+
+        *fn* must be pure with respect to the items — backends may run
+        calls concurrently and in any schedule.  ``weights`` is an
+        optional load-balancing hint (ignored by backends that cannot
+        use it).
+        """
+
+    def stats(
+        self, data: np.ndarray, *, partitions: int = DEFAULT_STATS_PARTITIONS
+    ) -> FeatureStats:
+        """Exact feature statistics via partition / accumulate / merge.
+
+        The sample axis is block-partitioned into *partitions* chunks,
+        a :class:`FeatureStats` partial accumulates per chunk, and the
+        partials merge in partition order (Chan's exact formula).  The
+        partition grid is fixed by the caller, not the backend, so the
+        result is bitwise identical across backends.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        assignments = block_partition(data.shape[0], partitions, None)
+        shape = tuple(data.shape[1:])
+
+        def partial(assignment: Any) -> FeatureStats:
+            local = FeatureStats.empty(shape)
+            if assignment.indices.size:
+                local.update(data[assignment.indices])
+            return local
+
+        partials = self.map(partial, assignments)
+        acc = partials[0]
+        for part in partials[1:]:
+            acc.merge(part)
+        return acc
+
+    def shard_write(
+        self,
+        dataset: Dataset,
+        directory: Union[str, Path],
+        splits: Dict[str, np.ndarray],
+        *,
+        shards_per_split: int = 4,
+        codec_name: str = "raw",
+        codec_level: Optional[int] = None,
+    ) -> ShardManifest:
+        """Export *dataset* as a shard set, parallelising over shard files.
+
+        Each entry of the shard table is written independently through
+        :meth:`map`; the manifest is assembled in deterministic
+        split/index order afterwards, so shard contents and accounting
+        match across backends byte for byte.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        codec = get_codec(codec_name, codec_level)
+        table = _shard_table(splits, shards_per_split)
+
+        def write_entry(entry: Tuple[str, int, np.ndarray]) -> Tuple[str, int, ShardInfo]:
+            split, i, rows = entry
+            columns = {name: dataset[name][rows] for name in dataset.schema.names}
+            info = write_shard(columns, directory / f"{split}-{i:05d}.rps", codec)
+            return split, i, info
+
+        by_split: Dict[str, List[Tuple[int, ShardInfo]]] = {}
+        for split, i, info in self.map(write_entry, table):
+            by_split.setdefault(split, []).append((i, info))
+        manifest = ShardManifest(
+            dataset_name=dataset.metadata.name,
+            schema=dataset.schema,
+            splits={
+                split: [info for _, info in sorted(rows)]
+                for split, rows in by_split.items()
+            },
+            codec=codec_name,
+            metadata={
+                "domain": dataset.metadata.domain,
+                "source": dataset.metadata.source,
+                "version": dataset.metadata.version,
+                "modality": dataset.metadata.modality.value,
+                "written_by_ranks": self.width,
+            },
+        )
+        (directory / MANIFEST_NAME).write_text(manifest.to_json())
+        return manifest
+
+    def describe(self) -> str:
+        return f"{self.name} (width={self.width})"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} width={self.width}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference backend: every operation inline, one item at a time."""
+
+    name = "serial"
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        return [fn(item) for item in items]
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Thread-pool backend: partitionable work fans out over ``workers`` threads.
+
+    Best when stage internals are NumPy-heavy (array slicing, codec
+    compression, file writes) and release the GIL.  Results are collected
+    in submission order, so outputs are independent of thread scheduling.
+    """
+
+    name = "threaded"
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    @property
+    def width(self) -> int:
+        return self.workers
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+class SimSPMDBackend(ExecutionBackend):
+    """SPMD backend over the in-process MPI-like :class:`SimComm` world.
+
+    Wraps the drivers of :mod:`repro.parallel.executor` — ``parallel_map``
+    for fan-out, ``distributed_stats`` for the partition/allreduce
+    statistics pattern, and ``distributed_shard_write`` for rank-parallel
+    shard export with rank-0 manifest assembly — behind the common
+    backend protocol, so pipelines exercise the exact communication
+    pattern a leadership-facility MPI port would use.
+    """
+
+    name = "simspmd"
+
+    def __init__(self, n_ranks: int = 4, *, strategy: str = "block"):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self.strategy = strategy
+
+    @property
+    def width(self) -> int:
+        return self.n_ranks
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        return parallel_map(
+            fn, items, n_ranks=self.n_ranks, strategy=self.strategy, weights=weights
+        )
+
+    def stats(
+        self, data: np.ndarray, *, partitions: int = DEFAULT_STATS_PARTITIONS
+    ) -> FeatureStats:
+        # world size == partition count: rank-order allreduce merge is then
+        # the same left fold over the same block partition as the base
+        # implementation, keeping results bitwise identical
+        return distributed_stats(data, n_ranks=partitions, strategy="block")
+
+    def shard_write(
+        self,
+        dataset: Dataset,
+        directory: Union[str, Path],
+        splits: Dict[str, np.ndarray],
+        *,
+        shards_per_split: int = 4,
+        codec_name: str = "raw",
+        codec_level: Optional[int] = None,
+    ) -> ShardManifest:
+        return distributed_shard_write(
+            dataset,
+            directory,
+            splits,
+            n_ranks=self.n_ranks,
+            shards_per_split=shards_per_split,
+            codec_name=codec_name,
+            codec_level=codec_level,
+        )
+
+
+#: name -> backend class; extend by registering new classes here or by
+#: passing instances directly wherever a backend is accepted
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadedBackend.name: ThreadedBackend,
+    SimSPMDBackend.name: SimSPMDBackend,
+}
+
+
+def get_backend(
+    spec: Union[str, ExecutionBackend, None] = None, **options: Any
+) -> ExecutionBackend:
+    """Resolve a backend from a name, an instance, or ``None`` (serial).
+
+    ``options`` are forwarded to the backend constructor when resolving
+    by name (e.g. ``get_backend("threaded", workers=8)``).
+    """
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, ExecutionBackend):
+        if options:
+            raise ValueError("backend options only apply when resolving by name")
+        return spec
+    try:
+        cls = BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return cls(**options)

@@ -22,7 +22,7 @@ external level whose requirements are a subset of what DRAI certifies.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.core.assessment import ReadinessAssessment
 from repro.core.levels import DataReadinessLevel

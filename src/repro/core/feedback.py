@@ -15,7 +15,7 @@ re-clean noisy channels) plug in directly from :mod:`repro.transforms`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -1,273 +1,143 @@
-"""The pipeline engine: staged execution with evidence + provenance capture.
+"""The pipeline engine facade: plan + backend + run behind the classic API.
 
-A :class:`Pipeline` is an ordered list of :class:`PipelineStage` objects,
-each tagged with the canonical :class:`~repro.core.levels.DataProcessingStage`
-it implements.  Running a pipeline threads a payload (raw files, signal
-collections, a :class:`~repro.core.dataset.Dataset` — whatever the stage
-functions agree on) through the stages while a :class:`PipelineContext`
-accumulates the three cross-cutting artifacts the paper says current
-practice lacks:
+The engine is layered (see DESIGN.md, "Engine architecture"):
 
-* **readiness evidence** — facts for the assessor (Table 2 semantics);
-* **provenance** — a content-hashed record per stage transition;
-* **audit** — who ran what, hash-chained.
+* :mod:`repro.core.plan` — :class:`StagePlan`, the declarative *what*:
+  validated stage ordering, parallelism hints, payload fingerprinting;
+* :mod:`repro.core.backends` — :class:`ExecutionBackend`, the *how*:
+  serial, thread-pool, or simulated-SPMD execution of stage internals;
+* :mod:`repro.core.runner` — :class:`PipelineRunner`, the *doing*:
+  evidence/provenance/audit capture, structured run events, checkpointed
+  resume.
 
-Stage functions stay pure data transforms; capture is the engine's job.
+This module keeps the original single-import surface: :class:`Pipeline`
+wraps a plan plus a runner, and ``Pipeline.run()`` behaves exactly as the
+old serial loop did — existing callers and tests work unchanged — while
+new keyword arguments (``backend=``, ``checkpoint_dir=``, ``resume=``,
+``on_event=``) expose the layered engine.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import time
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.core.dataset import Dataset
-from repro.core.evidence import EvidenceKind, ReadinessEvidence
+from repro.core.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    SerialBackend,
+    SimSPMDBackend,
+    ThreadedBackend,
+    get_backend,
+)
 from repro.core.levels import DataProcessingStage
-from repro.governance.audit import AuditLog
-from repro.provenance.graph import LineageGraph
-from repro.provenance.record import ProvenanceRecord, fingerprint_array
-from repro.provenance.store import ProvenanceStore
+from repro.core.plan import (
+    Parallelism,
+    PipelineError,
+    PipelineStage,
+    StagePlan,
+    fingerprint_payload,
+)
+from repro.core.runner import (
+    CheckpointError,
+    PipelineContext,
+    PipelineRun,
+    PipelineRunner,
+    RunCheckpointer,
+    RunEvent,
+    RunEventKind,
+    StageResult,
+)
 
 __all__ = [
-    "PipelineContext",
-    "PipelineStage",
-    "StageResult",
-    "PipelineRun",
     "Pipeline",
+    "PipelineContext",
     "PipelineError",
+    "PipelineRun",
+    "PipelineRunner",
+    "PipelineStage",
+    "StagePlan",
+    "StageResult",
+    "Parallelism",
+    "RunEvent",
+    "RunEventKind",
+    "RunCheckpointer",
+    "CheckpointError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "SimSPMDBackend",
+    "BACKENDS",
+    "get_backend",
     "fingerprint_payload",
 ]
 
 
-class PipelineError(RuntimeError):
-    """A stage failed; carries the stage name for diagnostics."""
+class Pipeline:
+    """An ordered, validated sequence of stages (facade over the engine).
 
-
-def fingerprint_payload(payload: Any) -> str:
-    """Best-effort content hash of an arbitrary pipeline payload."""
-    if isinstance(payload, Dataset):
-        return payload.fingerprint()
-    if isinstance(payload, np.ndarray):
-        return fingerprint_array(payload)
-    if isinstance(payload, (bytes, bytearray)):
-        return hashlib.sha256(bytes(payload)).hexdigest()
-    if isinstance(payload, (list, tuple)):
-        digest = hashlib.sha256()
-        for item in payload:
-            digest.update(fingerprint_payload(item).encode())
-        return digest.hexdigest()
-    if isinstance(payload, dict):
-        digest = hashlib.sha256()
-        for key in sorted(payload, key=repr):
-            digest.update(repr(key).encode())
-            digest.update(fingerprint_payload(payload[key]).encode())
-        return digest.hexdigest()
-    if hasattr(payload, "fingerprint"):
-        return str(payload.fingerprint())
-    return hashlib.sha256(repr(payload).encode()).hexdigest()
-
-
-class PipelineContext:
-    """Mutable carrier of evidence, lineage, audit, and named artifacts."""
-
-    def __init__(
-        self,
-        *,
-        evidence: Optional[ReadinessEvidence] = None,
-        lineage: Optional[LineageGraph] = None,
-        audit: Optional[AuditLog] = None,
-        provenance_store: Optional[ProvenanceStore] = None,
-        agent: str = "pipeline",
-    ):
-        self.evidence = evidence if evidence is not None else ReadinessEvidence()
-        self.lineage = lineage if lineage is not None else LineageGraph()
-        self.audit = audit if audit is not None else AuditLog()
-        self.provenance_store = provenance_store
-        self.agent = agent
-        #: side outputs stages want to expose (fitted normalizers, manifests)
-        self.artifacts: Dict[str, Any] = {}
-
-    def record(
-        self, kind: EvidenceKind, detail: str = "", *, recorded_by: str = "", **metrics: float
-    ) -> None:
-        """Record readiness evidence (the stage-facing API)."""
-        self.evidence.record(
-            kind, detail, recorded_by=recorded_by or self.agent, **metrics
-        )
-
-    def add_artifact(self, name: str, value: Any) -> None:
-        self.artifacts[name] = value
-
-    def _capture(
-        self,
-        stage_name: str,
-        inputs: Sequence[str],
-        output: str,
-        params: Optional[Mapping[str, object]],
-        annotations: Mapping[str, object],
-    ) -> ProvenanceRecord:
-        record = ProvenanceRecord.create(
-            activity=stage_name,
-            inputs=inputs,
-            output=output,
-            params=params,
-            agent=self.agent,
-            annotations=annotations,
-        )
-        self.lineage.add(record)
-        if self.provenance_store is not None:
-            self.provenance_store.append(record)
-        return record
-
-
-@dataclasses.dataclass
-class PipelineStage:
-    """One named stage bound to a canonical processing-stage tag.
-
-    ``fn(payload, context) -> payload`` must not mutate its input payload
-    (fingerprints of inputs are taken *before* the call).
+    Construction validates eagerly via :class:`StagePlan`; :meth:`run`
+    drives a :class:`PipelineRunner`.  The default invocation —
+    ``Pipeline(name, stages).run(payload)`` — is behaviour-compatible
+    with the historical serial engine.
     """
 
-    name: str
-    processing_stage: DataProcessingStage
-    fn: Callable[[Any, PipelineContext], Any]
-    params: Dict[str, object] = dataclasses.field(default_factory=dict)
-    description: str = ""
-
-
-@dataclasses.dataclass(frozen=True)
-class StageResult:
-    """Execution accounting for one stage."""
-
-    stage_name: str
-    processing_stage: DataProcessingStage
-    seconds: float
-    input_fingerprint: str
-    output_fingerprint: str
-    evidence_recorded: int
-
-
-@dataclasses.dataclass
-class PipelineRun:
-    """The outcome of one pipeline execution."""
-
-    pipeline_name: str
-    payload: Any
-    context: PipelineContext
-    results: List[StageResult]
+    def __init__(self, name: str, stages: Sequence[PipelineStage]):
+        self.plan = StagePlan.build(name, stages)
 
     @property
-    def total_seconds(self) -> float:
-        return sum(r.seconds for r in self.results)
+    def name(self) -> str:
+        return self.plan.name
 
-    def seconds_by_processing_stage(self) -> Dict[DataProcessingStage, float]:
-        out: Dict[DataProcessingStage, float] = {}
-        for result in self.results:
-            out[result.processing_stage] = (
-                out.get(result.processing_stage, 0.0) + result.seconds
-            )
-        return out
-
-    def stage_table(self) -> str:
-        """Aligned text table of per-stage timing and hashes."""
-        lines = [
-            f"{'stage':<28} {'canonical':<12} {'seconds':>9}  output",
-        ]
-        for r in self.results:
-            lines.append(
-                f"{r.stage_name:<28} {r.processing_stage.label:<12} "
-                f"{r.seconds:>9.4f}  {r.output_fingerprint[:12]}"
-            )
-        return "\n".join(lines)
-
-
-class Pipeline:
-    """An ordered, validated sequence of stages."""
-
-    def __init__(self, name: str, stages: Sequence[PipelineStage]):
-        if not stages:
-            raise PipelineError("a pipeline needs at least one stage")
-        order = [s.processing_stage for s in stages]
-        if any(int(b) < int(a) for a, b in zip(order, order[1:])):
-            raise PipelineError(
-                "stages must be in canonical order "
-                "(ingest -> preprocess -> transform -> structure -> shard); "
-                f"got {[s.label for s in order]}"
-            )
-        self.name = name
-        self.stages = list(stages)
+    @property
+    def stages(self) -> List[PipelineStage]:
+        return list(self.plan.stages)
 
     @property
     def stage_names(self) -> List[str]:
-        return [s.name for s in self.stages]
+        return self.plan.stage_names
 
     def processing_stages(self) -> List[DataProcessingStage]:
         """Distinct canonical stages covered, in order."""
-        seen: Dict[DataProcessingStage, None] = {}
-        for stage in self.stages:
-            seen.setdefault(stage.processing_stage)
-        return list(seen)
+        return self.plan.processing_stages()
+
+    def describe(self) -> str:
+        return self.plan.describe()
+
+    def runner(
+        self,
+        *,
+        backend: Union[str, ExecutionBackend, None] = None,
+        checkpoint_dir: Union[str, Path, None] = None,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+    ) -> PipelineRunner:
+        """A configured :class:`PipelineRunner` for this pipeline's plan."""
+        return PipelineRunner(
+            self.plan,
+            backend=backend,
+            checkpoint_dir=checkpoint_dir,
+            on_event=on_event,
+        )
 
     def run(
-        self, payload: Any, context: Optional[PipelineContext] = None
+        self,
+        payload: Any,
+        context: Optional[PipelineContext] = None,
+        *,
+        backend: Union[str, ExecutionBackend, None] = None,
+        checkpoint_dir: Union[str, Path, None] = None,
+        resume: bool = False,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
     ) -> PipelineRun:
-        """Execute all stages; provenance is captured per transition."""
-        context = context or PipelineContext(agent=self.name)
-        results: List[StageResult] = []
-        current = payload
-        prev_fp = fingerprint_payload(current)
-        if context.lineage.record_for(prev_fp) is None and prev_fp not in context.lineage.entities:
-            # register the raw payload as a lineage root
-            context._capture(
-                f"{self.name}:source", [], prev_fp, None, {"role": "source"}
-            )
-        for stage in self.stages:
-            evidence_before = len(context.evidence)
-            started = time.perf_counter()
-            try:
-                current = stage.fn(current, context)
-            except Exception as exc:
-                context.audit.record(
-                    context.agent, "stage-failed", stage.name, error=str(exc)
-                )
-                raise PipelineError(f"stage {stage.name!r} failed: {exc}") from exc
-            elapsed = time.perf_counter() - started
-            out_fp = fingerprint_payload(current)
-            if out_fp != prev_fp:
-                # identical fingerprints mean the stage was a pure observer
-                # (validation, evidence-only); no new entity to record
-                context._capture(
-                    stage.name,
-                    [prev_fp],
-                    out_fp,
-                    stage.params,
-                    {"processing_stage": stage.processing_stage.name},
-                )
-            context.audit.record(
-                context.agent,
-                "stage-completed",
-                stage.name,
-                seconds=elapsed,
-                output=out_fp[:12],
-            )
-            results.append(
-                StageResult(
-                    stage_name=stage.name,
-                    processing_stage=stage.processing_stage,
-                    seconds=elapsed,
-                    input_fingerprint=prev_fp,
-                    output_fingerprint=out_fp,
-                    evidence_recorded=len(context.evidence) - evidence_before,
-                )
-            )
-            prev_fp = out_fp
-        return PipelineRun(
-            pipeline_name=self.name,
-            payload=current,
-            context=context,
-            results=results,
+        """Execute all stages; provenance is captured per transition.
+
+        Without keyword arguments this matches the historical serial
+        behaviour.  ``backend`` selects an execution backend (name or
+        instance), ``checkpoint_dir`` enables per-stage checkpoints, and
+        ``resume=True`` restarts after the last completed checkpointed
+        stage instead of re-running the whole plan.
+        """
+        runner = self.runner(
+            backend=backend, checkpoint_dir=checkpoint_dir, on_event=on_event
         )
+        return runner.run(payload, context, resume=resume)

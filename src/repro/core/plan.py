@@ -1,0 +1,318 @@
+"""The plan layer: declarative, validated descriptions of pipeline work.
+
+A :class:`StagePlan` is the *what* of a pipeline — an immutable, validated
+sequence of :class:`PipelineStage` objects in the canonical
+``ingest -> preprocess -> transform -> structure -> shard`` order, each
+carrying an advisory :class:`Parallelism` hint that tells execution
+backends what kind of intra-stage parallelism the stage can exploit.
+Plans carry no execution state: the same plan can be run serially, over a
+thread pool, or over the simulated SPMD world (:mod:`repro.core.backends`),
+checkpointed and resumed (:mod:`repro.core.runner`), or just rendered for
+inspection.
+
+This module also owns :func:`fingerprint_payload`, the deterministic
+content hash the run layer uses for provenance and checkpoint
+verification.  Fingerprints are *structural*: two payloads with the same
+type and the same recursively-hashed contents hash identically across
+processes and runs — never by ``id()`` or default ``repr`` (which embeds
+memory addresses).  Truly opaque objects are rejected instead of silently
+hashed unstably.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+import json
+import pathlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.levels import DataProcessingStage
+from repro.provenance.record import fingerprint_array
+
+__all__ = [
+    "PipelineError",
+    "Parallelism",
+    "PipelineStage",
+    "StagePlan",
+    "fingerprint_payload",
+]
+
+
+class PipelineError(RuntimeError):
+    """A plan was invalid or a stage failed.
+
+    When raised from a running stage, :attr:`stage_name` and
+    :attr:`stage_index` identify the failing stage so callers — and the
+    resume logic in :mod:`repro.core.runner` — can branch on them instead
+    of parsing the message.  Plan-validation errors leave both ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage_name: Optional[str] = None,
+        stage_index: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.stage_name = stage_name
+        self.stage_index = stage_index
+
+
+class Parallelism(enum.Enum):
+    """Advisory hint: the intra-stage parallel pattern a stage can use.
+
+    Backends are free to ignore hints (a serial backend runs everything
+    inline), but the hint documents which ``ctx.backend`` operation the
+    stage reaches for, and lets schedulers reason about a plan without
+    executing it.
+    """
+
+    #: inherently sequential; no backend operation used
+    NONE = "none"
+    #: fans out independent items through :meth:`ExecutionBackend.map`
+    MAP = "map"
+    #: partition/accumulate/merge via :meth:`ExecutionBackend.stats`
+    REDUCE = "reduce"
+    #: parallel file export via :meth:`ExecutionBackend.shard_write`
+    WRITE = "write"
+
+
+@dataclasses.dataclass
+class PipelineStage:
+    """One named stage bound to a canonical processing-stage tag.
+
+    ``fn(payload, context) -> payload`` must not mutate its input payload
+    (fingerprints of inputs are taken *before* the call).  Stages reach
+    data-parallel execution through ``context.backend``; ``parallelism``
+    declares which backend operation the stage uses.
+    """
+
+    name: str
+    processing_stage: DataProcessingStage
+    fn: Callable[[Any, Any], Any]
+    params: Dict[str, object] = dataclasses.field(default_factory=dict)
+    description: str = ""
+    parallelism: Parallelism = Parallelism.NONE
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePlan:
+    """An immutable, validated execution plan: the *what* of a pipeline.
+
+    Construction validates that the plan is non-empty, that stage names
+    are unique (resume identifies stages by name), and that canonical
+    processing stages never go backwards.  Repeated canonical stages are
+    allowed — two transform sub-steps are fine; shard before ingest is
+    not.
+    """
+
+    name: str
+    stages: Tuple[PipelineStage, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if not self.stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        order = [s.processing_stage for s in self.stages]
+        if any(int(b) < int(a) for a, b in zip(order, order[1:])):
+            raise PipelineError(
+                "stages must be in canonical order "
+                "(ingest -> preprocess -> transform -> structure -> shard); "
+                f"got {[s.label for s in order]}"
+            )
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise PipelineError(f"stage names must be unique; duplicated: {duplicates}")
+
+    @classmethod
+    def build(cls, name: str, stages: Sequence[PipelineStage]) -> "StagePlan":
+        """Validated construction from any stage sequence."""
+        return cls(name=name, stages=tuple(stages))
+
+    # -- introspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self) -> Iterator[PipelineStage]:
+        return iter(self.stages)
+
+    def __getitem__(self, index: int) -> PipelineStage:
+        return self.stages[index]
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self.stages]
+
+    def index_of(self, stage_name: str) -> int:
+        for i, stage in enumerate(self.stages):
+            if stage.name == stage_name:
+                return i
+        raise KeyError(f"plan {self.name!r} has no stage {stage_name!r}")
+
+    def processing_stages(self) -> List[DataProcessingStage]:
+        """Distinct canonical stages covered, in order."""
+        seen: Dict[DataProcessingStage, None] = {}
+        for stage in self.stages:
+            seen.setdefault(stage.processing_stage)
+        return list(seen)
+
+    def fingerprint(self) -> str:
+        """Stable identity of the plan's *shape*: names, tags, hints, params.
+
+        Used to guard resume: a checkpoint written under one plan must not
+        seed a run of a structurally different plan.  Stage functions are
+        intentionally excluded — rebinding the same logical stage to a
+        fresh closure (a new process, a monkeypatched method) must not
+        invalidate checkpoints.
+        """
+        blob = {
+            "pipeline": self.name,
+            "stages": [
+                {
+                    "name": s.name,
+                    "stage": s.processing_stage.name,
+                    "parallelism": s.parallelism.value,
+                    "params": {k: str(v) for k, v in sorted(s.params.items())},
+                }
+                for s in self.stages
+            ],
+        }
+        encoded = json.dumps(blob, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+    def describe(self) -> str:
+        """Aligned text table of the plan (stage, canonical tag, hint)."""
+        lines = [f"{'#':>2} {'stage':<24} {'canonical':<12} {'parallelism':<12} params"]
+        for i, s in enumerate(self.stages):
+            lines.append(
+                f"{i:>2} {s.name:<24} {s.processing_stage.label:<12} "
+                f"{s.parallelism.value:<12} {s.params or ''}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# payload fingerprinting
+# ---------------------------------------------------------------------------
+
+_PRIMITIVES = (bool, int, float, complex, str)
+
+
+def fingerprint_payload(payload: Any) -> str:
+    """Deterministic content hash of an arbitrary pipeline payload.
+
+    Known containers and array types hash by content; arbitrary objects
+    hash *structurally* (type name plus recursively-fingerprinted
+    attributes), so two equal payloads hash identically across processes —
+    a requirement for provenance chains and checkpoint verification.
+
+    Raises
+    ------
+    TypeError
+        For truly opaque objects: no content, no attributes, and only the
+        default ``object.__repr__`` (which embeds a memory address and
+        would hash differently on every run).
+    """
+    if isinstance(payload, Dataset):
+        return payload.fingerprint()
+    if isinstance(payload, np.ndarray):
+        return fingerprint_array(payload)
+    if isinstance(payload, np.generic):
+        return fingerprint_array(np.asarray(payload))
+    if isinstance(payload, (bytes, bytearray)):
+        return hashlib.sha256(bytes(payload)).hexdigest()
+    if payload is None or isinstance(payload, _PRIMITIVES):
+        token = f"{type(payload).__name__}:{payload!r}"
+        return hashlib.sha256(token.encode()).hexdigest()
+    if isinstance(payload, enum.Enum):
+        token = f"enum:{type(payload).__module__}.{type(payload).__qualname__}.{payload.name}"
+        return hashlib.sha256(token.encode()).hexdigest()
+    if isinstance(payload, pathlib.PurePath):
+        token = f"path:{payload}"
+        return hashlib.sha256(token.encode()).hexdigest()
+    if isinstance(payload, (list, tuple)):
+        digest = hashlib.sha256()
+        digest.update(f"seq:{len(payload)}".encode())
+        for item in payload:
+            digest.update(fingerprint_payload(item).encode())
+        return digest.hexdigest()
+    if isinstance(payload, (set, frozenset)):
+        digest = hashlib.sha256()
+        digest.update(f"set:{len(payload)}".encode())
+        for fp in sorted(fingerprint_payload(item) for item in payload):
+            digest.update(fp.encode())
+        return digest.hexdigest()
+    if isinstance(payload, dict):
+        digest = hashlib.sha256()
+        digest.update(f"map:{len(payload)}".encode())
+        entries = sorted(
+            (fingerprint_payload(key), fingerprint_payload(value))
+            for key, value in payload.items()
+        )
+        for key_fp, value_fp in entries:
+            digest.update(key_fp.encode())
+            digest.update(value_fp.encode())
+        return digest.hexdigest()
+    fingerprint = getattr(payload, "fingerprint", None)
+    if callable(fingerprint) and not isinstance(payload, type):
+        return str(fingerprint())
+    if inspect.isroutine(payload) or isinstance(payload, type):
+        qualname = getattr(payload, "__qualname__", getattr(payload, "__name__", ""))
+        token = f"named:{getattr(payload, '__module__', '')}.{qualname}"
+        return hashlib.sha256(token.encode()).hexdigest()
+    if dataclasses.is_dataclass(payload):
+        pairs = [(f.name, getattr(payload, f.name)) for f in dataclasses.fields(payload)]
+        return _structural_fingerprint(payload, pairs)
+    attrs = getattr(payload, "__dict__", None)
+    if attrs is not None:
+        return _structural_fingerprint(payload, sorted(attrs.items()))
+    slots = _slot_values(payload)
+    if slots is not None:
+        return _structural_fingerprint(payload, slots)
+    if type(payload).__repr__ is not object.__repr__:
+        # a deliberate, value-based repr is an acceptable last resort
+        return hashlib.sha256(repr(payload).encode()).hexdigest()
+    raise TypeError(
+        f"cannot fingerprint opaque object of type "
+        f"{type(payload).__module__}.{type(payload).__qualname__}: it has no "
+        "content hash, no attributes, and only the default repr "
+        "(which embeds a memory address)"
+    )
+
+
+def _structural_fingerprint(payload: Any, pairs: Sequence[Tuple[str, Any]]) -> str:
+    """Hash type identity plus named attributes, recursively."""
+    cls = type(payload)
+    digest = hashlib.sha256()
+    digest.update(f"obj:{cls.__module__}.{cls.__qualname__}".encode())
+    for name, value in pairs:
+        digest.update(name.encode())
+        digest.update(fingerprint_payload(value).encode())
+    return digest.hexdigest()
+
+
+def _slot_values(payload: Any) -> Optional[List[Tuple[str, Any]]]:
+    """Collect ``__slots__`` attributes across the MRO (None if slot-less)."""
+    names: List[str] = []
+    for klass in type(payload).__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(s for s in slots if s not in ("__dict__", "__weakref__"))
+    if not names:
+        return None
+    sentinel = object()
+    out = []
+    for name in sorted(set(names)):
+        value = getattr(payload, name, sentinel)
+        if value is not sentinel:
+            out.append((name, value))
+    return out

@@ -12,7 +12,7 @@ every archetype end-to-end.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.levels import DataProcessingStage, DOMAIN_STAGE_VERBS
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 __all__ = ["render_table", "render_kv", "section", "format_bytes", "format_seconds"]
 

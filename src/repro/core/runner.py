@@ -1,0 +1,608 @@
+"""The run layer: execute a :class:`StagePlan` with capture, events, resume.
+
+Running a plan threads a payload through its stages while a
+:class:`PipelineContext` accumulates the three cross-cutting artifacts the
+paper says current practice lacks — readiness evidence, content-hashed
+provenance, and a hash-chained audit trail.  On top of that capture (which
+predates this module), the runner adds:
+
+* **structured run events** — every run/stage transition (started,
+  completed, failed, skipped) emits a typed :class:`RunEvent` with
+  timings and fingerprints, collected on the :class:`PipelineRun` and
+  optionally streamed to an ``on_event`` callback;
+* **pluggable execution** — the runner owns an
+  :class:`~repro.core.backends.ExecutionBackend` and installs it as
+  ``context.backend`` so stage internals fan out through it;
+* **checkpointed resume** — with a :class:`RunCheckpointer` attached,
+  every completed stage persists its payload snapshot and fingerprint;
+  a failed run restarts from the last completed stage after verifying
+  the restored payload against its stored fingerprint (and, when a
+  :class:`~repro.provenance.store.ProvenanceStore` is attached, against
+  the stored lineage).
+
+Stage functions stay pure data transforms; capture is the engine's job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.backends import ExecutionBackend, get_backend
+from repro.core.evidence import EvidenceKind, ReadinessEvidence
+from repro.core.levels import DataProcessingStage
+from repro.core.plan import PipelineError, PipelineStage, StagePlan, fingerprint_payload
+from repro.governance.audit import AuditLog
+from repro.provenance.graph import LineageGraph
+from repro.provenance.record import ProvenanceRecord
+from repro.provenance.store import ProvenanceStore
+
+import enum
+
+__all__ = [
+    "PipelineContext",
+    "StageResult",
+    "PipelineRun",
+    "RunEventKind",
+    "RunEvent",
+    "CheckpointError",
+    "RunCheckpoint",
+    "RunCheckpointer",
+    "PipelineRunner",
+]
+
+
+class PipelineContext:
+    """Mutable carrier of evidence, lineage, audit, artifacts, and backend."""
+
+    def __init__(
+        self,
+        *,
+        evidence: Optional[ReadinessEvidence] = None,
+        lineage: Optional[LineageGraph] = None,
+        audit: Optional[AuditLog] = None,
+        provenance_store: Optional[ProvenanceStore] = None,
+        agent: str = "pipeline",
+        backend: Union[str, ExecutionBackend, None] = None,
+    ):
+        self.evidence = evidence if evidence is not None else ReadinessEvidence()
+        self.lineage = lineage if lineage is not None else LineageGraph()
+        self.audit = audit if audit is not None else AuditLog()
+        self.provenance_store = provenance_store
+        self.agent = agent
+        #: how data-parallel stage internals execute; a PipelineRunner
+        #: overwrites this with its own backend at run start
+        self.backend: ExecutionBackend = get_backend(backend)
+        #: side outputs stages want to expose (fitted normalizers, manifests)
+        self.artifacts: Dict[str, Any] = {}
+
+    def record(
+        self, kind: EvidenceKind, detail: str = "", *, recorded_by: str = "", **metrics: float
+    ) -> None:
+        """Record readiness evidence (the stage-facing API)."""
+        self.evidence.record(
+            kind, detail, recorded_by=recorded_by or self.agent, **metrics
+        )
+
+    def add_artifact(self, name: str, value: Any) -> None:
+        self.artifacts[name] = value
+
+    def _capture(
+        self,
+        stage_name: str,
+        inputs: Sequence[str],
+        output: str,
+        params: Optional[Mapping[str, object]],
+        annotations: Mapping[str, object],
+    ) -> ProvenanceRecord:
+        record = ProvenanceRecord.create(
+            activity=stage_name,
+            inputs=inputs,
+            output=output,
+            params=params,
+            agent=self.agent,
+            annotations=annotations,
+        )
+        self.lineage.add(record)
+        if self.provenance_store is not None:
+            self.provenance_store.append(record)
+        return record
+
+
+@dataclasses.dataclass(frozen=True)
+class StageResult:
+    """Execution accounting for one stage."""
+
+    stage_name: str
+    processing_stage: DataProcessingStage
+    seconds: float
+    input_fingerprint: str
+    output_fingerprint: str
+    evidence_recorded: int
+    #: True when the stage was restored from a checkpoint, not executed
+    restored: bool = False
+
+
+class RunEventKind(enum.Enum):
+    """What happened, for structured run logs."""
+
+    RUN_STARTED = "run-started"
+    STAGE_STARTED = "stage-started"
+    STAGE_COMPLETED = "stage-completed"
+    STAGE_FAILED = "stage-failed"
+    STAGE_SKIPPED = "stage-skipped"
+    RUN_COMPLETED = "run-completed"
+    RUN_FAILED = "run-failed"
+
+
+@dataclasses.dataclass(frozen=True)
+class RunEvent:
+    """One structured run/stage transition with timing and fingerprint."""
+
+    kind: RunEventKind
+    pipeline: str
+    stage_name: Optional[str] = None
+    stage_index: Optional[int] = None
+    seconds: float = 0.0
+    fingerprint: str = ""
+    detail: str = ""
+    timestamp: float = dataclasses.field(default_factory=time.time)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind.value,
+            "pipeline": self.pipeline,
+            "stage_name": self.stage_name,
+            "stage_index": self.stage_index,
+            "seconds": self.seconds,
+            "fingerprint": self.fingerprint,
+            "detail": self.detail,
+            "timestamp": self.timestamp,
+        }
+
+
+@dataclasses.dataclass
+class PipelineRun:
+    """The outcome of one pipeline execution."""
+
+    pipeline_name: str
+    payload: Any
+    context: PipelineContext
+    results: List[StageResult]
+    events: List[RunEvent] = dataclasses.field(default_factory=list)
+    #: index of the checkpointed stage the run resumed after (None = fresh)
+    resumed_from: Optional[int] = None
+    backend_name: str = "serial"
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.results)
+
+    def seconds_by_processing_stage(self) -> Dict[DataProcessingStage, float]:
+        out: Dict[DataProcessingStage, float] = {}
+        for result in self.results:
+            out[result.processing_stage] = (
+                out.get(result.processing_stage, 0.0) + result.seconds
+            )
+        return out
+
+    def stage_table(self) -> str:
+        """Aligned text table of per-stage timing and hashes."""
+        lines = [
+            f"{'stage':<28} {'canonical':<12} {'seconds':>9}  output",
+        ]
+        for r in self.results:
+            note = " (restored)" if r.restored else ""
+            lines.append(
+                f"{r.stage_name:<28} {r.processing_stage.label:<12} "
+                f"{r.seconds:>9.4f}  {r.output_fingerprint[:12]}{note}"
+            )
+        return "\n".join(lines)
+
+    def event_log(self) -> str:
+        """One line per run event (kind, stage, timing, fingerprint)."""
+        lines = []
+        for e in self.events:
+            stage = e.stage_name or "-"
+            lines.append(
+                f"{e.kind.value:<16} {stage:<28} {e.seconds:>9.4f}  "
+                f"{e.fingerprint[:12] or '-':<12}  {e.detail}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# checkpointing
+# ---------------------------------------------------------------------------
+
+
+class CheckpointError(RuntimeError):
+    """A stored checkpoint is unusable (wrong plan, corrupt or stale payload)."""
+
+
+@dataclasses.dataclass
+class RunCheckpoint:
+    """The restorable state of the last completed stage."""
+
+    stage_index: int
+    stage_name: str
+    fingerprint: str
+    payload: Any
+    artifacts: Dict[str, Any]
+    evidence: ReadinessEvidence
+    #: the full completed-stage table: index -> {stage, fingerprints}
+    completed: Dict[int, Dict[str, str]]
+
+
+class RunCheckpointer:
+    """Persists per-stage payload snapshots so a failed run can resume.
+
+    Layout under ``directory``: one ``stage-NNN.pkl`` pickle per completed
+    stage (payload + artifacts + evidence) and a ``run-state.json`` table
+    of completed stages with their payload fingerprints, guarded by the
+    plan fingerprint.  State writes are atomic (write-then-rename), and a
+    restored payload is re-fingerprinted before use — a checkpoint that
+    does not hash to its recorded fingerprint is rejected.
+    """
+
+    STATE_NAME = "run-state.json"
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def state_path(self) -> Path:
+        return self.directory / self.STATE_NAME
+
+    def _payload_path(self, index: int) -> Path:
+        return self.directory / f"stage-{index:03d}.pkl"
+
+    def _load_state(self) -> Optional[Dict[str, Any]]:
+        if not self.state_path.exists():
+            return None
+        try:
+            return json.loads(self.state_path.read_text())
+        except json.JSONDecodeError:
+            return None
+
+    def save(
+        self,
+        plan: StagePlan,
+        index: int,
+        stage: PipelineStage,
+        input_fingerprint: str,
+        output_fingerprint: str,
+        payload: Any,
+        context: PipelineContext,
+    ) -> None:
+        """Snapshot one completed stage (payload, artifacts, evidence)."""
+        blob = {
+            "payload": payload,
+            "artifacts": dict(context.artifacts),
+            "evidence": context.evidence,
+        }
+        with open(self._payload_path(index), "wb") as fh:
+            pickle.dump(blob, fh)
+        state = self._load_state()
+        if state is None or state.get("plan_fingerprint") != plan.fingerprint():
+            state = {"completed": []}
+        # a (re)run reaching stage k invalidates any stale later checkpoints
+        completed = [row for row in state["completed"] if int(row["index"]) < index]
+        completed.append(
+            {
+                "index": index,
+                "stage": stage.name,
+                "input_fingerprint": input_fingerprint,
+                "fingerprint": output_fingerprint,
+            }
+        )
+        state = {
+            "pipeline": plan.name,
+            "plan_fingerprint": plan.fingerprint(),
+            "completed": sorted(completed, key=lambda row: int(row["index"])),
+        }
+        tmp = self.state_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(state, indent=2, sort_keys=True))
+        os.replace(tmp, self.state_path)
+
+    def load(self, plan: StagePlan) -> Optional[RunCheckpoint]:
+        """Restore the latest checkpoint for *plan* (None if nothing stored).
+
+        Raises :class:`CheckpointError` when a checkpoint exists but is
+        unusable: written by a structurally different plan, missing its
+        payload snapshot, or failing fingerprint verification.
+        """
+        state = self._load_state()
+        if state is None or not state.get("completed"):
+            return None
+        if state.get("plan_fingerprint") != plan.fingerprint():
+            raise CheckpointError(
+                f"checkpoint in {self.directory} was written by a different "
+                f"plan than {plan.name!r}; refusing to resume"
+            )
+        completed = {int(row["index"]): row for row in state["completed"]}
+        last_index = max(completed)
+        last = completed[last_index]
+        path = self._payload_path(last_index)
+        if not path.exists():
+            raise CheckpointError(f"missing checkpoint payload {path.name}")
+        with open(path, "rb") as fh:
+            blob = pickle.load(fh)
+        payload = blob["payload"]
+        actual = fingerprint_payload(payload)
+        if actual != last["fingerprint"]:
+            raise CheckpointError(
+                f"checkpoint for stage {last['stage']!r} failed fingerprint "
+                f"verification: stored {last['fingerprint'][:12]}, restored "
+                f"payload hashes to {actual[:12]}"
+            )
+        return RunCheckpoint(
+            stage_index=last_index,
+            stage_name=str(last["stage"]),
+            fingerprint=str(last["fingerprint"]),
+            payload=payload,
+            artifacts=dict(blob.get("artifacts", {})),
+            evidence=blob.get("evidence") or ReadinessEvidence(),
+            completed=completed,
+        )
+
+    def clear(self) -> None:
+        """Drop all stored state (fresh-start escape hatch)."""
+        for path in self.directory.glob("stage-*.pkl"):
+            path.unlink()
+        if self.state_path.exists():
+            self.state_path.unlink()
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+class PipelineRunner:
+    """Drives a :class:`StagePlan` through a backend with capture and resume."""
+
+    def __init__(
+        self,
+        plan: StagePlan,
+        *,
+        backend: Union[str, ExecutionBackend, None] = None,
+        checkpoint_dir: Union[str, Path, None] = None,
+        checkpointer: Optional[RunCheckpointer] = None,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+    ):
+        self.plan = plan
+        self.backend = get_backend(backend)
+        if checkpointer is None and checkpoint_dir is not None:
+            checkpointer = RunCheckpointer(checkpoint_dir)
+        self.checkpointer = checkpointer
+        self.on_event = on_event
+
+    # -- events ------------------------------------------------------------------
+    def _emit(self, events: List[RunEvent], kind: RunEventKind, **kw: Any) -> RunEvent:
+        event = RunEvent(kind=kind, pipeline=self.plan.name, **kw)
+        events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+        return event
+
+    # -- resume ------------------------------------------------------------------
+    def _restore(
+        self,
+        checkpoint: RunCheckpoint,
+        context: PipelineContext,
+        events: List[RunEvent],
+        results: List[StageResult],
+    ) -> None:
+        """Replay the completed prefix from a checkpoint into this run."""
+        context.artifacts.update(checkpoint.artifacts)
+        if len(context.evidence) == 0 and len(checkpoint.evidence) > 0:
+            context.evidence = checkpoint.evidence
+        if context.provenance_store is not None:
+            # rebuild lineage continuity for the skipped prefix and require
+            # the restored payload to be a known entity in the stored chain
+            context.lineage.extend(context.provenance_store.load())
+            if checkpoint.fingerprint not in context.lineage.entities:
+                raise CheckpointError(
+                    f"restored payload {checkpoint.fingerprint[:12]} is not an "
+                    "entity in the attached provenance store; refusing to resume"
+                )
+        for index in range(checkpoint.stage_index + 1):
+            row = checkpoint.completed.get(index)
+            if row is None:
+                raise CheckpointError(
+                    f"checkpoint state has no record for stage index {index}"
+                )
+            stage = self.plan.stages[index]
+            results.append(
+                StageResult(
+                    stage_name=stage.name,
+                    processing_stage=stage.processing_stage,
+                    seconds=0.0,
+                    input_fingerprint=str(row["input_fingerprint"]),
+                    output_fingerprint=str(row["fingerprint"]),
+                    evidence_recorded=0,
+                    restored=True,
+                )
+            )
+            self._emit(
+                events,
+                RunEventKind.STAGE_SKIPPED,
+                stage_name=stage.name,
+                stage_index=index,
+                fingerprint=str(row["fingerprint"]),
+                detail="restored from checkpoint",
+            )
+            context.audit.record(
+                context.agent,
+                "stage-skipped",
+                stage.name,
+                output=str(row["fingerprint"])[:12],
+            )
+
+    # -- execution ---------------------------------------------------------------
+    def run(
+        self,
+        payload: Any,
+        context: Optional[PipelineContext] = None,
+        *,
+        resume: bool = False,
+    ) -> PipelineRun:
+        """Execute the plan; provenance is captured per payload transition.
+
+        With ``resume=True`` (requires a checkpointer) the run restarts
+        after the last completed stage: the stored payload snapshot is
+        verified against its recorded fingerprint and the completed
+        prefix is replayed as ``STAGE_SKIPPED`` events instead of being
+        re-executed.
+        """
+        context = context or PipelineContext(agent=self.plan.name)
+        context.backend = self.backend
+        events: List[RunEvent] = []
+        results: List[StageResult] = []
+
+        checkpoint: Optional[RunCheckpoint] = None
+        if resume:
+            if self.checkpointer is None:
+                raise PipelineError(
+                    "resume requested but the runner has no checkpointer"
+                )
+            checkpoint = self.checkpointer.load(self.plan)
+
+        self._emit(
+            events,
+            RunEventKind.RUN_STARTED,
+            detail=f"backend={self.backend.name}"
+            + (f" resume-after={checkpoint.stage_name}" if checkpoint else ""),
+        )
+        context.audit.record(
+            context.agent, "run-started", self.plan.name, backend=self.backend.name
+        )
+
+        start_index = 0
+        resumed_from: Optional[int] = None
+        current = payload
+        if checkpoint is not None:
+            self._restore(checkpoint, context, events, results)
+            current = checkpoint.payload
+            prev_fp = checkpoint.fingerprint
+            start_index = checkpoint.stage_index + 1
+            resumed_from = checkpoint.stage_index
+        else:
+            prev_fp = fingerprint_payload(current)
+            if (
+                context.lineage.record_for(prev_fp) is None
+                and prev_fp not in context.lineage.entities
+            ):
+                # register the raw payload as a lineage root
+                context._capture(
+                    f"{self.plan.name}:source", [], prev_fp, None, {"role": "source"}
+                )
+
+        for index in range(start_index, len(self.plan.stages)):
+            stage = self.plan.stages[index]
+            evidence_before = len(context.evidence)
+            self._emit(
+                events,
+                RunEventKind.STAGE_STARTED,
+                stage_name=stage.name,
+                stage_index=index,
+                fingerprint=prev_fp,
+            )
+            started = time.perf_counter()
+            try:
+                current = stage.fn(current, context)
+            except Exception as exc:
+                elapsed = time.perf_counter() - started
+                context.audit.record(
+                    context.agent, "stage-failed", stage.name, error=str(exc)
+                )
+                self._emit(
+                    events,
+                    RunEventKind.STAGE_FAILED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    seconds=elapsed,
+                    detail=str(exc),
+                )
+                self._emit(
+                    events,
+                    RunEventKind.RUN_FAILED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    detail=str(exc),
+                )
+                error = PipelineError(
+                    f"stage {stage.name!r} failed: {exc}",
+                    stage_name=stage.name,
+                    stage_index=index,
+                )
+                error.events = events  # type: ignore[attr-defined]
+                raise error from exc
+            elapsed = time.perf_counter() - started
+            out_fp = fingerprint_payload(current)
+            if out_fp != prev_fp:
+                # identical fingerprints mean the stage was a pure observer
+                # (validation, evidence-only); no new entity to record
+                context._capture(
+                    stage.name,
+                    [prev_fp],
+                    out_fp,
+                    stage.params,
+                    {"processing_stage": stage.processing_stage.name},
+                )
+            context.audit.record(
+                context.agent,
+                "stage-completed",
+                stage.name,
+                seconds=elapsed,
+                output=out_fp[:12],
+            )
+            results.append(
+                StageResult(
+                    stage_name=stage.name,
+                    processing_stage=stage.processing_stage,
+                    seconds=elapsed,
+                    input_fingerprint=prev_fp,
+                    output_fingerprint=out_fp,
+                    evidence_recorded=len(context.evidence) - evidence_before,
+                )
+            )
+            self._emit(
+                events,
+                RunEventKind.STAGE_COMPLETED,
+                stage_name=stage.name,
+                stage_index=index,
+                seconds=elapsed,
+                fingerprint=out_fp,
+            )
+            if self.checkpointer is not None:
+                self.checkpointer.save(
+                    self.plan, index, stage, prev_fp, out_fp, current, context
+                )
+            prev_fp = out_fp
+
+        self._emit(
+            events,
+            RunEventKind.RUN_COMPLETED,
+            seconds=sum(r.seconds for r in results),
+            fingerprint=prev_fp,
+        )
+        context.audit.record(
+            context.agent, "run-completed", self.plan.name, output=prev_fp[:12]
+        )
+        return PipelineRun(
+            pipeline_name=self.plan.name,
+            payload=current,
+            context=context,
+            results=results,
+            events=events,
+            resumed_from=resumed_from,
+            backend_name=self.backend.name,
+        )

@@ -27,7 +27,7 @@ The four Table 1 domains ship as built-in templates
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 from repro.core.evidence import REQUIREMENTS, EvidenceKind
 from repro.core.levels import (

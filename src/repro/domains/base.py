@@ -108,8 +108,16 @@ class DomainArchetype(abc.ABC):
         assessor: Optional[ReadinessAssessor] = None,
         source_params: Optional[Dict[str, Any]] = None,
         pipeline_options: Optional[Dict[str, Any]] = None,
+        backend: Any = None,
+        checkpoint_dir: Union[str, Path, None] = None,
+        resume: bool = False,
     ) -> ArchetypeResult:
-        """Synthesize a source, run the pipeline, assess, detect challenges."""
+        """Synthesize a source, run the pipeline, assess, detect challenges.
+
+        ``backend`` (a name or :class:`ExecutionBackend` instance) selects
+        how data-parallel stage internals execute; ``checkpoint_dir`` and
+        ``resume`` enable checkpointed restart of a previously failed run.
+        """
         work_dir = Path(work_dir)
         source_dir = work_dir / "source"
         output_dir = work_dir / "shards"
@@ -117,7 +125,13 @@ class DomainArchetype(abc.ABC):
         source_manifest = self.synthesize_source(source_dir, **(source_params or {}))
         pipeline = self.build_pipeline(output_dir, **(pipeline_options or {}))
         context = PipelineContext(agent=f"{self.domain}-pipeline")
-        run = pipeline.run(source_manifest, context)
+        run = pipeline.run(
+            source_manifest,
+            context,
+            backend=backend,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):
             raise RuntimeError(

@@ -28,7 +28,7 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
 from repro.domains.base import DomainArchetype
 from repro.domains.bio.synthetic import (
     PROMOTER_MOTIF,
@@ -42,7 +42,6 @@ from repro.governance.anonymize import anonymize_dataset, pseudonymize
 from repro.governance.enclave import SecureEnclave
 from repro.governance.policy import hipaa_deidentified_policy
 from repro.governance.privacy import PrivacyScanner
-from repro.io.shards import write_shard_set
 from repro.transforms.encode import dna_one_hot
 from repro.transforms.split import SplitSpec, random_split
 
@@ -343,10 +342,10 @@ class BioArchetype(DomainArchetype):
             dataset.n_samples, SplitSpec(0.7, 0.15, 0.15),
             rng=np.random.default_rng(self.seed),
         )
-        manifest = write_shard_set(
+        manifest = ctx.backend.shard_write(
             dataset,
             self._output_dir,
-            splits=splits,
+            splits,
             shards_per_split=3,
             codec_name="zlib",
             codec_level=3,
@@ -379,7 +378,8 @@ class BioArchetype(DomainArchetype):
                               params={"k": self.k}),
                 PipelineStage("fuse", DataProcessingStage.STRUCTURE, self._fuse),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
-                              params={"secure": True}),
+                              params={"secure": True},
+                              parallelism=Parallelism.WRITE),
             ],
         )
 

@@ -11,7 +11,7 @@ grid), and patch-grid accounting.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
 from repro.domains.base import DomainArchetype
 from repro.domains.climate.synthetic import (
     VARIABLES,
@@ -37,8 +37,6 @@ from repro.domains.climate.synthetic import (
 )
 from repro.io.grib import read_grib
 from repro.io.netcdf import read_netcdf
-from repro.io.shards import write_shard_set
-from repro.parallel.executor import distributed_stats
 from repro.quality.validation import check_finite, check_monotonic
 from repro.transforms.cleaning import UnitConverter
 from repro.transforms.normalize import ZScoreNormalizer
@@ -172,25 +170,41 @@ class ClimateArchetype(DomainArchetype):
         return sources
 
     def _regrid(self, sources: List[GriddedSource], ctx: PipelineContext) -> List[GriddedSource]:
-        """regrid: every source onto the target grid (method per variable)."""
-        out: List[GriddedSource] = []
-        n_regridded = 0
-        for source in sources:
+        """regrid: every source onto the target grid (method per variable).
+
+        Individual fields are independent, so the per-field remaps fan
+        out through ``ctx.backend.map`` (Parallelism.MAP).
+        """
+        tasks: List[Tuple[int, str, np.ndarray, RegularGrid]] = []
+        passthrough: Dict[int, GriddedSource] = {}
+        for i, source in enumerate(sources):
             if source.grid.shape == self.target_grid.shape and np.allclose(
                 source.grid.lat, self.target_grid.lat
             ):
-                out.append(source)
+                passthrough[i] = source
                 continue
-            new_vars = {}
             for name, field in source.variables.items():
-                method = "conservative" if _canonical_name(name) == "pr" else "bilinear"
-                new_vars[name] = regrid(field, source.grid, self.target_grid, method)
-                n_regridded += 1
+                tasks.append((i, name, field, source.grid))
+
+        def remap(task: Tuple[int, str, np.ndarray, RegularGrid]) -> Tuple[int, str, np.ndarray]:
+            i, name, field, grid = task
+            method = "conservative" if _canonical_name(name) == "pr" else "bilinear"
+            return i, name, regrid(field, grid, self.target_grid, method)
+
+        regridded: Dict[int, Dict[str, np.ndarray]] = {}
+        for i, name, field in ctx.backend.map(remap, tasks):
+            regridded.setdefault(i, {})[name] = field
+        n_regridded = len(tasks)
+        out: List[GriddedSource] = []
+        for i, source in enumerate(sources):
+            if i in passthrough:
+                out.append(passthrough[i])
+                continue
             out.append(
                 GriddedSource(
                     name=source.name,
                     grid=self.target_grid,
-                    variables=new_vars,
+                    variables=regridded.get(i, {}),
                     units=dict(source.units),
                 )
             )
@@ -229,7 +243,7 @@ class ClimateArchetype(DomainArchetype):
                 [s.variables[name] for s in trainable], axis=0
             )
             flat = stacked.reshape(stacked.shape[0], -1)
-            stats = distributed_stats(flat, n_ranks=self.n_ranks)
+            stats = ctx.backend.stats(flat, partitions=self.n_ranks)
             norm = ZScoreNormalizer()
             # grid-wide scalar statistics (ClimaX normalizes per variable)
             norm.mean = np.array(float(np.mean(stats.mean)))
@@ -373,10 +387,10 @@ class ClimateArchetype(DomainArchetype):
     def _shard(self, dataset: Dataset, ctx: PipelineContext) -> Dataset:
         """shard: temporal split + compressed binary shard set."""
         splits = temporal_split(dataset["time_index"], SplitSpec(0.8, 0.1, 0.1))
-        manifest = write_shard_set(
+        manifest = ctx.backend.shard_write(
             dataset,
             self._output_dir,
-            splits=splits,
+            splits,
             shards_per_split=4,
             codec_name="zlib",
             codec_level=3,
@@ -401,12 +415,15 @@ class ClimateArchetype(DomainArchetype):
                 PipelineStage("download", DataProcessingStage.INGEST, self._ingest,
                               description="decode NetCDF-like + GRIB-like sources"),
                 PipelineStage("regrid", DataProcessingStage.PREPROCESS, self._regrid,
-                              params={"target": self.target_grid.shape}),
+                              params={"target": self.target_grid.shape},
+                              parallelism=Parallelism.MAP),
                 PipelineStage("normalize", DataProcessingStage.TRANSFORM, self._normalize,
-                              params={"method": "zscore", "ranks": self.n_ranks}),
+                              params={"method": "zscore", "ranks": self.n_ranks},
+                              parallelism=Parallelism.REDUCE),
                 PipelineStage("stack", DataProcessingStage.STRUCTURE, self._structure),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
-                              params={"codec": "zlib"}),
+                              params={"codec": "zlib"},
+                              parallelism=Parallelism.WRITE),
             ],
         )
 

@@ -27,7 +27,7 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
 from repro.domains.base import DomainArchetype
 from repro.domains.fusion.shottree import ShotTreeStore
 from repro.domains.fusion.synthetic import (
@@ -35,7 +35,6 @@ from repro.domains.fusion.synthetic import (
     FusionCampaignConfig,
     synthesize_campaign,
 )
-from repro.io.shards import write_shard_set
 from repro.io.tfrecord import Example, TFRecordWriter
 from repro.parallel.stats import RunningMoments
 from repro.quality.metrics import noise_estimate
@@ -142,9 +141,13 @@ class FusionArchetype(DomainArchetype):
         return records
 
     def _align(self, records: List[ShotRecord], ctx: PipelineContext) -> List[AlignedShot]:
-        """align: resample every channel onto a common per-shot time base."""
-        aligned: List[AlignedShot] = []
-        for record in records:
+        """align: resample every channel onto a common per-shot time base.
+
+        Shots are independent, so alignment fans out per shot through
+        ``ctx.backend.map`` (Parallelism.MAP).
+        """
+
+        def align_one(record: ShotRecord) -> AlignedShot:
             present_signals = [record.signals[c] for c in CHANNEL_ORDER if c in record.signals]
             times, matrix, names = align_signals(present_signals, dt=self.dt)
             full = np.zeros((times.size, len(CHANNEL_ORDER)))
@@ -153,15 +156,15 @@ class FusionArchetype(DomainArchetype):
                 if channel in names:
                     full[:, j] = matrix[:, names.index(channel)]
                     present[j] = True
-            aligned.append(
-                AlignedShot(
-                    shot=record.shot,
-                    times=times,
-                    matrix=full,
-                    present=present,
-                    attrs=record.attrs,
-                )
+            return AlignedShot(
+                shot=record.shot,
+                times=times,
+                matrix=full,
+                present=present,
+                attrs=record.attrs,
             )
+
+        aligned = ctx.backend.map(align_one, records)
         ctx.record(
             EvidenceKind.INITIAL_ALIGNMENT,
             f"{len(aligned)} shots aligned at dt={self.dt * 1e3:.1f} ms",
@@ -178,12 +181,19 @@ class FusionArchetype(DomainArchetype):
         return aligned
 
     def _normalize(self, shots: List[AlignedShot], ctx: PipelineContext) -> List[AlignedShot]:
-        """normalize: campaign statistics by exact per-shot partial merges."""
-        partials: List[RunningMoments] = []
-        for shot in shots:
+        """normalize: campaign statistics by exact per-shot partial merges.
+
+        Per-shot partials are independent (backend map); the merge folds
+        in shot order, so campaign statistics are bitwise identical
+        whichever backend computed the partials.
+        """
+
+        def partial(shot: AlignedShot) -> RunningMoments:
             acc = RunningMoments((len(CHANNEL_ORDER),))
             acc.update(shot.matrix[:, :])
-            partials.append(acc)
+            return acc
+
+        partials: List[RunningMoments] = ctx.backend.map(partial, shots)
         total = partials[0].copy()
         for part in partials[1:]:
             total.merge(part)
@@ -356,10 +366,10 @@ class FusionArchetype(DomainArchetype):
     def _shard(self, dataset: Dataset, ctx: PipelineContext) -> Dataset:
         """shard: per-shot group split, TFRecords + native shard set."""
         splits = group_split(dataset["shot"], SplitSpec(0.7, 0.15, 0.15))
-        manifest = write_shard_set(
+        manifest = ctx.backend.shard_write(
             dataset,
             self._output_dir,
-            splits=splits,
+            splits,
             shards_per_split=3,
             codec_name="zlib",
             codec_level=2,
@@ -401,12 +411,15 @@ class FusionArchetype(DomainArchetype):
                 PipelineStage("extract", DataProcessingStage.INGEST, self._extract,
                               description="shot-level reads from the MDSplus-like store"),
                 PipelineStage("align", DataProcessingStage.PREPROCESS, self._align,
-                              params={"dt": self.dt}),
-                PipelineStage("normalize", DataProcessingStage.TRANSFORM, self._normalize),
+                              params={"dt": self.dt},
+                              parallelism=Parallelism.MAP),
+                PipelineStage("normalize", DataProcessingStage.TRANSFORM, self._normalize,
+                              parallelism=Parallelism.REDUCE),
                 PipelineStage("window", DataProcessingStage.STRUCTURE, self._window,
                               params={"window": self.window, "stride": self.stride}),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
-                              params={"formats": ["rps", "tfrecord"]}),
+                              params={"formats": ["rps", "tfrecord"]},
+                              parallelism=Parallelism.WRITE),
             ],
         )
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-import numpy as np
 
 from repro.io.h5lite import H5LiteFile
 from repro.transforms.align import Signal

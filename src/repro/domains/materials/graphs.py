@@ -12,7 +12,7 @@ fixed-tensor shards are both required outputs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 import networkx as nx
 import numpy as np

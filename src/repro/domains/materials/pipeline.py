@@ -29,7 +29,7 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
 from repro.domains.base import DomainArchetype
 from repro.domains.materials.graphs import (
     DESCRIPTOR_NAMES,
@@ -44,7 +44,6 @@ from repro.domains.materials.synthetic import (
     synthesize_materials_archive,
 )
 from repro.io.adios import BPWriter
-from repro.io.shards import write_shard_set
 from repro.quality.metrics import imbalance_ratio
 from repro.transforms.augment import smote_like
 from repro.transforms.normalize import ZScoreNormalizer
@@ -180,17 +179,21 @@ class MaterialsArchetype(DomainArchetype):
     def _encode(
         self, records: List[Dict[str, Any]], ctx: PipelineContext
     ) -> Dict[str, Any]:
-        """encode: bond graphs + class labels."""
-        graphs: List[StructureGraph] = []
-        for record in records:
-            graphs.append(
-                build_graph(
-                    record["id"],
-                    record["lattice"],
-                    record["species"],
-                    record["positions"],
-                )
+        """encode: bond graphs + class labels (one graph per structure).
+
+        Structures are independent, so graph construction fans out
+        through ``ctx.backend.map`` (Parallelism.MAP).
+        """
+
+        def encode_one(record: Dict[str, Any]) -> StructureGraph:
+            return build_graph(
+                record["id"],
+                record["lattice"],
+                record["species"],
+                record["positions"],
             )
+
+        graphs: List[StructureGraph] = ctx.backend.map(encode_one, records)
         labels = np.asarray(
             [FAMILY_TO_CLASS[r["crystal_family"]] for r in records], dtype=np.int64
         )
@@ -316,10 +319,10 @@ class MaterialsArchetype(DomainArchetype):
             dataset["crystal_class"], SplitSpec(0.7, 0.15, 0.15),
             rng=np.random.default_rng(self.seed),
         )
-        manifest = write_shard_set(
+        manifest = ctx.backend.shard_write(
             dataset,
             self._output_dir,
-            splits=splits,
+            splits,
             shards_per_split=3,
             codec_name="zlib",
             codec_level=2,
@@ -361,11 +364,13 @@ class MaterialsArchetype(DomainArchetype):
             [
                 PipelineStage("parse", DataProcessingStage.INGEST, self._parse),
                 PipelineStage("normalize", DataProcessingStage.PREPROCESS, self._normalize),
-                PipelineStage("encode", DataProcessingStage.TRANSFORM, self._encode),
+                PipelineStage("encode", DataProcessingStage.TRANSFORM, self._encode,
+                              parallelism=Parallelism.MAP),
                 PipelineStage("graph", DataProcessingStage.STRUCTURE, self._structure,
                               params={"oversample_to_ratio": self.oversample_to_ratio}),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
-                              params={"formats": ["rps", "adios-like"]}),
+                              params={"formats": ["rps", "adios-like"]},
+                              parallelism=Parallelism.WRITE),
             ],
         )
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.dataset import Dataset, FieldSpec
+from repro.core.dataset import Dataset
 
 __all__ = [
     "pseudonymize",

@@ -12,7 +12,7 @@ release and an open-science export rule set.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.dataset import Dataset
 from repro.governance.anonymize import k_anonymity

@@ -19,9 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from typing import Dict, List, Optional, Pattern, Sequence, Tuple
+from typing import Dict, List, Optional, Pattern, Tuple
 
-import numpy as np
 
 from repro.core.dataset import Dataset
 

@@ -17,9 +17,9 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.dataset import Dataset, DatasetMetadata, Modality, Schema
+from repro.core.dataset import Dataset, DatasetMetadata, Modality
 from repro.io.adios import BPReader, BPWriter
-from repro.io.compression import Codec, RawCodec, get_codec
+from repro.io.compression import Codec, get_codec
 from repro.io.h5lite import H5LiteFile
 from repro.io.shards import schema_from_dicts, schema_to_dicts
 from repro.io.tfrecord import Example, TFRecordReader, TFRecordWriter

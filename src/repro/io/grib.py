@@ -28,7 +28,7 @@ import json
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Tuple, Union
 
 import numpy as np
 

@@ -11,7 +11,6 @@ claims require.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.parallel.filesystem import ParallelFileSystem
 

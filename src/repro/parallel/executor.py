@@ -19,12 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.io.shards import (
-    MANIFEST_NAME,
-    ShardInfo,
-    ShardManifest,
-    write_shard,
-)
+from repro.io.shards import MANIFEST_NAME, ShardManifest, write_shard
 from repro.io.compression import get_codec
 from repro.parallel.comm import SimComm, run_spmd
 from repro.parallel.partition import (

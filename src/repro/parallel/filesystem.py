@@ -21,9 +21,8 @@ The model is analytic and deterministic:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 __all__ = ["OST", "FileStripe", "Transfer", "TransferResult", "ParallelFileSystem"]
 

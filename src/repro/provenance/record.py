@@ -18,7 +18,7 @@ import hashlib
 import json
 import time
 import uuid
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Union
 
 from repro.provenance.graph import LineageGraph
 from repro.provenance.record import ProvenanceRecord

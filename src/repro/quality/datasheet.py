@@ -12,7 +12,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.core.assessment import ReadinessAssessment
 from repro.core.dataset import Dataset

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.dataset import Dataset, FieldRole
+from repro.core.dataset import Dataset
 from repro.transforms.cleaning import missing_mask, outlier_mask
 
 __all__ = [

@@ -10,7 +10,7 @@ they can become training tensors.  Everything operates on explicit
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ remain reproducible end-to-end.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -10,11 +10,11 @@ that pipelines convert into readiness evidence.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.dataset import Dataset, FieldSpec
+from repro.core.dataset import Dataset
 
 __all__ = [
     "CleaningReport",

@@ -8,7 +8,6 @@ serializable for provenance.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

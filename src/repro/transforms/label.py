@@ -18,7 +18,7 @@ are iteratively treated as labels."  This module provides:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -10,7 +10,6 @@ provenance capture.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, Optional, Tuple
 
 import numpy as np

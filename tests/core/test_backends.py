@@ -1,0 +1,129 @@
+"""Backend protocol: resolution, map ordering, and the bitwise parity contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    BACKENDS,
+    SerialBackend,
+    SimSPMDBackend,
+    ThreadedBackend,
+    get_backend,
+)
+from repro.io.shards import MANIFEST_NAME
+from repro.parallel.executor import distributed_stats
+
+ALL_BACKENDS = [SerialBackend(), ThreadedBackend(workers=3), SimSPMDBackend(n_ranks=3)]
+IDS = [b.name for b in ALL_BACKENDS]
+
+
+class TestResolution:
+    def test_none_resolves_to_serial(self):
+        assert get_backend(None).name == "serial"
+
+    def test_name_resolution_with_options(self):
+        backend = get_backend("threaded", workers=7)
+        assert backend.width == 7
+
+    def test_instance_passthrough(self):
+        backend = SimSPMDBackend(n_ranks=2)
+        assert get_backend(backend) is backend
+
+    def test_instance_with_options_rejected(self):
+        with pytest.raises(ValueError, match="options"):
+            get_backend(SerialBackend(), workers=2)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="serial"):
+            get_backend("gpu")
+
+    def test_registry_names_match_classes(self):
+        for name, cls in BACKENDS.items():
+            assert cls.name == name
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadedBackend(workers=0)
+        with pytest.raises(ValueError):
+            SimSPMDBackend(n_ranks=0)
+
+
+class TestMap:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=IDS)
+    def test_results_in_input_order(self, backend):
+        items = list(range(23))
+        assert backend.map(lambda x: x * x, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=IDS)
+    def test_empty_items(self, backend):
+        assert backend.map(lambda x: x, []) == []
+
+
+class TestStatsParity:
+    def test_bitwise_identical_across_backends(self, rng):
+        data = rng.normal(size=(101, 7))
+        reference = distributed_stats(data, n_ranks=4)
+        for backend in ALL_BACKENDS:
+            stats = backend.stats(data, partitions=4)
+            np.testing.assert_array_equal(stats.mean, reference.mean)
+            np.testing.assert_array_equal(
+                stats.moments.variance, reference.moments.variance
+            )
+            assert stats.count == reference.count
+
+    def test_partition_count_controls_result_not_backend(self, rng):
+        """The grid is the caller's choice; backends must agree on it."""
+        data = rng.normal(size=(64, 3))
+        a = SerialBackend().stats(data, partitions=5)
+        b = ThreadedBackend(workers=2).stats(data, partitions=5)
+        np.testing.assert_array_equal(a.mean, b.mean)
+
+    def test_fewer_rows_than_partitions(self, rng):
+        data = rng.normal(size=(2, 3))
+        a = SerialBackend().stats(data, partitions=4)
+        b = SimSPMDBackend().stats(data, partitions=4)
+        np.testing.assert_array_equal(a.mean, b.mean)
+        assert a.count == b.count == 2
+
+
+class TestShardWriteParity:
+    @staticmethod
+    def _write(backend, dataset, directory):
+        n = dataset.n_samples
+        splits = {
+            "train": np.arange(0, int(n * 0.8)),
+            "val": np.arange(int(n * 0.8), n),
+        }
+        return backend.shard_write(
+            dataset, directory, splits, shards_per_split=3,
+            codec_name="zlib", codec_level=2,
+        )
+
+    def test_shard_files_byte_identical(self, small_dataset, tmp_path):
+        dirs = {}
+        for backend in ALL_BACKENDS:
+            out = tmp_path / backend.name
+            self._write(backend, small_dataset, out)
+            dirs[backend.name] = out
+        reference = dirs["serial"]
+        shard_names = sorted(p.name for p in reference.glob("*.rps"))
+        assert shard_names  # the writer actually produced shards
+        for name, directory in dirs.items():
+            assert sorted(p.name for p in directory.glob("*.rps")) == shard_names
+            for shard in shard_names:
+                assert (directory / shard).read_bytes() == (
+                    reference / shard
+                ).read_bytes(), f"{name}:{shard} diverged"
+
+    def test_manifests_identical_modulo_width(self, small_dataset, tmp_path):
+        manifests = {}
+        for backend in ALL_BACKENDS:
+            out = tmp_path / backend.name
+            self._write(backend, small_dataset, out)
+            manifests[backend.name] = json.loads((out / MANIFEST_NAME).read_text())
+        widths = {"serial": 1, "threaded": 3, "simspmd": 3}
+        for name, manifest in manifests.items():
+            assert manifest["metadata"].pop("written_by_ranks") == widths[name]
+        assert manifests["serial"] == manifests["threaded"] == manifests["simspmd"]

@@ -1,6 +1,5 @@
 """Crosswalks to NOAA/METRIC maturity models."""
 
-import pytest
 
 from repro.core.assessment import ReadinessAssessor
 from repro.core.crosswalk import (

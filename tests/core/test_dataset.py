@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.dataset import (
-    Dataset,
-    DatasetMetadata,
-    FieldRole,
-    FieldSpec,
-    Schema,
-    SchemaError,
-)
+from repro.core.dataset import Dataset, FieldRole, FieldSpec, Schema, SchemaError
 
 
 class TestFieldSpec:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.dataset import Dataset
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
 from repro.core.pipeline import (

@@ -1,0 +1,178 @@
+"""Plan layer: StagePlan validation, introspection, structural fingerprints."""
+
+import dataclasses
+import enum
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.levels import DataProcessingStage
+from repro.core.plan import (
+    Parallelism,
+    PipelineError,
+    PipelineStage,
+    StagePlan,
+    fingerprint_payload,
+)
+
+S = DataProcessingStage
+
+
+def passthrough(payload, ctx):
+    return payload
+
+
+def stage(name, s=S.TRANSFORM, **kw):
+    return PipelineStage(name, s, passthrough, **kw)
+
+
+class TestStagePlanValidation:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PipelineError, match="at least one"):
+            StagePlan.build("p", [])
+
+    def test_canonical_order_enforced(self):
+        with pytest.raises(PipelineError, match="canonical order"):
+            StagePlan.build("p", [stage("a", S.SHARD), stage("b", S.INGEST)])
+
+    def test_order_error_lists_offending_labels(self):
+        with pytest.raises(PipelineError, match=r"\['Shard', 'Ingest'\]"):
+            StagePlan.build("p", [stage("a", S.SHARD), stage("b", S.INGEST)])
+
+    def test_repeated_canonical_stage_allowed(self):
+        plan = StagePlan.build("p", [stage("a"), stage("b")])
+        assert len(plan) == 2
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(PipelineError, match="duplicated: \\['a'\\]"):
+            StagePlan.build("p", [stage("a"), stage("a")])
+
+    def test_validation_errors_have_no_stage_attribution(self):
+        with pytest.raises(PipelineError) as info:
+            StagePlan.build("p", [])
+        assert info.value.stage_name is None
+        assert info.value.stage_index is None
+
+
+class TestStagePlanIntrospection:
+    def test_iteration_and_indexing(self):
+        plan = StagePlan.build("p", [stage("a", S.INGEST), stage("b", S.SHARD)])
+        assert [s.name for s in plan] == ["a", "b"]
+        assert plan[1].name == "b"
+        assert plan.stage_names == ["a", "b"]
+        assert plan.index_of("b") == 1
+        with pytest.raises(KeyError):
+            plan.index_of("missing")
+
+    def test_processing_stages_deduplicated(self):
+        plan = StagePlan.build(
+            "p", [stage("a", S.INGEST), stage("b"), stage("c")]
+        )
+        assert plan.processing_stages() == [S.INGEST, S.TRANSFORM]
+
+    def test_describe_renders_hints(self):
+        plan = StagePlan.build(
+            "p", [stage("regrid", S.PREPROCESS, parallelism=Parallelism.MAP)]
+        )
+        text = plan.describe()
+        assert "regrid" in text and "map" in text
+
+
+class TestPlanFingerprint:
+    def test_stable_across_identical_plans(self):
+        a = StagePlan.build("p", [stage("a", S.INGEST, params={"k": 1})])
+        b = StagePlan.build("p", [stage("a", S.INGEST, params={"k": 1})])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_structure(self):
+        a = StagePlan.build("p", [stage("a", S.INGEST)])
+        b = StagePlan.build("p", [stage("b", S.INGEST)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_insensitive_to_stage_function_identity(self):
+        """Rebinding a stage fn (new process, monkeypatch) keeps checkpoints valid."""
+        a = StagePlan.build(
+            "p", [PipelineStage("a", S.INGEST, lambda p, c: p)]
+        )
+        b = StagePlan.build(
+            "p", [PipelineStage("a", S.INGEST, lambda p, c: None)]
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+
+class _Color(enum.Enum):
+    RED = 1
+
+
+@dataclasses.dataclass
+class _Point:
+    x: float
+    y: float
+
+
+class _Plain:
+    def __init__(self, value):
+        self.value = value
+
+
+class _Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+class TestFingerprintPayload:
+    def test_plain_object_stable_across_instances(self):
+        """The old repr fallback embedded id(); structural hashing does not."""
+        assert fingerprint_payload(_Plain(3)) == fingerprint_payload(_Plain(3))
+
+    def test_plain_object_content_sensitive(self):
+        assert fingerprint_payload(_Plain(3)) != fingerprint_payload(_Plain(4))
+
+    def test_dataclass_structural(self):
+        assert fingerprint_payload(_Point(1.0, 2.0)) == fingerprint_payload(
+            _Point(1.0, 2.0)
+        )
+        assert fingerprint_payload(_Point(1.0, 2.0)) != fingerprint_payload(
+            _Point(2.0, 1.0)
+        )
+
+    def test_slotted_object_structural(self):
+        assert fingerprint_payload(_Slotted(1, "x")) == fingerprint_payload(
+            _Slotted(1, "x")
+        )
+        assert fingerprint_payload(_Slotted(1, "x")) != fingerprint_payload(
+            _Slotted(2, "x")
+        )
+
+    def test_nested_objects_recursive(self):
+        a = _Plain({"p": _Point(1.0, 2.0), "path": pathlib.Path("/data")})
+        b = _Plain({"p": _Point(1.0, 2.0), "path": pathlib.Path("/data")})
+        assert fingerprint_payload(a) == fingerprint_payload(b)
+
+    def test_opaque_object_raises(self):
+        with pytest.raises(TypeError, match="opaque"):
+            fingerprint_payload(object())
+
+    def test_enum_and_path_and_set(self):
+        assert fingerprint_payload(_Color.RED) == fingerprint_payload(_Color.RED)
+        assert fingerprint_payload(pathlib.Path("/a/b")) == fingerprint_payload(
+            pathlib.PurePosixPath("/a/b")
+        )
+        assert fingerprint_payload({3, 1, 2}) == fingerprint_payload({2, 3, 1})
+
+    def test_type_confusion_resisted(self):
+        """Same scalar repr under different types must hash differently."""
+        assert fingerprint_payload(1) != fingerprint_payload(True)
+        assert fingerprint_payload("1") != fingerprint_payload(1)
+
+    def test_numpy_scalar_hashes_by_content(self):
+        assert fingerprint_payload(np.float64(1.5)) == fingerprint_payload(
+            np.float64(1.5)
+        )
+
+    def test_stage_functions_hash_by_qualified_name(self):
+        assert fingerprint_payload(passthrough) == fingerprint_payload(passthrough)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import Pipeline, PipelineStage
 from repro.core.principles import evaluate_principles
 
 

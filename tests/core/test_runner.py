@@ -1,0 +1,297 @@
+"""Run layer: structured events, failure attribution, checkpointed resume."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import DataProcessingStage
+from repro.core.pipeline import (
+    CheckpointError,
+    PipelineContext,
+    PipelineError,
+    PipelineRunner,
+    PipelineStage,
+    RunCheckpointer,
+    RunEventKind,
+    StagePlan,
+)
+from repro.provenance.store import ProvenanceStore
+
+S = DataProcessingStage
+
+
+def doubler(payload, ctx):
+    return payload * 2
+
+
+def passthrough(payload, ctx):
+    return payload
+
+
+def two_stage_plan():
+    return StagePlan.build("p", [
+        PipelineStage("a", S.INGEST, doubler),
+        PipelineStage("b", S.TRANSFORM, doubler),
+    ])
+
+
+class TestRunEvents:
+    def test_event_sequence_for_clean_run(self):
+        run = PipelineRunner(two_stage_plan()).run(np.ones(3))
+        kinds = [e.kind for e in run.events]
+        assert kinds == [
+            RunEventKind.RUN_STARTED,
+            RunEventKind.STAGE_STARTED,
+            RunEventKind.STAGE_COMPLETED,
+            RunEventKind.STAGE_STARTED,
+            RunEventKind.STAGE_COMPLETED,
+            RunEventKind.RUN_COMPLETED,
+        ]
+
+    def test_completed_events_carry_timings_and_fingerprints(self):
+        run = PipelineRunner(two_stage_plan()).run(np.ones(3))
+        completed = [e for e in run.events if e.kind is RunEventKind.STAGE_COMPLETED]
+        assert [e.stage_name for e in completed] == ["a", "b"]
+        assert all(e.seconds >= 0 for e in completed)
+        assert completed[0].fingerprint == run.results[0].output_fingerprint
+        assert run.events[-1].fingerprint == run.results[-1].output_fingerprint
+
+    def test_on_event_callback_streams_live(self):
+        seen = []
+        runner = PipelineRunner(two_stage_plan(), on_event=seen.append)
+        run = runner.run(np.ones(2))
+        assert [e.kind for e in seen] == [e.kind for e in run.events]
+
+    def test_failure_emits_stage_and_run_failed(self):
+        def boom(payload, ctx):
+            raise ValueError("bad data")
+
+        plan = StagePlan.build("p", [
+            PipelineStage("ok", S.INGEST, doubler),
+            PipelineStage("boom", S.TRANSFORM, boom),
+        ])
+        with pytest.raises(PipelineError) as info:
+            PipelineRunner(plan).run(np.ones(2))
+        kinds = [e.kind for e in info.value.events]
+        assert kinds[-2:] == [RunEventKind.STAGE_FAILED, RunEventKind.RUN_FAILED]
+
+    def test_event_log_renders(self):
+        run = PipelineRunner(two_stage_plan()).run(np.ones(2))
+        log = run.event_log()
+        assert "stage-completed" in log and "run-completed" in log
+
+
+class TestFailureAttribution:
+    def test_pipeline_error_carries_stage_name_and_index(self):
+        def boom(payload, ctx):
+            raise ValueError("bad data")
+
+        plan = StagePlan.build("p", [
+            PipelineStage("ok", S.INGEST, doubler),
+            PipelineStage("boom", S.TRANSFORM, boom),
+        ])
+        with pytest.raises(PipelineError) as info:
+            PipelineRunner(plan).run(np.ones(2))
+        assert info.value.stage_name == "boom"
+        assert info.value.stage_index == 1
+        assert "stage 'boom' failed: bad data" in str(info.value)
+
+
+class TestObserverStages:
+    def test_observer_records_no_new_lineage_entity(self):
+        plan = StagePlan.build("p", [
+            PipelineStage("a", S.INGEST, doubler),
+            PipelineStage("observe", S.TRANSFORM, passthrough),
+            PipelineStage("b", S.STRUCTURE, doubler),
+        ])
+        context = PipelineContext()
+        run = PipelineRunner(plan).run(np.ones(3), context)
+        activities = {
+            r.activity for fp in context.lineage.entities
+            if (r := context.lineage.record_for(fp)) is not None
+        }
+        assert "observe" not in activities
+        # the observer's in/out fingerprints match, so the chain stays connected
+        assert run.results[1].input_fingerprint == run.results[1].output_fingerprint
+        assert context.lineage.verify_connected(run.results[-1].output_fingerprint)
+
+    def test_observer_still_appears_in_events_and_audit(self):
+        plan = StagePlan.build("p", [
+            PipelineStage("observe", S.INGEST, passthrough),
+        ])
+        context = PipelineContext()
+        run = PipelineRunner(plan).run(np.ones(3), context)
+        assert any(
+            e.kind is RunEventKind.STAGE_COMPLETED and e.stage_name == "observe"
+            for e in run.events
+        )
+        assert any(e.action == "stage-completed" for e in context.audit)
+
+
+class TestCheckpointResume:
+    def _tracked_plan(self, calls):
+        def a(payload, ctx):
+            calls.append("a")
+            return payload * 2
+
+        def b(payload, ctx):
+            calls.append("b")
+            return payload + 1
+
+        def c(payload, ctx):
+            calls.append("c")
+            return payload * 3
+
+        return StagePlan.build("p", [
+            PipelineStage("a", S.INGEST, a),
+            PipelineStage("b", S.TRANSFORM, b),
+            PipelineStage("c", S.SHARD, c),
+        ])
+
+    def test_resume_skips_completed_stages(self, tmp_path):
+        calls = []
+        plan = self._tracked_plan(calls)
+        failing = StagePlan.build("p", [
+            plan.stages[0],
+            plan.stages[1],
+            PipelineStage("c", S.SHARD, lambda p, c: (_ for _ in ()).throw(
+                RuntimeError("disk full"))),
+        ])
+        runner = PipelineRunner(failing, checkpoint_dir=tmp_path)
+        with pytest.raises(PipelineError) as info:
+            runner.run(np.ones(4))
+        assert info.value.stage_name == "c"
+        assert calls == ["a", "b"]
+
+        resumed = PipelineRunner(plan, checkpoint_dir=tmp_path).run(
+            np.ones(4), resume=True
+        )
+        assert calls == ["a", "b", "c"]  # a and b were NOT re-executed
+        assert resumed.resumed_from == 1
+        assert [r.stage_name for r in resumed.results if r.restored] == ["a", "b"]
+        skipped = [e for e in resumed.events if e.kind is RunEventKind.STAGE_SKIPPED]
+        assert [e.stage_name for e in skipped] == ["a", "b"]
+        np.testing.assert_array_equal(resumed.payload, (np.ones(4) * 2 + 1) * 3)
+
+    def test_resumed_run_matches_uninterrupted_run(self, tmp_path):
+        calls = []
+        plan = self._tracked_plan(calls)
+        reference = PipelineRunner(plan).run(np.ones(4))
+
+        runner = PipelineRunner(plan, checkpoint_dir=tmp_path)
+        first = runner.run(np.ones(4))
+        resumed = runner.run(np.ones(4), resume=True)
+        assert resumed.results[-1].output_fingerprint == (
+            reference.results[-1].output_fingerprint
+        )
+        assert first.results[-1].output_fingerprint == (
+            resumed.results[-1].output_fingerprint
+        )
+
+    def test_resume_restores_artifacts_and_evidence(self, tmp_path):
+        from repro.core.evidence import EvidenceKind
+
+        def produce(payload, ctx):
+            ctx.add_artifact("stats", {"mean": 1.5})
+            ctx.record(EvidenceKind.ACQUIRED, "got it")
+            return payload * 2
+
+        def boom(payload, ctx):
+            raise RuntimeError("injected")
+
+        failing = StagePlan.build("p", [
+            PipelineStage("produce", S.INGEST, produce),
+            PipelineStage("boom", S.SHARD, boom),
+        ])
+        with pytest.raises(PipelineError):
+            PipelineRunner(failing, checkpoint_dir=tmp_path).run(np.ones(2))
+
+        fixed = StagePlan.build("p", [
+            PipelineStage("produce", S.INGEST, produce),
+            PipelineStage("boom", S.SHARD, passthrough),
+        ])
+        run = PipelineRunner(fixed, checkpoint_dir=tmp_path).run(
+            np.ones(2), resume=True
+        )
+        assert run.context.artifacts["stats"] == {"mean": 1.5}
+        assert run.context.evidence.has(EvidenceKind.ACQUIRED)
+
+    def test_resume_without_checkpointer_rejected(self):
+        with pytest.raises(PipelineError, match="no checkpointer"):
+            PipelineRunner(two_stage_plan()).run(np.ones(2), resume=True)
+
+    def test_resume_with_empty_checkpoint_dir_runs_fresh(self, tmp_path):
+        run = PipelineRunner(two_stage_plan(), checkpoint_dir=tmp_path).run(
+            np.ones(2), resume=True
+        )
+        assert run.resumed_from is None
+        assert len(run.results) == 2
+
+    def test_checkpoint_from_different_plan_rejected(self, tmp_path):
+        PipelineRunner(two_stage_plan(), checkpoint_dir=tmp_path).run(np.ones(2))
+        other = StagePlan.build("q", [PipelineStage("z", S.INGEST, doubler)])
+        with pytest.raises(CheckpointError, match="different"):
+            PipelineRunner(other, checkpoint_dir=tmp_path).run(
+                np.ones(2), resume=True
+            )
+
+    def test_corrupted_checkpoint_payload_rejected(self, tmp_path):
+        import pickle
+
+        runner = PipelineRunner(two_stage_plan(), checkpoint_dir=tmp_path)
+        runner.run(np.ones(2))
+        blob_path = sorted(tmp_path.glob("stage-*.pkl"))[-1]
+        with open(blob_path, "rb") as fh:
+            blob = pickle.load(fh)
+        blob["payload"] = blob["payload"] + 99.0
+        with open(blob_path, "wb") as fh:
+            pickle.dump(blob, fh)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            runner.run(np.ones(2), resume=True)
+
+    def test_resume_verifies_against_provenance_store(self, tmp_path):
+        calls = []
+        plan = self._tracked_plan(calls)
+        store = ProvenanceStore(tmp_path / "prov.jsonl")
+        runner = PipelineRunner(plan, checkpoint_dir=tmp_path / "ckpt")
+        runner.run(np.ones(4), PipelineContext(provenance_store=store))
+
+        resumed = runner.run(
+            np.ones(4), PipelineContext(provenance_store=store), resume=True
+        )
+        assert resumed.resumed_from == 2  # everything restored
+        # lineage continuity was rebuilt from the store for the skipped prefix
+        final = resumed.results[-1].output_fingerprint
+        assert resumed.context.lineage.verify_connected(final)
+
+    def test_resume_rejects_payload_unknown_to_store(self, tmp_path):
+        plan = two_stage_plan()
+        runner = PipelineRunner(plan, checkpoint_dir=tmp_path / "ckpt")
+        runner.run(np.ones(2))
+        # a store that never saw this run
+        empty_store = ProvenanceStore(tmp_path / "other.jsonl")
+        with pytest.raises(CheckpointError, match="not an\\s+entity"):
+            runner.run(
+                np.ones(2),
+                PipelineContext(provenance_store=empty_store),
+                resume=True,
+            )
+
+    def test_checkpointer_clear(self, tmp_path):
+        checkpointer = RunCheckpointer(tmp_path)
+        runner = PipelineRunner(two_stage_plan(), checkpointer=checkpointer)
+        runner.run(np.ones(2))
+        assert list(tmp_path.glob("stage-*.pkl"))
+        checkpointer.clear()
+        assert not list(tmp_path.glob("stage-*.pkl"))
+        assert checkpointer.load(two_stage_plan()) is None
+
+    def test_rerun_invalidates_stale_later_checkpoints(self, tmp_path):
+        calls = []
+        plan = self._tracked_plan(calls)
+        runner = PipelineRunner(plan, checkpoint_dir=tmp_path)
+        runner.run(np.ones(4))
+        # run again from scratch: checkpoints rewrite from stage 0 upward
+        runner.run(np.ones(4))
+        checkpoint = runner.checkpointer.load(plan)
+        assert checkpoint.stage_index == 2
+        assert sorted(checkpoint.completed) == [0, 1, 2]

@@ -1,6 +1,5 @@
 """Domain templates: validation, rendering, and templated execution."""
 
-import numpy as np
 import pytest
 
 from repro.core.assessment import ReadinessAssessor

@@ -12,7 +12,6 @@ from repro.domains.climate.synthetic import (
 )
 from repro.io.grib import read_grib
 from repro.io.netcdf import read_netcdf
-from repro.io.shards import ShardSet
 
 
 CONFIG = ClimateSourceConfig(n_models=2, n_timesteps=18, seed=11)

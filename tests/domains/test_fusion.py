@@ -116,7 +116,6 @@ class TestPipeline:
         from repro.io.shards import ShardSet
 
         # read back each split's shots from the shard files
-        import pathlib
         directory = result.run.context.artifacts["tfrecord_dir"].parent
         shard_set = ShardSet(directory)
         shots_by_split = {}

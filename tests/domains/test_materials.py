@@ -10,9 +10,8 @@ from repro.domains.materials.graphs import (
     build_graph,
     graph_descriptor,
 )
-from repro.domains.materials.pipeline import FAMILY_TO_CLASS, MaterialsArchetype
+from repro.domains.materials.pipeline import MaterialsArchetype
 from repro.domains.materials.synthetic import (
-    CRYSTAL_FAMILIES,
     MaterialsSourceConfig,
     generate_structure,
     synthesize_materials_archive,

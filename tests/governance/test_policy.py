@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.dataset import Dataset, FieldSpec, Schema
 from repro.governance.policy import (
-    ComplianceReport,
     PolicyEngine,
     PolicyRule,
     hipaa_deidentified_policy,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel.comm import CommError, SimComm, SimWorld, run_spmd
+from repro.parallel.comm import CommError, SimWorld, run_spmd
 
 
 class TestPointToPoint:

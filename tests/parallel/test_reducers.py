@@ -1,6 +1,5 @@
 """Reduction schedules: correctness and cost structure."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

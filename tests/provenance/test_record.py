@@ -1,7 +1,6 @@
 """Provenance records and fingerprints."""
 
 import numpy as np
-import pytest
 
 from repro.provenance.record import (
     ProvenanceRecord,

@@ -4,13 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.dataset import Dataset
-from repro.quality.drift import (
-    PSI_ACT,
-    PSI_WATCH,
-    detect_drift,
-    feature_drift,
-    population_stability_index,
-)
+from repro.quality.drift import PSI_ACT, detect_drift, feature_drift, population_stability_index
 
 
 class TestPSI:

@@ -1,7 +1,6 @@
 """Validation: schema + physical constraints."""
 
 import numpy as np
-import pytest
 
 from repro.quality.validation import (
     ConstraintValidator,

@@ -1,6 +1,5 @@
 """CLI surface: every subcommand runs and produces the expected artifact."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main

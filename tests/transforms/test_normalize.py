@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.dataset import Dataset, FieldRole
+from repro.core.dataset import Dataset
 from repro.parallel.stats import FeatureStats
 from repro.transforms.normalize import (
     LogNormalizer,
