@@ -7,10 +7,13 @@ iterative feedback cycle from model evaluation back into labeling.
 
 The bench expresses every Figure 1 box as a stage of a declarative
 :class:`StagePlan` and drives it through the layered engine
-(:class:`PipelineRunner`), so the diagram regeneration exercises the same
-plan/backend/run machinery the domain archetypes use.  It prints one row
-per box: what ran, what it changed, and the evidence it recorded.  The
-feedback loop then runs until label coverage converges.
+(:class:`PipelineRunner`) with a :class:`~repro.obs.Telemetry` collector
+attached, so the diagram regeneration exercises the same
+plan/backend/run machinery the domain archetypes use and its per-box
+timings come from the engine's own ``stage_seconds`` histograms rather
+than ad-hoc timers.  It prints one row per box: what ran, what it
+changed, how long it took, and its throughput.  The feedback loop then
+runs until label coverage converges.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.core.pipeline import (
     StagePlan,
 )
 from repro.core.report import render_table
+from repro.obs import Telemetry
 from repro.transforms.augment import smote_like
 from repro.transforms.cleaning import clean_dataset
 from repro.transforms.features import select_k_best
@@ -193,13 +197,45 @@ def build_figure1_plan(tmp_path, seed: int = 0) -> StagePlan:
 
 
 def run_figure1_steps(tmp_path, seed=0):
-    runner = PipelineRunner(build_figure1_plan(tmp_path, seed))
+    telemetry = Telemetry()
+    runner = PipelineRunner(build_figure1_plan(tmp_path, seed), telemetry=telemetry)
     run = runner.run(make_raw_dataset(seed))
-    return run.context.artifacts["fig1_rows"], run.context.artifacts["labeled_dataset"]
+    return (
+        run.context.artifacts["fig1_rows"],
+        run.context.artifacts["labeled_dataset"],
+        run,
+        telemetry,
+    )
+
+
+def figure1_timing_rows(run, telemetry):
+    """Per-box timing/throughput from the engine's own telemetry.
+
+    One row per executed stage, read back from the ``stage_seconds``
+    histogram and ``stage_items_total`` counter the runner recorded —
+    the same registry ``run --trace-dir`` exports.
+    """
+    rows = []
+    for result in run.results:
+        hist = telemetry.metrics.get(
+            "stage_seconds", pipeline=run.pipeline_name, stage=result.stage_name
+        )
+        items = telemetry.metrics.value(
+            "stage_items_total", pipeline=run.pipeline_name, stage=result.stage_name
+        )
+        rows.append(
+            (
+                result.stage_name,
+                f"{hist.sum:.6f}",
+                int(items),
+                f"{items / hist.sum:.0f}" if hist.sum > 0 else "-",
+            )
+        )
+    return rows
 
 
 def test_fig1_pipeline(benchmark, tmp_path, write_report):
-    rows, labeled_ds = benchmark.pedantic(
+    rows, labeled_ds, run, telemetry = benchmark.pedantic(
         run_figure1_steps, args=(tmp_path,), rounds=1, iterations=1
     )
     # feedback loop: evaluation -> refinement until quiescent (Fig 1 cycle)
@@ -228,9 +264,16 @@ def test_fig1_pipeline(benchmark, tmp_path, write_report):
          ", ".join(it.triggered_rules) or "(converged)")
         for it in history.iterations
     ]
+    timing_rows = figure1_timing_rows(run, telemetry)
     report = (
         "Figure 1 regeneration: raw -> AI-ready steps\n\n"
         + render_table(["step", "effect", "notes"], rows)
+        + "\n\nStage timings (from the engine's telemetry registry):\n\n"
+        + render_table(
+            ["stage", "seconds", "items", "items/s"],
+            timing_rows,
+            align_right=[False, True, True, True],
+        )
         + "\n\nFeedback loop (model evaluation -> data refinement):\n\n"
         + render_table(
             ["iteration", "proxy accuracy", "labeled fraction", "triggered"],
@@ -239,4 +282,7 @@ def test_fig1_pipeline(benchmark, tmp_path, write_report):
     )
     write_report("FIG1_pipeline", report)
     assert len(rows) >= 7
+    # telemetry covers every executed stage with a nonzero duration
+    assert len(timing_rows) == len(run.results)
+    assert all(float(seconds) > 0 for _, seconds, _, _ in timing_rows)
     assert history.iterations[-1].metrics["labeled_fraction"] >= 0.9

@@ -9,12 +9,18 @@ technical readiness"; this CLI is that tool::
     python -m repro run DOMAIN --workdir DIR  # run an archetype end-to-end
     python -m repro backends                  # list execution backends
     python -m repro inspect SHARD_DIR         # verify + describe a shard set
+    python -m repro telemetry summary DIR     # slowest spans of a trace
     python -m repro crosswalk LEVEL           # NOAA/METRIC crosswalks
 
 ``run`` drives the layered engine: ``--backend`` picks the execution
 backend (serial, threaded, simspmd — all bitwise-equivalent),
-``--checkpoint-dir`` persists per-stage checkpoints, and ``--resume``
-restarts a previously interrupted run from its last completed stage.
+``--checkpoint-dir`` persists per-stage checkpoints, ``--resume``
+restarts a previously interrupted run from its last completed stage,
+``--trace-dir`` writes the run's full telemetry (spans, metrics, events)
+as a JSONL trace directory, and ``--events-jsonl`` streams just the run
+events in the same schema.  ``telemetry`` reads a trace directory back:
+``summary`` tables the slowest stages, ``export --jsonl`` merges the
+trace into one combined JSONL stream.
 
 Everything the CLI prints is produced by the same public API the examples
 use; the CLI adds no behaviour of its own.
@@ -67,8 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
                           "(requires --checkpoint-dir)")
     run.add_argument("--events", action="store_true",
                      help="print the structured run-event log after the run")
+    run.add_argument("--events-jsonl", type=Path, default=None, metavar="PATH",
+                     help="write run events as schema-versioned JSONL to PATH")
+    run.add_argument("--trace-dir", type=Path, default=None,
+                     help="collect telemetry (spans, metrics, resource profiles) "
+                          "and write a JSONL trace under this directory")
 
     sub.add_parser("backends", help="list the available execution backends")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="inspect a JSONL trace directory written by run --trace-dir"
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command", required=True)
+    summary = telemetry_sub.add_parser(
+        "summary", help="table the slowest spans of a trace"
+    )
+    summary.add_argument("trace_dir", type=Path)
+    summary.add_argument("--top", type=int, default=15,
+                         help="show the N slowest span groups (default 15)")
+    export = telemetry_sub.add_parser(
+        "export", help="merge spans, metrics, and events into one JSONL stream"
+    )
+    export.add_argument("trace_dir", type=Path)
+    export.add_argument("--jsonl", type=Path, required=True, metavar="PATH",
+                        help="write the combined stream to PATH")
 
     inspect = sub.add_parser("inspect", help="verify and describe a shard set")
     inspect.add_argument("directory", type=Path)
@@ -118,6 +146,8 @@ def _cmd_run(
     checkpoint_dir: Optional[Path] = None,
     resume: bool = False,
     events: bool = False,
+    events_jsonl: Optional[Path] = None,
+    trace_dir: Optional[Path] = None,
 ) -> int:
     from repro.domains import (
         BioArchetype,
@@ -136,13 +166,20 @@ def _cmd_run(
         "materials": MaterialsArchetype,
     }
     from repro.core.pipeline import CheckpointError, PipelineError
+    from repro.obs import JsonlTelemetrySink, Telemetry
+    from repro.obs.sinks import envelope, write_jsonl
 
+    telemetry = Telemetry() if trace_dir is not None else None
     archetype = classes[domain](seed=seed)
     print(f"running {domain} archetype ({archetype.pattern_string()}) "
           f"on the {backend} backend ...")
     try:
         result = archetype.run(
-            workdir, backend=backend, checkpoint_dir=checkpoint_dir, resume=resume
+            workdir,
+            backend=backend,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            telemetry=telemetry,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -150,14 +187,27 @@ def _cmd_run(
     except PipelineError as exc:
         where = f" (stage {exc.stage_name!r})" if exc.stage_name else ""
         print(f"error{where}: {exc}", file=sys.stderr)
+        if telemetry is not None:
+            # a failed run's partial trace is exactly what you want to keep
+            telemetry.export(JsonlTelemetrySink(trace_dir), events=getattr(exc, "events", []))
+            print(f"partial trace written to {trace_dir}", file=sys.stderr)
         return 1
     if result.run.resumed_from is not None:
         skipped = result.run.resumed_from + 1
         print(f"resumed from checkpoint: {skipped} stage(s) restored, not re-run")
-    print(result.run.stage_table())
+    print(result.run.summary_table())
     if events:
         print(section("run events"))
         print(result.run.event_log())
+    if events_jsonl is not None:
+        n = write_jsonl(
+            events_jsonl, (envelope("event", e.to_dict()) for e in result.run.events)
+        )
+        print(f"{n} events written to {events_jsonl}")
+    if telemetry is not None:
+        telemetry.export(JsonlTelemetrySink(trace_dir), events=result.run.events)
+        print(f"trace written to {trace_dir} "
+              f"({len(telemetry.tracer)} spans, {len(telemetry.metrics)} metrics)")
     print(section("assessment"))
     print(f"Data Readiness Level: {result.readiness_level} / 5")
     print(MaturityMatrix.from_assessment(result.assessment).render_compact())
@@ -172,6 +222,72 @@ def _cmd_run(
             for split in sorted(result.manifest.splits)
         ]
         print(render_table(["split", "samples", "shards"], rows))
+    return 0
+
+
+def _cmd_telemetry_summary(trace_dir: Path, top: int) -> int:
+    from repro.obs import read_trace
+
+    trace = read_trace(trace_dir)
+    spans = trace["spans"]
+    if not spans:
+        print(f"error: no spans found under {trace_dir}", file=sys.stderr)
+        return 1
+    # aggregate spans by name: the slowest groups are the optimisation targets
+    groups: dict = {}
+    for span in spans:
+        g = groups.setdefault(
+            str(span.get("name", "?")),
+            {"count": 0, "total": 0.0, "max": 0.0, "errors": 0, "items": 0},
+        )
+        duration = float(span.get("duration_s") or 0.0)
+        g["count"] += 1
+        g["total"] += duration
+        g["max"] = max(g["max"], duration)
+        g["errors"] += 1 if span.get("status") == "error" else 0
+        attrs = span.get("attributes") or {}
+        if isinstance(attrs, dict) and isinstance(attrs.get("items"), (int, float)):
+            g["items"] += int(attrs["items"])
+    ranked = sorted(groups.items(), key=lambda kv: kv[1]["total"], reverse=True)
+    rows = [
+        (
+            name,
+            g["count"],
+            f"{g['total']:.4f}",
+            f"{g['total'] / g['count']:.4f}",
+            f"{g['max']:.4f}",
+            g["items"] or "",
+            g["errors"] or "",
+        )
+        for name, g in ranked[: max(top, 1)]
+    ]
+    traces = sorted({str(s.get("trace_id", "")) for s in spans})
+    print(f"{len(spans)} spans across {len(traces)} trace(s); "
+          f"slowest span groups by cumulative time:\n")
+    print(render_table(
+        ["span", "count", "total s", "mean s", "max s", "items", "errors"],
+        rows,
+        align_right=[False, True, True, True, True, True, True],
+    ))
+    if len(trace["metrics"]) or len(trace["events"]):
+        print(f"\ntrace also holds {len(trace['metrics'])} metric snapshots "
+              f"and {len(trace['events'])} run events "
+              f"(merge with: repro telemetry export {trace_dir} --jsonl OUT)")
+    return 0
+
+
+def _cmd_telemetry_export(trace_dir: Path, out_path: Path) -> int:
+    from repro.obs import read_trace
+    from repro.obs.sinks import write_jsonl
+
+    trace = read_trace(trace_dir)
+    combined = trace["spans"] + trace["metrics"] + trace["events"]
+    if not combined:
+        print(f"error: no telemetry records found under {trace_dir}", file=sys.stderr)
+        return 1
+    n = write_jsonl(out_path, combined)
+    print(f"{n} records ({len(trace['spans'])} spans, {len(trace['metrics'])} metrics, "
+          f"{len(trace['events'])} events) written to {out_path}")
     return 0
 
 
@@ -238,9 +354,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             events=args.events,
+            events_jsonl=args.events_jsonl,
+            trace_dir=args.trace_dir,
         )
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "telemetry":
+        if args.telemetry_command == "summary":
+            return _cmd_telemetry_summary(args.trace_dir, args.top)
+        return _cmd_telemetry_export(args.trace_dir, args.jsonl)
     if args.command == "inspect":
         return _cmd_inspect(args.directory)
     if args.command == "crosswalk":

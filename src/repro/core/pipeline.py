@@ -19,8 +19,11 @@ new keyword arguments (``backend=``, ``checkpoint_dir=``, ``resume=``,
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.obs import Telemetry
 
 from repro.core.backends import (
     BACKENDS,
@@ -110,6 +113,8 @@ class Pipeline:
         backend: Union[str, ExecutionBackend, None] = None,
         checkpoint_dir: Union[str, Path, None] = None,
         on_event: Optional[Callable[[RunEvent], None]] = None,
+        telemetry: Optional["Telemetry"] = None,
+        clock: Callable[[], float] = time.time,
     ) -> PipelineRunner:
         """A configured :class:`PipelineRunner` for this pipeline's plan."""
         return PipelineRunner(
@@ -117,6 +122,8 @@ class Pipeline:
             backend=backend,
             checkpoint_dir=checkpoint_dir,
             on_event=on_event,
+            telemetry=telemetry,
+            clock=clock,
         )
 
     def run(
@@ -128,16 +135,24 @@ class Pipeline:
         checkpoint_dir: Union[str, Path, None] = None,
         resume: bool = False,
         on_event: Optional[Callable[[RunEvent], None]] = None,
+        telemetry: Optional["Telemetry"] = None,
+        clock: Callable[[], float] = time.time,
     ) -> PipelineRun:
         """Execute all stages; provenance is captured per transition.
 
         Without keyword arguments this matches the historical serial
         behaviour.  ``backend`` selects an execution backend (name or
-        instance), ``checkpoint_dir`` enables per-stage checkpoints, and
+        instance), ``checkpoint_dir`` enables per-stage checkpoints,
         ``resume=True`` restarts after the last completed checkpointed
-        stage instead of re-running the whole plan.
+        stage instead of re-running the whole plan, and ``telemetry``
+        attaches a :class:`~repro.obs.Telemetry` collector (spans,
+        metrics, resource profiles for every stage and backend task).
         """
         runner = self.runner(
-            backend=backend, checkpoint_dir=checkpoint_dir, on_event=on_event
+            backend=backend,
+            checkpoint_dir=checkpoint_dir,
+            on_event=on_event,
+            telemetry=telemetry,
+            clock=clock,
         )
         return runner.run(payload, context, resume=resume)

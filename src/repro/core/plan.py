@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import hashlib
 import inspect
 import json
@@ -273,7 +274,19 @@ def fingerprint_payload(payload: Any) -> str:
         return _structural_fingerprint(payload, pairs)
     attrs = getattr(payload, "__dict__", None)
     if attrs is not None:
-        return _structural_fingerprint(payload, sorted(attrs.items()))
+        # ``functools.cached_property`` writes derived values (often with
+        # back-references that would cycle) into the instance dict on first
+        # access; they are a cache, not content, so merely *reading* such a
+        # property must not change the fingerprint
+        pairs = sorted(
+            (name, value)
+            for name, value in attrs.items()
+            if not isinstance(
+                inspect.getattr_static(type(payload), name, None),
+                functools.cached_property,
+            )
+        )
+        return _structural_fingerprint(payload, pairs)
     slots = _slot_values(payload)
     if slots is not None:
         return _structural_fingerprint(payload, slots)

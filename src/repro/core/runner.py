@@ -18,7 +18,14 @@ predates this module), the runner adds:
   a failed run restarts from the last completed stage after verifying
   the restored payload against its stored fingerprint (and, when a
   :class:`~repro.provenance.store.ProvenanceStore` is attached, against
-  the stored lineage).
+  the stored lineage);
+* **telemetry** — with a :class:`~repro.obs.Telemetry` attached, the
+  runner opens a run-root span, one child span per stage (duration,
+  item/byte throughput, CPU/RSS deltas), wraps the backend in an
+  :class:`~repro.obs.instrument.InstrumentedBackend` so backend
+  operations and fanned-out tasks appear as grandchild spans with
+  logical work counters, records stage-duration histograms, and links
+  every provenance record to the span that produced it.
 
 Stage functions stay pure data transforms; capture is the engine's job.
 """
@@ -37,7 +44,12 @@ from repro.core.backends import ExecutionBackend, get_backend
 from repro.core.evidence import EvidenceKind, ReadinessEvidence
 from repro.core.levels import DataProcessingStage
 from repro.core.plan import PipelineError, PipelineStage, StagePlan, fingerprint_payload
+from repro.core.report import format_bytes, render_table
 from repro.governance.audit import AuditLog
+from repro.obs import Telemetry, payload_items, payload_nbytes, throughput
+from repro.obs.instrument import InstrumentedBackend
+from repro.obs.resources import ResourceProfiler
+from repro.obs.tracing import Span, SpanStatus
 from repro.provenance.graph import LineageGraph
 from repro.provenance.record import ProvenanceRecord
 from repro.provenance.store import ProvenanceStore
@@ -80,6 +92,21 @@ class PipelineContext:
         self.backend: ExecutionBackend = get_backend(backend)
         #: side outputs stages want to expose (fitted normalizers, manifests)
         self.artifacts: Dict[str, Any] = {}
+        #: set by a telemetered PipelineRunner: the run's Telemetry and the
+        #: span of the stage currently executing (None when untraced)
+        self.telemetry: Optional[Telemetry] = None
+        self.current_span: Optional[Span] = None
+
+    def annotate_span(
+        self, **attributes: object
+    ) -> None:
+        """Attach domain attributes to the executing stage's span.
+
+        A no-op outside a telemetered run, so stages can annotate
+        unconditionally (``ctx.annotate_span(patches_regridded=n)``).
+        """
+        if self.current_span is not None:
+            self.current_span.set_attributes(**attributes)
 
     def record(
         self, kind: EvidenceKind, detail: str = "", *, recorded_by: str = "", **metrics: float
@@ -126,6 +153,10 @@ class StageResult:
     evidence_recorded: int
     #: True when the stage was restored from a checkpoint, not executed
     restored: bool = False
+    #: logical item count of the stage's output payload (0 when restored)
+    items: int = 0
+    #: approximate content size of the stage's output payload in bytes
+    nbytes: int = 0
 
 
 class RunEventKind(enum.Enum):
@@ -151,7 +182,9 @@ class RunEvent:
     seconds: float = 0.0
     fingerprint: str = ""
     detail: str = ""
-    timestamp: float = dataclasses.field(default_factory=time.time)
+    #: wall-clock time of the transition, stamped by the runner's injected
+    #: clock source (not a default_factory, so tests can pin timestamps)
+    timestamp: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -214,6 +247,53 @@ class PipelineRun:
                 f"{e.fingerprint[:12] or '-':<12}  {e.detail}"
             )
         return "\n".join(lines)
+
+    def to_summary(self) -> Dict[str, Dict[str, object]]:
+        """Stage name -> duration, items, bytes, status (the run summary)."""
+        summary: Dict[str, Dict[str, object]] = {}
+        for r in self.results:
+            summary[r.stage_name] = {
+                "canonical": r.processing_stage.label,
+                "seconds": r.seconds,
+                "items": r.items,
+                "bytes": r.nbytes,
+                "items_per_s": (r.items / r.seconds) if r.seconds > 0 else 0.0,
+                "status": "restored" if r.restored else "ok",
+                "fingerprint": r.output_fingerprint[:12],
+            }
+        return summary
+
+    def summary_table(self) -> str:
+        """Aligned text table of :meth:`to_summary` plus a totals row."""
+        rows = []
+        for name, row in self.to_summary().items():
+            rows.append(
+                (
+                    name,
+                    row["canonical"],
+                    f"{row['seconds']:.4f}",
+                    row["items"],
+                    format_bytes(float(row["bytes"])),
+                    f"{row['items_per_s']:.1f}",
+                    row["status"],
+                )
+            )
+        rows.append(
+            (
+                "(total)",
+                "",
+                f"{self.total_seconds:.4f}",
+                "",
+                "",
+                "",
+                self.backend_name,
+            )
+        )
+        return render_table(
+            ["stage", "canonical", "seconds", "items", "bytes", "items/s", "status"],
+            rows,
+            align_right=[False, False, True, True, True, True, False],
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +456,8 @@ class PipelineRunner:
         checkpoint_dir: Union[str, Path, None] = None,
         checkpointer: Optional[RunCheckpointer] = None,
         on_event: Optional[Callable[[RunEvent], None]] = None,
+        telemetry: Optional[Telemetry] = None,
+        clock: Callable[[], float] = time.time,
     ):
         self.plan = plan
         self.backend = get_backend(backend)
@@ -383,9 +465,14 @@ class PipelineRunner:
             checkpointer = RunCheckpointer(checkpoint_dir)
         self.checkpointer = checkpointer
         self.on_event = on_event
+        self.telemetry = telemetry
+        #: wall-clock source stamped onto every RunEvent; inject a fake
+        #: (monotonic) clock to pin timestamps and test event ordering
+        self.clock = clock
 
     # -- events ------------------------------------------------------------------
     def _emit(self, events: List[RunEvent], kind: RunEventKind, **kw: Any) -> RunEvent:
+        kw.setdefault("timestamp", self.clock())
         event = RunEvent(kind=kind, pipeline=self.plan.name, **kw)
         events.append(event)
         if self.on_event is not None:
@@ -463,7 +550,8 @@ class PipelineRunner:
         re-executed.
         """
         context = context or PipelineContext(agent=self.plan.name)
-        context.backend = self.backend
+        telemetry = self.telemetry
+        context.telemetry = telemetry
         events: List[RunEvent] = []
         results: List[StageResult] = []
 
@@ -474,6 +562,23 @@ class PipelineRunner:
                     "resume requested but the runner has no checkpointer"
                 )
             checkpoint = self.checkpointer.load(self.plan)
+
+        backend: ExecutionBackend = self.backend
+        instrumented: Optional[InstrumentedBackend] = None
+        run_span: Optional[Span] = None
+        if telemetry is not None:
+            instrumented = InstrumentedBackend(
+                self.backend, telemetry, pipeline=self.plan.name
+            )
+            backend = instrumented
+            run_span = telemetry.tracer.start_span(
+                f"run:{self.plan.name}",
+                parent=None,
+                pipeline=self.plan.name,
+                backend=self.backend.name,
+                stages=len(self.plan.stages),
+            )
+        context.backend = backend
 
         self._emit(
             events,
@@ -489,7 +594,14 @@ class PipelineRunner:
         resumed_from: Optional[int] = None
         current = payload
         if checkpoint is not None:
-            self._restore(checkpoint, context, events, results)
+            try:
+                self._restore(checkpoint, context, events, results)
+            except CheckpointError as exc:
+                if telemetry is not None:
+                    telemetry.tracer.end_span(
+                        run_span, status=SpanStatus.ERROR, error=str(exc)
+                    )
+                raise
             current = checkpoint.payload
             prev_fp = checkpoint.fingerprint
             start_index = checkpoint.stage_index + 1
@@ -515,11 +627,42 @@ class PipelineRunner:
                 stage_index=index,
                 fingerprint=prev_fp,
             )
+            stage_span: Optional[Span] = None
+            profiler: Optional[ResourceProfiler] = None
+            if telemetry is not None:
+                stage_span = telemetry.tracer.start_span(
+                    f"stage:{stage.name}",
+                    parent=run_span,
+                    pipeline=self.plan.name,
+                    stage=stage.name,
+                    index=index,
+                    processing_stage=stage.processing_stage.name,
+                    parallelism=stage.parallelism.value,
+                    backend=self.backend.name,
+                )
+                instrumented.activate_stage(stage.name, stage_span)
+                profiler = ResourceProfiler().start()
+            context.current_span = stage_span
             started = time.perf_counter()
             try:
                 current = stage.fn(current, context)
             except Exception as exc:
                 elapsed = time.perf_counter() - started
+                if telemetry is not None:
+                    telemetry.tracer.end_span(
+                        stage_span,
+                        status=SpanStatus.ERROR,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    telemetry.tracer.end_span(
+                        run_span,
+                        status=SpanStatus.ERROR,
+                        error=f"stage {stage.name!r} failed",
+                    )
+                    telemetry.metrics.counter(
+                        "runs_total", pipeline=self.plan.name, status="error"
+                    ).inc()
+                context.current_span = None
                 context.audit.record(
                     context.agent, "stage-failed", stage.name, error=str(exc)
                 )
@@ -546,16 +689,48 @@ class PipelineRunner:
                 error.events = events  # type: ignore[attr-defined]
                 raise error from exc
             elapsed = time.perf_counter() - started
+            context.current_span = None
             out_fp = fingerprint_payload(current)
+            out_items = payload_items(current)
+            out_bytes = payload_nbytes(current)
+            if telemetry is not None:
+                delta = profiler.stop()
+                items_per_s = throughput(out_items, elapsed)
+                bytes_per_s = throughput(out_bytes, elapsed)
+                stage_span.set_attributes(
+                    items=out_items,
+                    bytes=out_bytes,
+                    items_per_s=items_per_s,
+                    bytes_per_s=bytes_per_s,
+                    cpu_s=delta.cpu_s,
+                    cpu_fraction=delta.cpu_fraction,
+                    max_rss_bytes=delta.max_rss_bytes,
+                    rss_growth_bytes=delta.max_rss_growth_bytes,
+                    output_fingerprint=out_fp[:12],
+                )
+                telemetry.tracer.end_span(stage_span)
+                labels = {"pipeline": self.plan.name, "stage": stage.name}
+                metrics = telemetry.metrics
+                metrics.histogram("stage_seconds", **labels).observe(elapsed)
+                metrics.counter("stage_items_total", **labels).inc(out_items)
+                metrics.counter("stage_bytes_total", **labels).inc(out_bytes)
+                metrics.gauge("stage_items_per_s", **labels).set(items_per_s)
+                metrics.gauge("stage_bytes_per_s", **labels).set(bytes_per_s)
             if out_fp != prev_fp:
                 # identical fingerprints mean the stage was a pure observer
                 # (validation, evidence-only); no new entity to record
+                annotations: Dict[str, object] = {
+                    "processing_stage": stage.processing_stage.name,
+                }
+                if stage_span is not None:
+                    annotations["span_id"] = stage_span.span_id
+                    annotations["trace_id"] = stage_span.trace_id
                 context._capture(
                     stage.name,
                     [prev_fp],
                     out_fp,
                     stage.params,
-                    {"processing_stage": stage.processing_stage.name},
+                    annotations,
                 )
             context.audit.record(
                 context.agent,
@@ -572,6 +747,8 @@ class PipelineRunner:
                     input_fingerprint=prev_fp,
                     output_fingerprint=out_fp,
                     evidence_recorded=len(context.evidence) - evidence_before,
+                    items=out_items,
+                    nbytes=out_bytes,
                 )
             )
             self._emit(
@@ -588,6 +765,17 @@ class PipelineRunner:
                 )
             prev_fp = out_fp
 
+        if telemetry is not None:
+            run_span.set_attributes(
+                stages_executed=len(self.plan.stages) - start_index,
+                stages_restored=start_index,
+                seconds=sum(r.seconds for r in results),
+                output_fingerprint=prev_fp[:12],
+            )
+            telemetry.tracer.end_span(run_span)
+            telemetry.metrics.counter(
+                "runs_total", pipeline=self.plan.name, status="ok"
+            ).inc()
         self._emit(
             events,
             RunEventKind.RUN_COMPLETED,

@@ -29,6 +29,7 @@ from repro.core.dataset import Dataset
 from repro.core.levels import DataProcessingStage, DOMAIN_STAGE_VERBS
 from repro.core.pipeline import Pipeline, PipelineContext, PipelineRun
 from repro.io.shards import ShardManifest
+from repro.obs import Telemetry
 
 __all__ = ["ArchetypeResult", "DomainArchetype"]
 
@@ -111,12 +112,15 @@ class DomainArchetype(abc.ABC):
         backend: Any = None,
         checkpoint_dir: Union[str, Path, None] = None,
         resume: bool = False,
+        telemetry: Optional["Telemetry"] = None,
     ) -> ArchetypeResult:
         """Synthesize a source, run the pipeline, assess, detect challenges.
 
         ``backend`` (a name or :class:`ExecutionBackend` instance) selects
         how data-parallel stage internals execute; ``checkpoint_dir`` and
-        ``resume`` enable checkpointed restart of a previously failed run.
+        ``resume`` enable checkpointed restart of a previously failed run;
+        ``telemetry`` attaches a :class:`~repro.obs.Telemetry` collector so
+        the run produces spans, metrics, and resource profiles.
         """
         work_dir = Path(work_dir)
         source_dir = work_dir / "source"
@@ -131,6 +135,7 @@ class DomainArchetype(abc.ABC):
             backend=backend,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            telemetry=telemetry,
         )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):

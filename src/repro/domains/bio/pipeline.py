@@ -226,6 +226,11 @@ class BioArchetype(DomainArchetype):
         ctx.add_artifact("anonymization_report", report)
         ctx.add_artifact("compliance_report", compliance)
         ctx.add_artifact("phi_findings_post", remaining)
+        ctx.annotate_span(
+            records_anonymized=anonymized.n_samples,
+            achieved_k=report.achieved_k,
+            phi_findings_remaining=len(remaining),
+        )
         ctx.record(
             EvidenceKind.INITIAL_NORMALIZATION,
             f"anonymization pass: {report.summary()}",

@@ -195,6 +195,11 @@ class ClimateArchetype(DomainArchetype):
         for i, name, field in ctx.backend.map(remap, tasks):
             regridded.setdefault(i, {})[name] = field
         n_regridded = len(tasks)
+        ctx.annotate_span(
+            patches_regridded=n_regridded,
+            passthrough_sources=len(passthrough),
+            target_grid=str(self.target_grid.shape),
+        )
         out: List[GriddedSource] = []
         for i, source in enumerate(sources):
             if i in passthrough:

@@ -165,6 +165,7 @@ class FusionArchetype(DomainArchetype):
             )
 
         aligned = ctx.backend.map(align_one, records)
+        ctx.annotate_span(shots_aligned=len(aligned), dt_ms=self.dt * 1e3)
         ctx.record(
             EvidenceKind.INITIAL_ALIGNMENT,
             f"{len(aligned)} shots aligned at dt={self.dt * 1e3:.1f} ms",

@@ -198,6 +198,10 @@ class MaterialsArchetype(DomainArchetype):
             [FAMILY_TO_CLASS[r["crystal_family"]] for r in records], dtype=np.int64
         )
         ctx.add_artifact("graphs", graphs)
+        ctx.annotate_span(
+            structures_encoded=len(graphs),
+            total_bonds=int(sum(g.n_bonds for g in graphs)),
+        )
         ctx.record(
             EvidenceKind.INITIAL_NORMALIZATION,
             f"{len(graphs)} structures encoded as bond graphs",

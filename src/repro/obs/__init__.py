@@ -1,0 +1,131 @@
+"""Observability: spans, metrics, resource profiling, and sinks.
+
+The telemetry layer of the pipeline engine (see DESIGN.md,
+"Observability").  A :class:`Telemetry` object bundles the three
+collectors one run shares:
+
+* :class:`~repro.obs.tracing.Tracer` — hierarchical spans
+  (run → stage → backend op → task);
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  mergeable histograms (stage durations, task counts, throughput);
+* :mod:`~repro.obs.resources` — RSS/CPU deltas and payload IO sizes.
+
+Collected telemetry exports to any :class:`~repro.obs.sinks.TelemetrySink`
+(JSONL trace directories for the CLI, in-memory for tests) in one stable,
+schema-versioned record format.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Mapping, Optional, Union
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.resources import (
+    ResourceDelta,
+    ResourceProfiler,
+    ResourceSample,
+    payload_items,
+    payload_nbytes,
+    sample_resources,
+    throughput,
+)
+from repro.obs.sinks import (
+    SCHEMA_VERSION,
+    InMemorySink,
+    JsonlTelemetrySink,
+    TelemetrySink,
+    read_jsonl,
+    read_trace,
+    write_jsonl,
+)
+from repro.obs.tracing import Span, SpanStatus, Tracer
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "Span",
+    "SpanStatus",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "ResourceProfiler",
+    "ResourceSample",
+    "ResourceDelta",
+    "sample_resources",
+    "payload_items",
+    "payload_nbytes",
+    "throughput",
+    "TelemetrySink",
+    "InMemorySink",
+    "JsonlTelemetrySink",
+    "SCHEMA_VERSION",
+    "read_jsonl",
+    "read_trace",
+    "write_jsonl",
+]
+
+
+class Telemetry:
+    """One run's telemetry: a tracer plus a metrics registry.
+
+    Pass an instance to :class:`~repro.core.runner.PipelineRunner` (or
+    ``Pipeline.run(telemetry=...)`` / ``DomainArchetype.run(telemetry=...)``)
+    and every layer of the engine records into it; afterwards
+    :meth:`export` writes everything to a sink.
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def export(
+        self,
+        sink: TelemetrySink,
+        *,
+        events: Iterable[object] = (),
+        close: bool = True,
+    ) -> TelemetrySink:
+        """Emit all spans, a metrics snapshot, and optional run events.
+
+        ``events`` accepts anything with a ``to_dict()`` (e.g.
+        :class:`~repro.core.runner.RunEvent`) or plain mappings.
+        """
+        for span in self.tracer.spans():
+            sink.emit_span(span.to_dict())
+        for metric in self.metrics.snapshot():
+            sink.emit_metric(metric)
+        for event in events:
+            if isinstance(event, Mapping):
+                sink.emit_event(event)
+            else:
+                sink.emit_event(event.to_dict())  # type: ignore[attr-defined]
+        if close:
+            sink.close()
+        return sink
+
+    def export_jsonl(
+        self, directory: Union[str, "JsonlTelemetrySink"], *, events: Iterable[object] = ()
+    ) -> JsonlTelemetrySink:
+        """Convenience: export to a JSONL trace directory."""
+        sink = (
+            directory
+            if isinstance(directory, JsonlTelemetrySink)
+            else JsonlTelemetrySink(directory)
+        )
+        self.export(sink, events=events, close=True)
+        return sink

@@ -1,0 +1,171 @@
+"""Backend instrumentation: observed work counts that prove parity.
+
+:class:`InstrumentedBackend` wraps any
+:class:`~repro.core.backends.ExecutionBackend` and records, for every
+backend operation a stage performs:
+
+* an operation span (``backend.map`` / ``backend.stats`` /
+  ``backend.shard_write``) parented under the current stage span;
+* a per-task child span for each fanned-out :meth:`map` item (worker
+  threads receive the parent explicitly, so attribution survives the
+  thread hop);
+* ``backend_tasks_total`` and ``backend_ops_total`` counters labelled by
+  pipeline, stage, operation, and backend.
+
+Task counts are **logical**: ``map`` counts its items, ``stats`` counts
+its partition grid, ``shard_write`` counts the global shard table — the
+same numbers regardless of which backend executes them.  The engine's
+bitwise-parity contract therefore extends to telemetry: serial,
+threaded, and simspmd runs of one plan record identical work counts
+(enforced by tests).
+
+The wrapper is installed by :class:`~repro.core.runner.PipelineRunner`
+as ``context.backend`` for the duration of a telemetered run; stages
+keep calling the plain backend protocol and never see the difference.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.backends import (
+    DEFAULT_STATS_PARTITIONS,
+    ExecutionBackend,
+    _shard_table,
+)
+from repro.obs.tracing import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.dataset import Dataset
+    from repro.io.shards import ShardManifest
+    from repro.obs import Telemetry
+    from repro.parallel.stats import FeatureStats
+
+__all__ = ["InstrumentedBackend"]
+
+
+class InstrumentedBackend(ExecutionBackend):
+    """Telemetry-recording proxy around a real execution backend."""
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        telemetry: "Telemetry",
+        *,
+        pipeline: str = "",
+    ):
+        self.inner = inner
+        self.telemetry = telemetry
+        self.pipeline = pipeline
+        #: set by the runner before each stage executes
+        self.stage_name: str = ""
+        self.stage_span: Optional[Span] = None
+        self.name = inner.name
+
+    @property
+    def width(self) -> int:
+        return self.inner.width
+
+    def activate_stage(self, stage_name: str, stage_span: Optional[Span]) -> None:
+        """Point subsequent operations at the currently executing stage."""
+        self.stage_name = stage_name
+        self.stage_span = stage_span
+
+    # -- recording helpers -------------------------------------------------------
+    def _labels(self, op: str) -> Dict[str, object]:
+        return {
+            "pipeline": self.pipeline,
+            "stage": self.stage_name,
+            "backend": self.inner.name,
+            "op": op,
+        }
+
+    def _count(self, op: str, tasks: int) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("backend_ops_total", **self._labels(op)).inc()
+        metrics.counter("backend_tasks_total", **self._labels(op)).inc(tasks)
+
+    # -- the backend protocol ----------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        items = list(items)
+        self._count("map", len(items))
+        tracer = self.telemetry.tracer
+        with tracer.span(
+            f"backend.map:{self.stage_name}",
+            parent=self.stage_span,
+            backend=self.inner.name,
+            tasks=len(items),
+        ) as op_span:
+
+            def traced(item: Any) -> Any:
+                # parent passed explicitly: worker threads have no ambient span
+                with tracer.span(
+                    "backend.task",
+                    parent=op_span,
+                    backend=self.inner.name,
+                    stage=self.stage_name,
+                    op="map",
+                ):
+                    return fn(item)
+
+            return self.inner.map(traced, items, weights=weights)
+
+    def stats(
+        self, data: np.ndarray, *, partitions: int = DEFAULT_STATS_PARTITIONS
+    ) -> "FeatureStats":
+        # logical task count == partition grid, identical on every backend
+        self._count("stats", partitions)
+        with self.telemetry.tracer.span(
+            f"backend.stats:{self.stage_name}",
+            parent=self.stage_span,
+            backend=self.inner.name,
+            tasks=partitions,
+            rows=int(np.asarray(data).shape[0]),
+        ):
+            return self.inner.stats(data, partitions=partitions)
+
+    def shard_write(
+        self,
+        dataset: "Dataset",
+        directory: Union[str, Path],
+        splits: Dict[str, np.ndarray],
+        *,
+        shards_per_split: int = 4,
+        codec_name: str = "raw",
+        codec_level: Optional[int] = None,
+    ) -> "ShardManifest":
+        # logical task count == the global shard table every backend cuts
+        n_shards = len(_shard_table(splits, shards_per_split))
+        self._count("shard_write", n_shards)
+        with self.telemetry.tracer.span(
+            f"backend.shard_write:{self.stage_name}",
+            parent=self.stage_span,
+            backend=self.inner.name,
+            tasks=n_shards,
+            codec=codec_name,
+        ) as op_span:
+            manifest = self.inner.shard_write(
+                dataset,
+                directory,
+                splits,
+                shards_per_split=shards_per_split,
+                codec_name=codec_name,
+                codec_level=codec_level,
+            )
+            op_span.set_attributes(
+                shards=manifest.n_shards,
+                samples=manifest.n_samples,
+            )
+            return manifest
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} [instrumented]"

@@ -1,0 +1,232 @@
+"""Counters, gauges, and mergeable fixed-bucket histograms with labels.
+
+A :class:`MetricsRegistry` is the per-run (or per-worker) home of named,
+labelled metrics.  Three kinds exist:
+
+* :class:`Counter` — monotonically increasing totals (tasks executed,
+  bytes written);
+* :class:`Gauge` — last-written values (throughput of the most recent
+  stage);
+* :class:`Histogram` — fixed-bucket distributions (stage durations).
+  Buckets are fixed at creation, so two histograms with the same bucket
+  grid merge exactly: counts, sums, counts-per-bucket, min and max all
+  add, which makes the merge **associative and commutative** — partial
+  registries accumulated on threaded backend workers can be merged in
+  any grouping and produce identical results (proven by tests).
+
+Every metric is identified by ``(name, sorted labels)``; all mutation is
+lock-guarded, so stage internals running on a thread-pool backend can
+share one registry safely.  :meth:`MetricsRegistry.snapshot` emits plain
+dicts in a stable order for the JSONL sinks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: default histogram bucket upper bounds in seconds (a +inf bucket is implicit)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def merge(self, other: "Counter") -> "Counter":
+        self.inc(other.value)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        self.set(other.value)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution; exactly mergeable with an equal grid."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds: {bounds}")
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        #: one count per bound, plus the trailing +inf bucket
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Exact in-place merge; requires an identical bucket grid."""
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        with self._lock:
+            for i, c in enumerate(other.counts):
+                self.counts[i] += c
+            self.count += other.count
+            self.sum += other.sum
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home of named, labelled counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+
+    def _get_or_create(self, name: str, labels: Dict[str, object], factory, kind: str):
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+            elif metric.kind != kind:  # type: ignore[attr-defined]
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "  # type: ignore[attr-defined]
+                    f"not {kind}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(name, labels, Counter, "counter")
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get_or_create(name, labels, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, *, buckets: Optional[Sequence[float]] = None, **labels: object
+    ) -> Histogram:
+        return self._get_or_create(
+            name, labels, lambda: Histogram(buckets), "histogram"
+        )
+
+    # -- introspection -----------------------------------------------------------
+    def get(self, name: str, **labels: object):
+        """The existing metric for (name, labels), or None."""
+        with self._lock:
+            return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, **labels: object) -> float:
+        """Scalar value of a counter/gauge (0.0 when absent)."""
+        metric = self.get(name, **labels)
+        return float(getattr(metric, "value", 0.0)) if metric is not None else 0.0
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted({name for name, _ in self._metrics})
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Plain dicts, stable (name, labels) order — the sink payload."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        out: List[Dict[str, object]] = []
+        for (name, label_key), metric in items:
+            row: Dict[str, object] = {
+                "name": name,
+                "kind": metric.kind,  # type: ignore[attr-defined]
+                "labels": dict(label_key),
+            }
+            row.update(metric.to_dict())  # type: ignore[attr-defined]
+            out.append(row)
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (counter add, gauge overwrite, histogram merge)."""
+        with other._lock:
+            items = list(other._metrics.items())
+        for (name, label_key), metric in items:
+            labels = dict(label_key)
+            if metric.kind == "counter":  # type: ignore[attr-defined]
+                self.counter(name, **labels).merge(metric)  # type: ignore[arg-type]
+            elif metric.kind == "gauge":  # type: ignore[attr-defined]
+                self.gauge(name, **labels).merge(metric)  # type: ignore[arg-type]
+            else:
+                self.histogram(name, buckets=metric.buckets, **labels).merge(  # type: ignore[attr-defined]
+                    metric  # type: ignore[arg-type]
+                )
+        return self
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)

@@ -176,3 +176,32 @@ class TestFingerprintPayload:
 
     def test_stage_functions_hash_by_qualified_name(self):
         assert fingerprint_payload(passthrough) == fingerprint_payload(passthrough)
+
+    def test_cached_property_reads_do_not_change_the_fingerprint(self):
+        """Derived caches (with back-references) are not payload content.
+
+        ``functools.cached_property`` writes its value into the instance
+        dict on first access; reading one must neither alter the hash nor
+        recurse forever when the cached view back-references its owner
+        (the networkx graph-view shape).
+        """
+        import functools
+
+        class View:
+            def __init__(self, owner):
+                self._owner = owner  # back-reference: a naive walk cycles
+
+        class Node:
+            def __init__(self, weight):
+                self.weight = weight
+
+            @functools.cached_property
+            def view(self):
+                return View(self)
+
+        untouched = Node(3.0)
+        before = fingerprint_payload(untouched)
+        touched = Node(3.0)
+        _ = touched.view  # populates touched.__dict__["view"]
+        assert "view" in touched.__dict__
+        assert fingerprint_payload(touched) == before

@@ -1,0 +1,231 @@
+"""Metrics: counters, gauges, labeled series, histogram merge associativity."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(2)
+        b.inc(3)
+        a.merge(b)
+        assert a.value == 5
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge()
+        g.set(10)
+        g.set(4)
+        assert g.value == 4
+
+    def test_merge_takes_other(self):
+        a, b = Gauge(), Gauge()
+        a.set(1)
+        b.set(9)
+        a.merge(b)
+        assert a.value == 9
+
+
+class TestHistogram:
+    def test_bucket_counts_upper_inclusive(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 1.0, 2.0, 5.0, 7.0, 50.0):
+            h.observe(v)
+        # buckets: <=1.0, <=5.0, <=10.0, +inf
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.sum == pytest.approx(65.5)
+        assert h.min == 0.5
+        assert h.max == 50.0
+        assert h.mean == pytest.approx(65.5 / 6)
+
+    def test_merge_requires_identical_buckets(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_is_exact(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.counts == [1, 1, 1]
+        assert a.sum == pytest.approx(11.0)
+        assert a.min == 0.5
+        assert a.max == 9.0
+
+    def test_to_dict_schema(self):
+        h = Histogram()
+        h.observe(0.2)
+        d = h.to_dict()
+        assert d["count"] == 1
+        assert list(d["buckets"]) == list(DEFAULT_BUCKETS)
+        assert len(d["counts"]) == len(DEFAULT_BUCKETS) + 1
+
+
+def _fill(hist, values):
+    for v in values:
+        hist.observe(v)
+    return hist
+
+
+class TestMergeAssociativity:
+    def test_merge_associative_and_commutative(self):
+        values = [[0.1 * i + j for i in range(20)] for j in range(3)]
+        buckets = (0.5, 1.0, 1.5, 2.0)
+
+        def h(vals):
+            return _fill(Histogram(buckets=buckets), vals)
+
+        # (a + b) + c
+        left = h(values[0])
+        left.merge(h(values[1]))
+        left.merge(h(values[2]))
+        # a + (b + c)
+        bc = h(values[1])
+        bc.merge(h(values[2]))
+        right = h(values[0])
+        right.merge(bc)
+        # c + b + a (commuted)
+        rev = h(values[2])
+        rev.merge(h(values[1]))
+        rev.merge(h(values[0]))
+        serial = h([v for vs in values for v in vs])
+        for other in (right, rev, serial):
+            assert left.counts == other.counts
+            assert left.count == other.count
+            assert left.sum == pytest.approx(other.sum)
+            assert left.min == other.min
+            assert left.max == other.max
+
+    def test_threaded_worker_registries_merge_to_serial_result(self):
+        """Per-worker registries merged in any grouping == one shared registry."""
+        n_workers, per_worker = 6, 50
+        workloads = [
+            [0.01 * (w + 1) * (i % 7 + 1) for i in range(per_worker)]
+            for w in range(n_workers)
+        ]
+
+        def observe_all(registry, values, worker):
+            for v in values:
+                registry.histogram("task_seconds", stage="s").observe(v)
+                registry.counter("tasks_total", stage="s").inc()
+                registry.gauge("last", worker=str(worker)).set(v)
+
+        locals_ = [MetricsRegistry() for _ in range(n_workers)]
+        threads = [
+            threading.Thread(target=observe_all, args=(locals_[w], workloads[w], w))
+            for w in range(n_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # merge pairwise left-to-right
+        merged = MetricsRegistry()
+        for reg in locals_:
+            merged.merge(reg)
+        # merge in a different grouping (tree reduction)
+        odd = MetricsRegistry()
+        for reg in locals_[1::2]:
+            odd.merge(reg)
+        even = MetricsRegistry()
+        for reg in locals_[0::2]:
+            even.merge(reg)
+        tree = MetricsRegistry()
+        tree.merge(even)
+        tree.merge(odd)
+
+        serial = MetricsRegistry()
+        for w, values in enumerate(workloads):
+            observe_all(serial, values, w)
+
+        for reference in (tree, serial):
+            h_a = merged.get("task_seconds", stage="s")
+            h_b = reference.get("task_seconds", stage="s")
+            assert h_a.counts == h_b.counts
+            assert h_a.count == h_b.count == n_workers * per_worker
+            assert h_a.sum == pytest.approx(h_b.sum)
+            assert merged.value("tasks_total", stage="s") == reference.value(
+                "tasks_total", stage="s"
+            )
+
+
+class TestRegistry:
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("n", stage="a").inc()
+        reg.counter("n", stage="b").inc(2)
+        assert reg.value("n", stage="a") == 1
+        assert reg.value("n", stage="b") == 2
+        assert len(reg) == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("n", a="1", b="2").inc()
+        assert reg.counter("n", b="2", a="1").value == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(TypeError):
+            reg.gauge("n")
+
+    def test_snapshot_rows_are_stable_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b_count", stage="z").inc(3)
+        reg.gauge("a_gauge").set(1.5)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        names = [row["name"] for row in snap]
+        assert names == sorted(names)
+        kinds = {row["name"]: row["kind"] for row in snap}
+        assert kinds == {"a_gauge": "gauge", "b_count": "counter", "lat": "histogram"}
+        by_name = {row["name"]: row for row in snap}
+        assert by_name["b_count"]["labels"] == {"stage": "z"}
+        assert by_name["b_count"]["value"] == 3
+        assert by_name["lat"]["count"] == 1
+
+    def test_concurrent_shared_registry_is_consistent(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 200
+
+        def work():
+            for i in range(per_thread):
+                reg.counter("hits").inc()
+                reg.histogram("lat", buckets=(0.5,)).observe(0.1 * (i % 3))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("hits") == n_threads * per_thread
+        assert reg.get("lat").count == n_threads * per_thread

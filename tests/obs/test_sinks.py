@@ -1,0 +1,117 @@
+"""Sinks: schema envelope, JSONL round-trips, in-memory capture."""
+
+import json
+
+import pytest
+
+from repro.obs import InMemorySink, JsonlTelemetrySink, Telemetry
+from repro.obs.sinks import (
+    EVENTS_NAME,
+    METRICS_NAME,
+    SCHEMA_VERSION,
+    SPANS_NAME,
+    envelope,
+    read_jsonl,
+    read_trace,
+    write_jsonl,
+)
+
+
+class TestEnvelope:
+    def test_schema_version_and_type(self):
+        rec = envelope("span", {"name": "x"})
+        assert rec["schema"] == SCHEMA_VERSION
+        assert rec["type"] == "span"
+        assert rec["name"] == "x"
+
+
+class TestJsonlIO:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        rows = [{"a": 1}, {"b": [1, 2]}]
+        assert write_jsonl(path, rows) == 2
+        assert read_jsonl(path) == rows
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        write_jsonl(path, [{"a": 2}], append=True)
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+    def test_torn_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n{"torn": ')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "out.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        assert path.exists()
+
+
+class TestInMemorySink:
+    def test_captures_by_type(self):
+        sink = InMemorySink()
+        sink.emit_span({"name": "s"})
+        sink.emit_metric({"name": "m"})
+        sink.emit_event({"kind": "e"})
+        assert [r["name"] for r in sink.spans] == ["s"]
+        assert [r["name"] for r in sink.metrics] == ["m"]
+        assert len(sink.events) == 1
+        assert all(r["schema"] == SCHEMA_VERSION for r in sink.records)
+        sink.close()
+        assert sink.closed
+
+
+class TestJsonlSink:
+    def test_writes_three_files(self, tmp_path):
+        sink = JsonlTelemetrySink(tmp_path / "trace")
+        sink.emit_span({"name": "s", "duration_s": 0.5})
+        sink.emit_metric({"name": "m", "kind": "counter"})
+        sink.emit_event({"kind": "started"})
+        sink.close()
+        trace_dir = tmp_path / "trace"
+        assert (trace_dir / SPANS_NAME).exists()
+        assert (trace_dir / METRICS_NAME).exists()
+        assert (trace_dir / EVENTS_NAME).exists()
+        trace = read_trace(trace_dir)
+        assert [r["name"] for r in trace["spans"]] == ["s"]
+        assert [r["name"] for r in trace["metrics"]] == ["m"]
+        assert len(trace["events"]) == 1
+
+    def test_rejects_unknown_record_type(self, tmp_path):
+        sink = JsonlTelemetrySink(tmp_path)
+        with pytest.raises(ValueError):
+            sink.emit({"schema": SCHEMA_VERSION, "type": "bogus"})
+
+    def test_lines_are_valid_json_with_envelope(self, tmp_path):
+        sink = JsonlTelemetrySink(tmp_path)
+        sink.emit_span({"name": "s"})
+        sink.close()
+        lines = (tmp_path / SPANS_NAME).read_text().strip().splitlines()
+        row = json.loads(lines[0])
+        assert row["schema"] == SCHEMA_VERSION
+        assert row["type"] == "span"
+
+
+class TestTelemetryExport:
+    def test_export_covers_spans_metrics_events(self, tmp_path):
+        telemetry = Telemetry()
+        with telemetry.tracer.span("work"):
+            telemetry.metrics.counter("done").inc()
+        telemetry.export_jsonl(tmp_path / "trace", events=[{"kind": "x"}])
+        trace = read_trace(tmp_path / "trace")
+        assert trace["spans"][0]["name"] == "work"
+        assert trace["metrics"][0]["name"] == "done"
+        assert trace["events"][0]["kind"] == "x"
+
+    def test_export_to_memory_sink(self):
+        telemetry = Telemetry()
+        with telemetry.tracer.span("a"):
+            pass
+        sink = InMemorySink()
+        telemetry.export(sink)
+        assert len(sink.spans) == 1

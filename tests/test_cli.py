@@ -72,3 +72,92 @@ class TestCommands:
         victim.write_bytes(bytes(raw))
         assert main(["inspect", str(shard_dir)]) == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+class TestTelemetryCommands:
+    """run --trace-dir / --events-jsonl plus the telemetry subcommand."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        """One traced climate run shared by every telemetry CLI test."""
+        base = tmp_path_factory.mktemp("traced")
+        trace_dir = base / "trace"
+        events_path = base / "events.jsonl"
+        code = main([
+            "run", "climate",
+            "--workdir", str(base / "work"),
+            "--trace-dir", str(trace_dir),
+            "--events-jsonl", str(events_path),
+        ])
+        return code, trace_dir, events_path
+
+    def test_run_with_trace_dir_writes_jsonl_trace(self, traced_run, capsys):
+        code, trace_dir, _ = traced_run
+        assert code == 0
+        from repro.obs import SCHEMA_VERSION, read_trace
+
+        trace = read_trace(trace_dir)
+        assert trace["spans"] and trace["metrics"] and trace["events"]
+        for record in trace["spans"] + trace["metrics"] + trace["events"]:
+            assert record["schema"] == SCHEMA_VERSION
+        span_names = {s["name"] for s in trace["spans"]}
+        assert "run:climate" in span_names
+        assert any(name.startswith("stage:") for name in span_names)
+
+    def test_run_events_jsonl_reuses_the_sink_schema(self, traced_run):
+        _, _, events_path = traced_run
+        from repro.obs import SCHEMA_VERSION, read_jsonl
+
+        events = read_jsonl(events_path)
+        assert events
+        assert all(e["schema"] == SCHEMA_VERSION for e in events)
+        assert all(e["type"] == "event" for e in events)
+        assert events[0]["kind"] == "run-started"
+        assert events[-1]["kind"] == "run-completed"
+
+    def test_run_prints_summary_table(self, tmp_path, capsys):
+        assert main(["run", "climate", "--workdir", str(tmp_path / "w")]) == 0
+        out = capsys.readouterr().out
+        assert "(total)" in out
+        assert "items/s" in out
+        assert "canonical" in out
+
+    def test_telemetry_summary_renders_span_groups(self, traced_run, capsys):
+        _, trace_dir, _ = traced_run
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run:climate" in out
+        assert "total s" in out
+        assert "slowest span groups" in out
+
+    def test_telemetry_summary_top_limits_rows(self, traced_run, capsys):
+        _, trace_dir, _ = traced_run
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(trace_dir), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # header + exactly one data row in the span table
+        table_lines = [line for line in out.splitlines() if line.startswith(("run:", "stage:", "backend."))]
+        assert len(table_lines) == 1
+
+    def test_telemetry_summary_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["telemetry", "summary", str(tmp_path / "nothing")]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_telemetry_export_merges_one_stream(self, traced_run, tmp_path, capsys):
+        _, trace_dir, _ = traced_run
+        out_path = tmp_path / "combined.jsonl"
+        capsys.readouterr()
+        assert main(["telemetry", "export", str(trace_dir), "--jsonl", str(out_path)]) == 0
+        from repro.obs import read_jsonl, read_trace
+
+        combined = read_jsonl(out_path)
+        trace = read_trace(trace_dir)
+        expected = len(trace["spans"]) + len(trace["metrics"]) + len(trace["events"])
+        assert len(combined) == expected
+        assert {r["type"] for r in combined} == {"span", "metric", "event"}
+
+    def test_telemetry_export_empty_dir_fails(self, tmp_path, capsys):
+        out_path = tmp_path / "combined.jsonl"
+        assert main(["telemetry", "export", str(tmp_path / "none"), "--jsonl", str(out_path)]) == 1
+        assert "no telemetry records" in capsys.readouterr().err
