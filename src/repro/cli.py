@@ -18,7 +18,14 @@ backend (serial, threaded, simspmd — all bitwise-equivalent),
 restarts a previously interrupted run from its last completed stage,
 ``--trace-dir`` writes the run's full telemetry (spans, metrics, events)
 as a JSONL trace directory, and ``--events-jsonl`` streams just the run
-events in the same schema.  ``telemetry`` reads a trace directory back:
+events in the same schema.  Fault tolerance rides the same command:
+``--retries N`` retries stages/tasks on transient faults with
+deterministic seeded backoff, ``--stage-timeout`` sets a per-stage
+deadline budget, ``--on-error`` picks the stage error policy
+(``fail`` / ``retry`` / ``skip-degraded``), and ``--inject-faults
+'seed=7,rate=0.05,torn-shards=1'`` runs the whole engine under seeded
+chaos — the standing demonstration that retried, fault-ridden runs
+produce bitwise-identical shards.  ``telemetry`` reads a trace directory back:
 ``summary`` tables the slowest stages, ``export --jsonl`` merges the
 trace into one combined JSONL stream.
 
@@ -78,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-dir", type=Path, default=None,
                      help="collect telemetry (spans, metrics, resource profiles) "
                           "and write a JSONL trace under this directory")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry stages/tasks up to N times on transient faults "
+                          "(deterministic seeded backoff)")
+    run.add_argument("--stage-timeout", type=float, default=None, metavar="SECONDS",
+                     help="per-stage deadline budget; a stage that overruns it "
+                          "fails (or degrades, under --on-error skip-degraded)")
+    run.add_argument("--on-error", choices=["fail", "retry", "skip-degraded"],
+                     default=None,
+                     help="run-wide stage error policy (default: each stage's own "
+                          "policy, falling back to fail)")
+    run.add_argument("--inject-faults", default=None, metavar="SPEC",
+                     help="run under seeded chaos, e.g. "
+                          "'seed=7,rate=0.05,torn-shards=1,corrupt-checkpoint=2'; "
+                          "combine with --retries to watch the run self-heal")
 
     sub.add_parser("backends", help="list the available execution backends")
 
@@ -148,6 +169,10 @@ def _cmd_run(
     events: bool = False,
     events_jsonl: Optional[Path] = None,
     trace_dir: Optional[Path] = None,
+    retries: Optional[int] = None,
+    stage_timeout: Optional[float] = None,
+    on_error: Optional[str] = None,
+    inject_faults: Optional[str] = None,
 ) -> int:
     from repro.domains import (
         BioArchetype,
@@ -166,9 +191,24 @@ def _cmd_run(
         "materials": MaterialsArchetype,
     }
     from repro.core.pipeline import CheckpointError, PipelineError
+    from repro.faults import FaultInjector, FaultSpec, RetryPolicy
     from repro.obs import JsonlTelemetrySink, Telemetry
     from repro.obs.sinks import envelope, write_jsonl
 
+    retry_policy = None
+    if retries is not None:
+        if retries < 0:
+            print("error: --retries must be >= 0", file=sys.stderr)
+            return 2
+        # N retries = N+1 attempts; seeded so backoff is reproducible
+        retry_policy = RetryPolicy(max_attempts=retries + 1, seed=seed)
+    injector = None
+    if inject_faults is not None:
+        try:
+            injector = FaultInjector(FaultSpec.parse(inject_faults))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     telemetry = Telemetry() if trace_dir is not None else None
     archetype = classes[domain](seed=seed)
     print(f"running {domain} archetype ({archetype.pattern_string()}) "
@@ -180,6 +220,10 @@ def _cmd_run(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             telemetry=telemetry,
+            retry_policy=retry_policy,
+            on_error=on_error,
+            stage_timeout=stage_timeout,
+            fault_injector=injector,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -192,10 +236,29 @@ def _cmd_run(
             telemetry.export(JsonlTelemetrySink(trace_dir), events=getattr(exc, "events", []))
             print(f"partial trace written to {trace_dir}", file=sys.stderr)
         return 1
-    if result.run.resumed_from is not None:
-        skipped = result.run.resumed_from + 1
+    run = result.run
+    if run.quarantined:
+        for q in run.quarantined:
+            print(f"quarantined corrupt checkpoint for stage {q.stage_name!r} "
+                  f"({q.reason})")
+    if run.resumed_from is not None:
+        skipped = run.resumed_from + 1
         print(f"resumed from checkpoint: {skipped} stage(s) restored, not re-run")
-    print(result.run.summary_table())
+    print(run.summary_table())
+    if injector is not None or run.total_retries or len(run.dead_letters):
+        print(section("fault tolerance"))
+        if injector is not None:
+            print(injector.describe())
+        print(f"retries spent: {run.total_retries} "
+              f"(stage-level + task-level, across all stages)")
+        if len(run.dead_letters):
+            print("\ndead letters:")
+            print(run.dead_letters.render())
+    if run.degraded:
+        degraded = [r.stage_name for r in run.results if r.degraded]
+        print(f"\nWARNING: run completed DEGRADED — stage(s) "
+              f"{', '.join(degraded)} exhausted their error policy and were "
+              f"skipped; outputs passed through unchanged")
     if events:
         print(section("run events"))
         print(result.run.event_log())
@@ -269,6 +332,30 @@ def _cmd_telemetry_summary(trace_dir: Path, top: int) -> int:
         rows,
         align_right=[False, True, True, True, True, True, True],
     ))
+    fault_counter_names = (
+        "stage_retries_total",
+        "task_retries_total",
+        "faults_injected_total",
+        "dead_letters_total",
+        "stages_degraded_total",
+        "checkpoints_quarantined_total",
+    )
+    fault_rows = [
+        (
+            str(m.get("name")),
+            ", ".join(f"{k}={v}" for k, v in sorted((m.get("labels") or {}).items())),
+            int(float(m.get("value") or 0)),
+        )
+        for m in trace["metrics"]
+        if m.get("name") in fault_counter_names and float(m.get("value") or 0) > 0
+    ]
+    if fault_rows:
+        print("\nfault tolerance counters:")
+        print(render_table(
+            ["counter", "labels", "value"],
+            sorted(fault_rows),
+            align_right=[False, False, True],
+        ))
     if len(trace["metrics"]) or len(trace["events"]):
         print(f"\ntrace also holds {len(trace['metrics'])} metric snapshots "
               f"and {len(trace['events'])} run events "
@@ -356,6 +443,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             events=args.events,
             events_jsonl=args.events_jsonl,
             trace_dir=args.trace_dir,
+            retries=args.retries,
+            stage_timeout=args.stage_timeout,
+            on_error=args.on_error,
+            inject_faults=args.inject_faults,
         )
     if args.command == "backends":
         return _cmd_backends()

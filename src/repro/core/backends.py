@@ -22,6 +22,14 @@ partition order, whichever backend runs them.  Execution strategy
 therefore never changes the numbers: Serial, Threaded, and SimSPMD
 produce bitwise-identical statistics, payloads, and shard files for the
 same plan and input.  Backend parity is enforced by tests.
+
+**Task-level fault tolerance.**  Every backend runs its fanned-out map
+tasks through :meth:`~ExecutionBackend.run_task`; when a
+:class:`~repro.faults.retry.RetryPolicy` is attached (the runner does
+this when retries are enabled), each task is retried in place on
+transient faults.  Because :meth:`map` returns results in input order,
+a retried partition re-enters the merge at its original position — the
+bitwise-parity contract survives retries by construction.
 """
 
 from __future__ import annotations
@@ -29,9 +37,23 @@ from __future__ import annotations
 import abc
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.retry import Clock, RetryPolicy, RetryStats
 
 from repro.core.dataset import Dataset
 from repro.io.compression import get_codec
@@ -82,10 +104,62 @@ class ExecutionBackend(abc.ABC):
     #: registry name; also used in run events and evidence details
     name: str = "abstract"
 
+    #: task-level retry configuration, attached by the runner (or by
+    #: :meth:`configure_retry`); ``None`` disables task retries
+    task_retry: Optional["RetryPolicy"] = None
+    #: clock task retries sleep on (``None`` = real time)
+    task_clock: Optional["Clock"] = None
+    #: thread-safe tally task retries are recorded into (``None`` = untallied)
+    task_retry_stats: Optional["RetryStats"] = None
+
     @property
     def width(self) -> int:
         """Degree of parallelism the backend runs at (1 for serial)."""
         return 1
+
+    def configure_retry(
+        self,
+        policy: Optional["RetryPolicy"],
+        *,
+        clock: Optional["Clock"] = None,
+        stats: Optional["RetryStats"] = None,
+    ) -> "ExecutionBackend":
+        """Attach (or clear) a task-level retry policy; returns self."""
+        self.task_retry = policy
+        self.task_clock = clock
+        self.task_retry_stats = stats
+        return self
+
+    def run_task(self, fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        """Wrap a map task with this backend's task-level retry (if any).
+
+        The wrapped callable retries transient faults in place, so the
+        caller's result ordering — and therefore merge order — is
+        untouched.  Permanent faults propagate immediately.
+        """
+        policy = self.task_retry
+        if policy is None:
+            return fn
+        # lazy import: repro.faults.inject imports this module
+        from repro.faults.retry import call_with_retry
+
+        clock = self.task_clock
+        stats = self.task_retry_stats
+
+        def resilient(item: Any) -> Any:
+            def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+                if stats is not None:
+                    stats.record(type(exc).__name__)
+
+            return call_with_retry(
+                lambda: fn(item),
+                policy=policy,
+                clock=clock,
+                key=f"{self.name}:task",
+                on_retry=on_retry,
+            ).value
+
+        return resilient
 
     @abc.abstractmethod
     def map(
@@ -199,7 +273,8 @@ class SerialBackend(ExecutionBackend):
         *,
         weights: Optional[Sequence[float]] = None,
     ) -> List[Any]:
-        return [fn(item) for item in items]
+        task = self.run_task(fn)
+        return [task(item) for item in items]
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -231,8 +306,9 @@ class ThreadedBackend(ExecutionBackend):
         items = list(items)
         if not items:
             return []
+        task = self.run_task(fn)
         with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(task, items))
 
 
 class SimSPMDBackend(ExecutionBackend):
@@ -269,7 +345,11 @@ class SimSPMDBackend(ExecutionBackend):
         if not items:
             return []
         return parallel_map(
-            fn, items, n_ranks=self.n_ranks, strategy=self.strategy, weights=weights
+            self.run_task(fn),
+            items,
+            n_ranks=self.n_ranks,
+            strategy=self.strategy,
+            weights=weights,
         )
 
     def stats(

@@ -14,7 +14,9 @@ This module keeps the original single-import surface: :class:`Pipeline`
 wraps a plan plus a runner, and ``Pipeline.run()`` behaves exactly as the
 old serial loop did — existing callers and tests work unchanged — while
 new keyword arguments (``backend=``, ``checkpoint_dir=``, ``resume=``,
-``on_event=``) expose the layered engine.
+``on_event=``, ``retry_policy=``, ``on_error=``, ``stage_timeout=``,
+``fault_injector=``) expose the layered engine and its fault-tolerance
+controls (:mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -46,10 +48,20 @@ from repro.core.runner import (
     PipelineContext,
     PipelineRun,
     PipelineRunner,
+    QuarantinedCheckpoint,
     RunCheckpointer,
     RunEvent,
     RunEventKind,
     StageResult,
+)
+from repro.faults import (
+    Clock,
+    DeadLetterLog,
+    DeadLetterRecord,
+    FaultInjector,
+    FaultSpec,
+    OnError,
+    RetryPolicy,
 )
 
 __all__ = [
@@ -66,6 +78,7 @@ __all__ = [
     "RunEventKind",
     "RunCheckpointer",
     "CheckpointError",
+    "QuarantinedCheckpoint",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadedBackend",
@@ -73,6 +86,12 @@ __all__ = [
     "BACKENDS",
     "get_backend",
     "fingerprint_payload",
+    "OnError",
+    "RetryPolicy",
+    "FaultInjector",
+    "FaultSpec",
+    "DeadLetterLog",
+    "DeadLetterRecord",
 ]
 
 
@@ -115,6 +134,11 @@ class Pipeline:
         on_event: Optional[Callable[[RunEvent], None]] = None,
         telemetry: Optional["Telemetry"] = None,
         clock: Callable[[], float] = time.time,
+        retry_policy: Optional[RetryPolicy] = None,
+        on_error: Union[OnError, str, None] = None,
+        stage_timeout: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        fault_clock: Optional[Clock] = None,
     ) -> PipelineRunner:
         """A configured :class:`PipelineRunner` for this pipeline's plan."""
         return PipelineRunner(
@@ -124,6 +148,11 @@ class Pipeline:
             on_event=on_event,
             telemetry=telemetry,
             clock=clock,
+            retry_policy=retry_policy,
+            on_error=on_error,
+            stage_timeout=stage_timeout,
+            fault_injector=fault_injector,
+            fault_clock=fault_clock,
         )
 
     def run(
@@ -137,16 +166,25 @@ class Pipeline:
         on_event: Optional[Callable[[RunEvent], None]] = None,
         telemetry: Optional["Telemetry"] = None,
         clock: Callable[[], float] = time.time,
+        retry_policy: Optional[RetryPolicy] = None,
+        on_error: Union[OnError, str, None] = None,
+        stage_timeout: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        fault_clock: Optional[Clock] = None,
     ) -> PipelineRun:
         """Execute all stages; provenance is captured per transition.
 
         Without keyword arguments this matches the historical serial
         behaviour.  ``backend`` selects an execution backend (name or
         instance), ``checkpoint_dir`` enables per-stage checkpoints,
-        ``resume=True`` restarts after the last completed checkpointed
-        stage instead of re-running the whole plan, and ``telemetry``
-        attaches a :class:`~repro.obs.Telemetry` collector (spans,
-        metrics, resource profiles for every stage and backend task).
+        ``resume=True`` restarts after the last *verifiable* checkpointed
+        stage (quarantining corrupt snapshots) instead of re-running the
+        whole plan, and ``telemetry`` attaches a
+        :class:`~repro.obs.Telemetry` collector (spans, metrics, resource
+        profiles for every stage and backend task).  ``retry_policy``,
+        ``on_error``, and ``stage_timeout`` set run-wide fault-tolerance
+        defaults (stages override via their own fields), and
+        ``fault_injector`` runs the whole engine under seeded chaos.
         """
         runner = self.runner(
             backend=backend,
@@ -154,5 +192,10 @@ class Pipeline:
             on_event=on_event,
             telemetry=telemetry,
             clock=clock,
+            retry_policy=retry_policy,
+            on_error=on_error,
+            stage_timeout=stage_timeout,
+            fault_injector=fault_injector,
+            fault_clock=fault_clock,
         )
         return runner.run(payload, context, resume=resume)

@@ -28,13 +28,17 @@ import hashlib
 import inspect
 import json
 import pathlib
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.core.levels import DataProcessingStage
+from repro.faults.errors import OnError
 from repro.provenance.record import fingerprint_array
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.retry import RetryPolicy
 
 __all__ = [
     "PipelineError",
@@ -93,6 +97,14 @@ class PipelineStage:
     (fingerprints of inputs are taken *before* the call).  Stages reach
     data-parallel execution through ``context.backend``; ``parallelism``
     declares which backend operation the stage uses.
+
+    ``on_error``, ``retry``, and ``timeout`` are the stage's fault
+    policy (see :mod:`repro.faults`): what to do when the stage fails,
+    the backoff schedule for retries, and the stage's deadline budget in
+    seconds.  All three default to ``None`` — "inherit the runner's
+    policy" — and are *execution* concerns, deliberately excluded from
+    the plan fingerprint: changing a retry budget must not invalidate
+    checkpoints.
     """
 
     name: str
@@ -101,6 +113,16 @@ class PipelineStage:
     params: Dict[str, object] = dataclasses.field(default_factory=dict)
     description: str = ""
     parallelism: Parallelism = Parallelism.NONE
+    #: failure policy: None inherits the runner default (see OnError)
+    on_error: Optional[OnError] = None
+    #: stage-specific retry override (None inherits the runner policy)
+    retry: Optional["RetryPolicy"] = None
+    #: deadline budget in seconds (None inherits the runner stage_timeout)
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.on_error is not None:
+            self.on_error = OnError.coerce(self.on_error)
 
 
 @dataclasses.dataclass(frozen=True)

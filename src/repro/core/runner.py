@@ -25,7 +25,16 @@ predates this module), the runner adds:
   :class:`~repro.obs.instrument.InstrumentedBackend` so backend
   operations and fanned-out tasks appear as grandchild spans with
   logical work counters, records stage-duration histograms, and links
-  every provenance record to the span that produced it.
+  every provenance record to the span that produced it;
+* **fault tolerance** — stages execute under a per-stage
+  :class:`~repro.faults.errors.OnError` policy with a
+  :class:`~repro.faults.retry.RetryPolicy` (deterministic seeded
+  backoff on an injectable clock) and an optional deadline budget;
+  transient faults retry, exhausted or permanent failures either abort
+  (``fail``), or dead-letter the stage and continue degraded
+  (``skip-degraded``).  A :class:`~repro.faults.inject.FaultInjector`
+  can be attached to run the whole engine under seeded chaos, and
+  resume quarantines corrupt checkpoints instead of crashing on them.
 
 Stage functions stay pure data transforms; capture is the engine's job.
 """
@@ -38,13 +47,17 @@ import os
 import pickle
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.backends import ExecutionBackend, get_backend
 from repro.core.evidence import EvidenceKind, ReadinessEvidence
 from repro.core.levels import DataProcessingStage
 from repro.core.plan import PipelineError, PipelineStage, StagePlan, fingerprint_payload
 from repro.core.report import format_bytes, render_table
+from repro.faults.deadletter import DeadLetterLog, DeadLetterRecord
+from repro.faults.errors import OnError, StageTimeoutError, classify_fault, is_transient
+from repro.faults.inject import FaultInjector
+from repro.faults.retry import Clock, Deadline, RetryPolicy, RetryStats, SystemClock
 from repro.governance.audit import AuditLog
 from repro.obs import Telemetry, payload_items, payload_nbytes, throughput
 from repro.obs.instrument import InstrumentedBackend
@@ -64,6 +77,7 @@ __all__ = [
     "RunEvent",
     "CheckpointError",
     "RunCheckpoint",
+    "QuarantinedCheckpoint",
     "RunCheckpointer",
     "PipelineRunner",
 ]
@@ -157,6 +171,15 @@ class StageResult:
     items: int = 0
     #: approximate content size of the stage's output payload in bytes
     nbytes: int = 0
+    #: stage-level execution attempts (1 = no retries)
+    attempts: int = 1
+    #: task-level retries spent inside the backend fan-out for this stage
+    task_retries: int = 0
+    #: True when the stage exhausted its error policy and was skipped
+    #: under ``on_error="skip-degraded"`` — its payload passed through
+    degraded: bool = False
+    #: the final error message for a degraded stage (empty otherwise)
+    error: str = ""
 
 
 class RunEventKind(enum.Enum):
@@ -167,6 +190,9 @@ class RunEventKind(enum.Enum):
     STAGE_COMPLETED = "stage-completed"
     STAGE_FAILED = "stage-failed"
     STAGE_SKIPPED = "stage-skipped"
+    STAGE_RETRIED = "stage-retried"
+    STAGE_DEGRADED = "stage-degraded"
+    CHECKPOINT_QUARANTINED = "checkpoint-quarantined"
     RUN_COMPLETED = "run-completed"
     RUN_FAILED = "run-failed"
 
@@ -211,10 +237,26 @@ class PipelineRun:
     #: index of the checkpointed stage the run resumed after (None = fresh)
     resumed_from: Optional[int] = None
     backend_name: str = "serial"
+    #: work the run could not complete (failed or degraded stages)
+    dead_letters: DeadLetterLog = dataclasses.field(default_factory=DeadLetterLog)
+    #: checkpoints resume had to quarantine before finding a verifiable one
+    quarantined: List["QuarantinedCheckpoint"] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.results)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage was skipped under ``skip-degraded``."""
+        return any(r.degraded for r in self.results)
+
+    @property
+    def total_retries(self) -> int:
+        """Stage-level plus task-level retries spent across the run."""
+        return sum(r.attempts - 1 + r.task_retries for r in self.results)
 
     def seconds_by_processing_stage(self) -> Dict[DataProcessingStage, float]:
         out: Dict[DataProcessingStage, float] = {}
@@ -252,13 +294,20 @@ class PipelineRun:
         """Stage name -> duration, items, bytes, status (the run summary)."""
         summary: Dict[str, Dict[str, object]] = {}
         for r in self.results:
+            if r.degraded:
+                status = "degraded"
+            elif r.restored:
+                status = "restored"
+            else:
+                status = "ok"
             summary[r.stage_name] = {
                 "canonical": r.processing_stage.label,
                 "seconds": r.seconds,
                 "items": r.items,
                 "bytes": r.nbytes,
                 "items_per_s": (r.items / r.seconds) if r.seconds > 0 else 0.0,
-                "status": "restored" if r.restored else "ok",
+                "status": status,
+                "retries": r.attempts - 1 + r.task_retries,
                 "fingerprint": r.output_fingerprint[:12],
             }
         return summary
@@ -275,6 +324,7 @@ class PipelineRun:
                     row["items"],
                     format_bytes(float(row["bytes"])),
                     f"{row['items_per_s']:.1f}",
+                    row["retries"],
                     row["status"],
                 )
             )
@@ -286,13 +336,23 @@ class PipelineRun:
                 "",
                 "",
                 "",
-                self.backend_name,
+                self.total_retries,
+                "degraded" if self.degraded else self.backend_name,
             )
         )
         return render_table(
-            ["stage", "canonical", "seconds", "items", "bytes", "items/s", "status"],
+            [
+                "stage",
+                "canonical",
+                "seconds",
+                "items",
+                "bytes",
+                "items/s",
+                "retries",
+                "status",
+            ],
             rows,
-            align_right=[False, False, True, True, True, True, False],
+            align_right=[False, False, True, True, True, True, True, False],
         )
 
 
@@ -319,15 +379,34 @@ class RunCheckpoint:
     completed: Dict[int, Dict[str, str]]
 
 
+@dataclasses.dataclass(frozen=True)
+class QuarantinedCheckpoint:
+    """One checkpoint resume rejected and set aside instead of restoring.
+
+    The on-disk pickle (if any) is renamed to ``*.quarantined`` so it
+    stays available for post-mortem without ever being restored again.
+    """
+
+    stage_index: int
+    stage_name: str
+    reason: str
+    #: where the rejected payload snapshot was moved ("" if it was missing)
+    quarantined_path: str = ""
+
+
 class RunCheckpointer:
     """Persists per-stage payload snapshots so a failed run can resume.
 
     Layout under ``directory``: one ``stage-NNN.pkl`` pickle per completed
     stage (payload + artifacts + evidence) and a ``run-state.json`` table
     of completed stages with their payload fingerprints, guarded by the
-    plan fingerprint.  State writes are atomic (write-then-rename), and a
-    restored payload is re-fingerprinted before use — a checkpoint that
-    does not hash to its recorded fingerprint is rejected.
+    plan fingerprint.  Both payload snapshots and state writes are atomic
+    (write-then-rename), so a crash mid-save leaves the previous
+    checkpoint intact, never a torn file under the real name.  A restored
+    payload is re-fingerprinted before use — :meth:`load` rejects a
+    checkpoint that does not hash to its recorded fingerprint, while
+    :meth:`load_verified` quarantines it and falls back to the newest
+    earlier checkpoint that still verifies.
     """
 
     STATE_NAME = "run-state.json"
@@ -367,25 +446,42 @@ class RunCheckpointer:
             "artifacts": dict(context.artifacts),
             "evidence": context.evidence,
         }
-        with open(self._payload_path(index), "wb") as fh:
+        # write-then-rename: a crash mid-pickle leaves stage-NNN.pkl.tmp
+        # behind, never a torn snapshot under the restorable name
+        path = self._payload_path(index)
+        tmp_payload = path.with_name(path.name + ".tmp")
+        with open(tmp_payload, "wb") as fh:
             pickle.dump(blob, fh)
+        os.replace(tmp_payload, path)
         state = self._load_state()
         if state is None or state.get("plan_fingerprint") != plan.fingerprint():
             state = {"completed": []}
         # a (re)run reaching stage k invalidates any stale later checkpoints
-        completed = [row for row in state["completed"] if int(row["index"]) < index]
-        completed.append(
-            {
-                "index": index,
-                "stage": stage.name,
-                "input_fingerprint": input_fingerprint,
-                "fingerprint": output_fingerprint,
-            }
-        )
+        completed = {
+            int(row["index"]): row
+            for row in state["completed"]
+            if int(row["index"]) < index
+        }
+        completed[index] = {
+            "index": index,
+            "stage": stage.name,
+            "input_fingerprint": input_fingerprint,
+            "fingerprint": output_fingerprint,
+        }
+        self._write_state(plan, completed)
+
+    def _write_state(
+        self, plan: StagePlan, completed: Dict[int, Dict[str, Any]]
+    ) -> None:
+        """Atomically rewrite the completed-stage table (drop it if empty)."""
+        if not completed:
+            if self.state_path.exists():
+                self.state_path.unlink()
+            return
         state = {
             "pipeline": plan.name,
             "plan_fingerprint": plan.fingerprint(),
-            "completed": sorted(completed, key=lambda row: int(row["index"])),
+            "completed": [completed[i] for i in sorted(completed)],
         }
         tmp = self.state_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(state, indent=2, sort_keys=True))
@@ -432,6 +528,86 @@ class RunCheckpointer:
             completed=completed,
         )
 
+    def _try_restore(self, row: Dict[str, Any], path: Path):
+        """Restore one snapshot; returns ``(blob, reason)`` — one is None."""
+        if not path.exists():
+            return None, "payload snapshot is missing"
+        try:
+            with open(path, "rb") as fh:
+                blob = pickle.load(fh)
+            payload = blob["payload"]
+        except Exception as exc:  # torn pickle, missing key, unpicklable
+            return None, f"payload snapshot is unreadable ({type(exc).__name__}: {exc})"
+        actual = fingerprint_payload(payload)
+        if actual != row["fingerprint"]:
+            return None, (
+                f"fingerprint mismatch: stored {str(row['fingerprint'])[:12]}, "
+                f"restored payload hashes to {actual[:12]}"
+            )
+        return blob, None
+
+    def load_verified(
+        self, plan: StagePlan
+    ) -> Tuple[Optional[RunCheckpoint], List[QuarantinedCheckpoint]]:
+        """Restore the newest checkpoint that survives verification.
+
+        Resume hardening: where :meth:`load` raises on the first corrupt
+        or fingerprint-mismatched snapshot, this walks the completed
+        stages newest-first, renames every unusable snapshot to
+        ``*.quarantined`` (preserved for post-mortem, never restored),
+        rewrites the state table to the surviving prefix, and returns the
+        last *verifiable* checkpoint plus the quarantine report.  With no
+        survivor the run starts fresh — ``(None, [quarantined...])``.
+
+        Still raises :class:`CheckpointError` for a plan-fingerprint
+        mismatch: that is a caller error, not storage corruption.
+        """
+        state = self._load_state()
+        if state is None or not state.get("completed"):
+            return None, []
+        if state.get("plan_fingerprint") != plan.fingerprint():
+            raise CheckpointError(
+                f"checkpoint in {self.directory} was written by a different "
+                f"plan than {plan.name!r}; refusing to resume"
+            )
+        completed = {int(row["index"]): row for row in state["completed"]}
+        quarantined: List[QuarantinedCheckpoint] = []
+        for index in sorted(completed, reverse=True):
+            row = completed[index]
+            path = self._payload_path(index)
+            blob, reason = self._try_restore(row, path)
+            if blob is None:
+                qpath = ""
+                if path.exists():
+                    qpath = str(path) + ".quarantined"
+                    os.replace(path, qpath)
+                quarantined.append(
+                    QuarantinedCheckpoint(
+                        stage_index=index,
+                        stage_name=str(row["stage"]),
+                        reason=str(reason),
+                        quarantined_path=qpath,
+                    )
+                )
+                continue
+            survivors = {i: r for i, r in completed.items() if i <= index}
+            if quarantined:
+                self._write_state(plan, survivors)
+            return (
+                RunCheckpoint(
+                    stage_index=index,
+                    stage_name=str(row["stage"]),
+                    fingerprint=str(row["fingerprint"]),
+                    payload=blob["payload"],
+                    artifacts=dict(blob.get("artifacts", {})),
+                    evidence=blob.get("evidence") or ReadinessEvidence(),
+                    completed=survivors,
+                ),
+                quarantined,
+            )
+        self._write_state(plan, {})
+        return None, quarantined
+
     def clear(self) -> None:
         """Drop all stored state (fresh-start escape hatch)."""
         for path in self.directory.glob("stage-*.pkl"):
@@ -458,17 +634,52 @@ class PipelineRunner:
         on_event: Optional[Callable[[RunEvent], None]] = None,
         telemetry: Optional[Telemetry] = None,
         clock: Callable[[], float] = time.time,
+        retry_policy: Optional[RetryPolicy] = None,
+        on_error: Union[OnError, str, None] = None,
+        stage_timeout: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        fault_clock: Optional[Clock] = None,
     ):
         self.plan = plan
         self.backend = get_backend(backend)
         if checkpointer is None and checkpoint_dir is not None:
             checkpointer = RunCheckpointer(checkpoint_dir)
+        self.fault_injector = fault_injector
+        if fault_injector is not None and checkpointer is not None:
+            checkpointer = fault_injector.wrap_checkpointer(checkpointer)
         self.checkpointer = checkpointer
         self.on_event = on_event
         self.telemetry = telemetry
         #: wall-clock source stamped onto every RunEvent; inject a fake
         #: (monotonic) clock to pin timestamps and test event ordering
         self.clock = clock
+        #: run-wide retry default; stages override via PipelineStage.retry
+        self.retry_policy = retry_policy
+        #: run-wide error policy; None defers to per-stage policies, then
+        #: to RETRY iff a retry policy is set, else FAIL
+        self.on_error = OnError.coerce(on_error) if on_error is not None else None
+        #: run-wide per-stage deadline budget (seconds on the fault clock)
+        self.stage_timeout = stage_timeout
+        #: clock that retry backoff sleeps and deadline budgets run on —
+        #: virtual in tests so retries never wall-sleep
+        if fault_clock is None:
+            fault_clock = (
+                fault_injector.clock if fault_injector is not None else SystemClock()
+            )
+        self.fault_clock = fault_clock
+
+    def _stage_policy(
+        self, stage: PipelineStage
+    ) -> Tuple[OnError, Optional[RetryPolicy], Optional[float]]:
+        """Resolve the effective (on_error, retry, timeout) for one stage."""
+        mode = stage.on_error or self.on_error
+        if mode is None:
+            mode = OnError.RETRY if self.retry_policy is not None else OnError.FAIL
+        policy: Optional[RetryPolicy] = None
+        if mode is not OnError.FAIL:
+            policy = stage.retry or self.retry_policy or RetryPolicy()
+        timeout = stage.timeout if stage.timeout is not None else self.stage_timeout
+        return mode, policy, timeout
 
     # -- events ------------------------------------------------------------------
     def _emit(self, events: List[RunEvent], kind: RunEventKind, **kw: Any) -> RunEvent:
@@ -544,31 +755,45 @@ class PipelineRunner:
         """Execute the plan; provenance is captured per payload transition.
 
         With ``resume=True`` (requires a checkpointer) the run restarts
-        after the last completed stage: the stored payload snapshot is
-        verified against its recorded fingerprint and the completed
-        prefix is replayed as ``STAGE_SKIPPED`` events instead of being
-        re-executed.
+        after the last *verifiable* completed stage: stored payload
+        snapshots are verified against their recorded fingerprints,
+        corrupt or mismatched snapshots are quarantined (renamed to
+        ``*.quarantined``, reported as ``CHECKPOINT_QUARANTINED``
+        events), and the surviving prefix is replayed as
+        ``STAGE_SKIPPED`` events instead of being re-executed.
         """
         context = context or PipelineContext(agent=self.plan.name)
         telemetry = self.telemetry
         context.telemetry = telemetry
         events: List[RunEvent] = []
         results: List[StageResult] = []
+        dead_letters = DeadLetterLog()
+        injector = self.fault_injector
+        task_stats = RetryStats()
 
         checkpoint: Optional[RunCheckpoint] = None
+        quarantined: List[QuarantinedCheckpoint] = []
         if resume:
             if self.checkpointer is None:
                 raise PipelineError(
                     "resume requested but the runner has no checkpointer"
                 )
-            checkpoint = self.checkpointer.load(self.plan)
+            loader = getattr(self.checkpointer, "load_verified", None)
+            if loader is not None:
+                checkpoint, quarantined = loader(self.plan)
+            else:  # minimal checkpointer protocol: strict load only
+                checkpoint = self.checkpointer.load(self.plan)
 
-        backend: ExecutionBackend = self.backend
+        base = self.backend
+        base.configure_retry(None, clock=self.fault_clock, stats=task_stats)
+        backend: ExecutionBackend = base
+        if injector is not None:
+            backend = injector.wrap_backend(backend)
         instrumented: Optional[InstrumentedBackend] = None
         run_span: Optional[Span] = None
         if telemetry is not None:
             instrumented = InstrumentedBackend(
-                self.backend, telemetry, pipeline=self.plan.name
+                backend, telemetry, pipeline=self.plan.name
             )
             backend = instrumented
             run_span = telemetry.tracer.start_span(
@@ -589,6 +814,24 @@ class PipelineRunner:
         context.audit.record(
             context.agent, "run-started", self.plan.name, backend=self.backend.name
         )
+        for q in quarantined:
+            self._emit(
+                events,
+                RunEventKind.CHECKPOINT_QUARANTINED,
+                stage_name=q.stage_name,
+                stage_index=q.stage_index,
+                detail=q.reason,
+            )
+            context.audit.record(
+                context.agent,
+                "checkpoint-quarantined",
+                q.stage_name,
+                reason=q.reason,
+            )
+            if telemetry is not None:
+                telemetry.metrics.counter(
+                    "checkpoints_quarantined_total", pipeline=self.plan.name
+                ).inc()
 
         start_index = 0
         resumed_from: Optional[int] = None
@@ -617,8 +860,30 @@ class PipelineRunner:
                     f"{self.plan.name}:source", [], prev_fp, None, {"role": "source"}
                 )
 
+        def _flush_injected(mark: int, span: Optional[Span]) -> None:
+            """Surface this stage's realised injections as span events/counters."""
+            if injector is None:
+                return
+            for fault in injector.log[mark:]:
+                if span is not None:
+                    span.add_event(
+                        "fault_injected",
+                        kind=fault.kind,
+                        site=fault.site,
+                        attempt=fault.attempt,
+                        detail=fault.detail,
+                    )
+                if telemetry is not None:
+                    telemetry.metrics.counter(
+                        "faults_injected_total",
+                        pipeline=self.plan.name,
+                        kind=fault.kind,
+                    ).inc()
+
         for index in range(start_index, len(self.plan.stages)):
             stage = self.plan.stages[index]
+            mode, policy, timeout = self._stage_policy(stage)
+            base.task_retry = policy
             evidence_before = len(context.evidence)
             self._emit(
                 events,
@@ -643,16 +908,177 @@ class PipelineRunner:
                 instrumented.activate_stage(stage.name, stage_span)
                 profiler = ResourceProfiler().start()
             context.current_span = stage_span
-            started = time.perf_counter()
-            try:
-                current = stage.fn(current, context)
-            except Exception as exc:
-                elapsed = time.perf_counter() - started
+            deadline = (
+                Deadline(timeout, clock=self.fault_clock)
+                if timeout is not None
+                else None
+            )
+            retry_key = f"{self.plan.name}:{stage.name}"
+            task_before = task_stats.retries
+            injected_mark = len(injector.log) if injector is not None else 0
+            attempts = 0
+            elapsed = 0.0
+            stage_error: Optional[BaseException] = None
+            while True:
+                attempts += 1
+                started = time.perf_counter()
+                attempt_error: Optional[BaseException] = None
+                try:
+                    candidate = stage.fn(current, context)
+                except Exception as exc:
+                    attempt_error = exc
+                elapsed += time.perf_counter() - started
+                if (
+                    attempt_error is None
+                    and deadline is not None
+                    and deadline.expired()
+                ):
+                    # cooperative (post-hoc) budget enforcement: the stage
+                    # finished, but blew its deadline on the fault clock
+                    attempt_error = StageTimeoutError(
+                        f"stage {stage.name!r} exceeded its {timeout:g}s budget "
+                        f"({deadline.elapsed():.3f}s elapsed)"
+                    )
+                if attempt_error is None:
+                    current = candidate
+                    break
+                timed_out = isinstance(attempt_error, StageTimeoutError) or (
+                    deadline is not None and deadline.expired()
+                )
+                retryable = (
+                    mode is not OnError.FAIL
+                    and policy is not None
+                    and attempts < policy.max_attempts
+                    and is_transient(attempt_error)
+                    and not timed_out
+                )
+                if not retryable:
+                    stage_error = attempt_error
+                    break
+                delay = policy.delay(attempts, key=retry_key)
+                if deadline is not None:
+                    delay = min(delay, max(deadline.remaining(), 0.0))
+                detail = (
+                    f"attempt {attempts}/{policy.max_attempts} failed "
+                    f"({type(attempt_error).__name__}: {attempt_error}); "
+                    f"retrying in {delay:.3f}s"
+                )
+                self._emit(
+                    events,
+                    RunEventKind.STAGE_RETRIED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    seconds=elapsed,
+                    detail=detail,
+                )
+                context.audit.record(
+                    context.agent,
+                    "stage-retried",
+                    stage.name,
+                    attempt=attempts,
+                    error=str(attempt_error),
+                )
+                if stage_span is not None:
+                    stage_span.add_event(
+                        "retry",
+                        attempt=attempts,
+                        error=f"{type(attempt_error).__name__}: {attempt_error}",
+                        delay_s=delay,
+                    )
                 if telemetry is not None:
+                    telemetry.metrics.counter(
+                        "stage_retries_total",
+                        pipeline=self.plan.name,
+                        stage=stage.name,
+                    ).inc()
+                self.fault_clock.sleep(delay)
+            task_retries = task_stats.retries - task_before
+            if telemetry is not None and task_retries:
+                telemetry.metrics.counter(
+                    "task_retries_total", pipeline=self.plan.name, stage=stage.name
+                ).inc(task_retries)
+            if stage_error is not None:
+                fault_kind = classify_fault(stage_error)
+                record = DeadLetterRecord(
+                    pipeline=self.plan.name,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    attempts=attempts,
+                    error_type=type(stage_error).__name__,
+                    error=str(stage_error),
+                    fault_kind=fault_kind,
+                    input_fingerprint=prev_fp,
+                    action="degraded" if mode is OnError.SKIP_DEGRADED else "failed",
+                    timestamp=self.clock(),
+                )
+                dead_letters.append(record)
+                if telemetry is not None:
+                    telemetry.metrics.counter(
+                        "dead_letters_total",
+                        pipeline=self.plan.name,
+                        stage=stage.name,
+                    ).inc()
+                error_detail = f"{type(stage_error).__name__}: {stage_error}"
+                if mode is OnError.SKIP_DEGRADED:
+                    # pass the stage's input through untouched and press on;
+                    # the run completes, flagged degraded, with the failure
+                    # dead-lettered for re-driving
+                    if telemetry is not None:
+                        _flush_injected(injected_mark, stage_span)
+                        stage_span.set_attributes(
+                            degraded=True, attempts=attempts, task_retries=task_retries
+                        )
+                        telemetry.tracer.end_span(
+                            stage_span, status=SpanStatus.ERROR, error=error_detail
+                        )
+                        telemetry.metrics.counter(
+                            "stages_degraded_total",
+                            pipeline=self.plan.name,
+                            stage=stage.name,
+                        ).inc()
+                    else:
+                        _flush_injected(injected_mark, stage_span)
+                    context.current_span = None
+                    context.audit.record(
+                        context.agent,
+                        "stage-degraded",
+                        stage.name,
+                        attempts=attempts,
+                        error=str(stage_error),
+                    )
+                    self._emit(
+                        events,
+                        RunEventKind.STAGE_DEGRADED,
+                        stage_name=stage.name,
+                        stage_index=index,
+                        seconds=elapsed,
+                        fingerprint=prev_fp,
+                        detail=f"{error_detail} (after {attempts} attempts)",
+                    )
+                    results.append(
+                        StageResult(
+                            stage_name=stage.name,
+                            processing_stage=stage.processing_stage,
+                            seconds=elapsed,
+                            input_fingerprint=prev_fp,
+                            output_fingerprint=prev_fp,
+                            evidence_recorded=len(context.evidence)
+                            - evidence_before,
+                            attempts=attempts,
+                            task_retries=task_retries,
+                            degraded=True,
+                            error=error_detail,
+                        )
+                    )
+                    # no checkpoint for a degraded stage: a resume must
+                    # re-attempt it, not restore its passed-through input
+                    continue
+                if telemetry is not None:
+                    _flush_injected(injected_mark, stage_span)
                     telemetry.tracer.end_span(
                         stage_span,
                         status=SpanStatus.ERROR,
-                        error=f"{type(exc).__name__}: {exc}",
+                        error=error_detail,
                     )
                     telemetry.tracer.end_span(
                         run_span,
@@ -662,9 +1088,11 @@ class PipelineRunner:
                     telemetry.metrics.counter(
                         "runs_total", pipeline=self.plan.name, status="error"
                     ).inc()
+                else:
+                    _flush_injected(injected_mark, stage_span)
                 context.current_span = None
                 context.audit.record(
-                    context.agent, "stage-failed", stage.name, error=str(exc)
+                    context.agent, "stage-failed", stage.name, error=str(stage_error)
                 )
                 self._emit(
                     events,
@@ -672,27 +1100,28 @@ class PipelineRunner:
                     stage_name=stage.name,
                     stage_index=index,
                     seconds=elapsed,
-                    detail=str(exc),
+                    detail=f"{error_detail} (after {attempts} attempts)",
                 )
                 self._emit(
                     events,
                     RunEventKind.RUN_FAILED,
                     stage_name=stage.name,
                     stage_index=index,
-                    detail=str(exc),
+                    detail=str(stage_error),
                 )
                 error = PipelineError(
-                    f"stage {stage.name!r} failed: {exc}",
+                    f"stage {stage.name!r} failed: {stage_error}",
                     stage_name=stage.name,
                     stage_index=index,
                 )
                 error.events = events  # type: ignore[attr-defined]
-                raise error from exc
-            elapsed = time.perf_counter() - started
+                error.dead_letters = dead_letters  # type: ignore[attr-defined]
+                raise error from stage_error
             context.current_span = None
             out_fp = fingerprint_payload(current)
             out_items = payload_items(current)
             out_bytes = payload_nbytes(current)
+            _flush_injected(injected_mark, stage_span)
             if telemetry is not None:
                 delta = profiler.stop()
                 items_per_s = throughput(out_items, elapsed)
@@ -707,6 +1136,8 @@ class PipelineRunner:
                     max_rss_bytes=delta.max_rss_bytes,
                     rss_growth_bytes=delta.max_rss_growth_bytes,
                     output_fingerprint=out_fp[:12],
+                    attempts=attempts,
+                    task_retries=task_retries,
                 )
                 telemetry.tracer.end_span(stage_span)
                 labels = {"pipeline": self.plan.name, "stage": stage.name}
@@ -749,6 +1180,8 @@ class PipelineRunner:
                     evidence_recorded=len(context.evidence) - evidence_before,
                     items=out_items,
                     nbytes=out_bytes,
+                    attempts=attempts,
+                    task_retries=task_retries,
                 )
             )
             self._emit(
@@ -765,22 +1198,32 @@ class PipelineRunner:
                 )
             prev_fp = out_fp
 
+        degraded_stages = [r.stage_name for r in results if r.degraded]
         if telemetry is not None:
             run_span.set_attributes(
                 stages_executed=len(self.plan.stages) - start_index,
                 stages_restored=start_index,
                 seconds=sum(r.seconds for r in results),
                 output_fingerprint=prev_fp[:12],
+                degraded=bool(degraded_stages),
+                retries=sum(r.attempts - 1 + r.task_retries for r in results),
             )
             telemetry.tracer.end_span(run_span)
             telemetry.metrics.counter(
-                "runs_total", pipeline=self.plan.name, status="ok"
+                "runs_total",
+                pipeline=self.plan.name,
+                status="degraded" if degraded_stages else "ok",
             ).inc()
         self._emit(
             events,
             RunEventKind.RUN_COMPLETED,
             seconds=sum(r.seconds for r in results),
             fingerprint=prev_fp,
+            detail=(
+                f"degraded stages: {', '.join(degraded_stages)}"
+                if degraded_stages
+                else ""
+            ),
         )
         context.audit.record(
             context.agent, "run-completed", self.plan.name, output=prev_fp[:12]
@@ -793,4 +1236,6 @@ class PipelineRunner:
             events=events,
             resumed_from=resumed_from,
             backend_name=self.backend.name,
+            dead_letters=dead_letters,
+            quarantined=quarantined,
         )

@@ -28,6 +28,7 @@ from repro.core.assessment import ReadinessAssessment, ReadinessAssessor
 from repro.core.dataset import Dataset
 from repro.core.levels import DataProcessingStage, DOMAIN_STAGE_VERBS
 from repro.core.pipeline import Pipeline, PipelineContext, PipelineRun
+from repro.faults import Clock, FaultInjector, RetryPolicy
 from repro.io.shards import ShardManifest
 from repro.obs import Telemetry
 
@@ -113,6 +114,11 @@ class DomainArchetype(abc.ABC):
         checkpoint_dir: Union[str, Path, None] = None,
         resume: bool = False,
         telemetry: Optional["Telemetry"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        on_error: Any = None,
+        stage_timeout: Optional[float] = None,
+        fault_injector: Optional["FaultInjector"] = None,
+        fault_clock: Optional["Clock"] = None,
     ) -> ArchetypeResult:
         """Synthesize a source, run the pipeline, assess, detect challenges.
 
@@ -120,7 +126,10 @@ class DomainArchetype(abc.ABC):
         how data-parallel stage internals execute; ``checkpoint_dir`` and
         ``resume`` enable checkpointed restart of a previously failed run;
         ``telemetry`` attaches a :class:`~repro.obs.Telemetry` collector so
-        the run produces spans, metrics, and resource profiles.
+        the run produces spans, metrics, and resource profiles;
+        ``retry_policy``/``on_error``/``stage_timeout`` set run-wide
+        fault-tolerance defaults, and ``fault_injector`` runs the pipeline
+        under seeded chaos (see :mod:`repro.faults`).
         """
         work_dir = Path(work_dir)
         source_dir = work_dir / "source"
@@ -136,6 +145,11 @@ class DomainArchetype(abc.ABC):
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             telemetry=telemetry,
+            retry_policy=retry_policy,
+            on_error=on_error,
+            stage_timeout=stage_timeout,
+            fault_injector=fault_injector,
+            fault_clock=fault_clock,
         )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):

@@ -28,7 +28,13 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import (
+    OnError,
+    Parallelism,
+    Pipeline,
+    PipelineContext,
+    PipelineStage,
+)
 from repro.domains.base import DomainArchetype
 from repro.domains.bio.synthetic import (
     PROMOTER_MOTIF,
@@ -377,14 +383,16 @@ class BioArchetype(DomainArchetype):
         return Pipeline(
             "bio",
             [
-                PipelineStage("acquire", DataProcessingStage.INGEST, self._acquire),
+                PipelineStage("acquire", DataProcessingStage.INGEST, self._acquire,
+                              on_error=OnError.RETRY),
                 PipelineStage("encode", DataProcessingStage.PREPROCESS, self._encode),
                 PipelineStage("anonymize", DataProcessingStage.TRANSFORM, self._anonymize,
                               params={"k": self.k}),
                 PipelineStage("fuse", DataProcessingStage.STRUCTURE, self._fuse),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"secure": True},
-                              parallelism=Parallelism.WRITE),
+                              parallelism=Parallelism.WRITE,
+                              on_error=OnError.RETRY),
             ],
         )
 

@@ -28,7 +28,13 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import (
+    OnError,
+    Parallelism,
+    Pipeline,
+    PipelineContext,
+    PipelineStage,
+)
 from repro.domains.base import DomainArchetype
 from repro.domains.climate.synthetic import (
     VARIABLES,
@@ -418,7 +424,8 @@ class ClimateArchetype(DomainArchetype):
             "climate",
             [
                 PipelineStage("download", DataProcessingStage.INGEST, self._ingest,
-                              description="decode NetCDF-like + GRIB-like sources"),
+                              description="decode NetCDF-like + GRIB-like sources",
+                              on_error=OnError.RETRY),
                 PipelineStage("regrid", DataProcessingStage.PREPROCESS, self._regrid,
                               params={"target": self.target_grid.shape},
                               parallelism=Parallelism.MAP),
@@ -428,7 +435,8 @@ class ClimateArchetype(DomainArchetype):
                 PipelineStage("stack", DataProcessingStage.STRUCTURE, self._structure),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"codec": "zlib"},
-                              parallelism=Parallelism.WRITE),
+                              parallelism=Parallelism.WRITE,
+                              on_error=OnError.RETRY),
             ],
         )
 

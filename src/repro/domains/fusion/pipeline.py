@@ -27,7 +27,13 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import (
+    OnError,
+    Parallelism,
+    Pipeline,
+    PipelineContext,
+    PipelineStage,
+)
 from repro.domains.base import DomainArchetype
 from repro.domains.fusion.shottree import ShotTreeStore
 from repro.domains.fusion.synthetic import (
@@ -410,7 +416,8 @@ class FusionArchetype(DomainArchetype):
             "fusion",
             [
                 PipelineStage("extract", DataProcessingStage.INGEST, self._extract,
-                              description="shot-level reads from the MDSplus-like store"),
+                              description="shot-level reads from the MDSplus-like store",
+                              on_error=OnError.RETRY),
                 PipelineStage("align", DataProcessingStage.PREPROCESS, self._align,
                               params={"dt": self.dt},
                               parallelism=Parallelism.MAP),
@@ -420,7 +427,8 @@ class FusionArchetype(DomainArchetype):
                               params={"window": self.window, "stride": self.stride}),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"formats": ["rps", "tfrecord"]},
-                              parallelism=Parallelism.WRITE),
+                              parallelism=Parallelism.WRITE,
+                              on_error=OnError.RETRY),
             ],
         )
 

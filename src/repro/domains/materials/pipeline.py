@@ -29,7 +29,13 @@ from repro.core.dataset import (
 )
 from repro.core.evidence import EvidenceKind
 from repro.core.levels import DataProcessingStage
-from repro.core.pipeline import Parallelism, Pipeline, PipelineContext, PipelineStage
+from repro.core.pipeline import (
+    OnError,
+    Parallelism,
+    Pipeline,
+    PipelineContext,
+    PipelineStage,
+)
 from repro.domains.base import DomainArchetype
 from repro.domains.materials.graphs import (
     DESCRIPTOR_NAMES,
@@ -366,7 +372,8 @@ class MaterialsArchetype(DomainArchetype):
         return Pipeline(
             "materials",
             [
-                PipelineStage("parse", DataProcessingStage.INGEST, self._parse),
+                PipelineStage("parse", DataProcessingStage.INGEST, self._parse,
+                              on_error=OnError.RETRY),
                 PipelineStage("normalize", DataProcessingStage.PREPROCESS, self._normalize),
                 PipelineStage("encode", DataProcessingStage.TRANSFORM, self._encode,
                               parallelism=Parallelism.MAP),
@@ -374,7 +381,8 @@ class MaterialsArchetype(DomainArchetype):
                               params={"oversample_to_ratio": self.oversample_to_ratio}),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"formats": ["rps", "adios-like"]},
-                              parallelism=Parallelism.WRITE),
+                              parallelism=Parallelism.WRITE,
+                              on_error=OnError.RETRY),
             ],
         )
 

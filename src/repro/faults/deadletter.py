@@ -1,0 +1,94 @@
+"""Dead letters: the durable record of work the run could not complete.
+
+When a stage exhausts its retry budget (or fails permanently), the
+runner appends a :class:`DeadLetterRecord` — stage identity, attempt
+count, error, fault kind, and the input payload fingerprint — before
+either aborting or continuing degraded.  The fingerprint is the crucial
+field: it names the exact payload that failed, so a later campaign can
+re-drive precisely the dead-lettered work against the provenance chain
+instead of re-running everything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List
+
+from repro.faults.errors import FaultKind
+
+__all__ = ["DeadLetterRecord", "DeadLetterLog"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadLetterRecord:
+    """One failed unit of work, with enough identity to re-drive it."""
+
+    pipeline: str
+    stage_name: str
+    stage_index: int
+    attempts: int
+    error_type: str
+    error: str
+    fault_kind: FaultKind
+    #: fingerprint of the payload the stage was given (the re-drive key)
+    input_fingerprint: str
+    #: what the runner did next: "failed" aborted the run, "degraded"
+    #: skipped the stage and continued
+    action: str = "failed"
+    timestamp: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pipeline": self.pipeline,
+            "stage_name": self.stage_name,
+            "stage_index": self.stage_index,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "error": self.error,
+            "fault_kind": self.fault_kind.value,
+            "input_fingerprint": self.input_fingerprint,
+            "action": self.action,
+            "timestamp": self.timestamp,
+        }
+
+
+class DeadLetterLog:
+    """Ordered collection of a run's dead letters."""
+
+    def __init__(self) -> None:
+        self._records: List[DeadLetterRecord] = []
+
+    def append(self, record: DeadLetterRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[DeadLetterRecord]:
+        return list(self._records)
+
+    def for_stage(self, stage_name: str) -> List[DeadLetterRecord]:
+        return [r for r in self._records if r.stage_name == stage_name]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [r.to_dict() for r in self._records]
+
+    def render(self) -> str:
+        """One aligned line per dead letter (the CLI fault report body)."""
+        if not self._records:
+            return "(no dead letters)"
+        lines = [
+            f"{'stage':<20} {'attempts':>8} {'kind':<10} {'action':<9} "
+            f"{'input':<12} error"
+        ]
+        for r in self._records:
+            lines.append(
+                f"{r.stage_name:<20} {r.attempts:>8} {r.fault_kind.value:<10} "
+                f"{r.action:<9} {r.input_fingerprint[:12]:<12} "
+                f"{r.error_type}: {r.error}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DeadLetterRecord]:
+        return iter(self._records)

@@ -1,0 +1,137 @@
+"""The fault taxonomy: which failures are worth retrying.
+
+Large preprocessing campaigns die overwhelmingly to *transient* faults —
+flaky parallel filesystems, evicted nodes, slow ranks, interrupted
+syscalls — while genuinely *permanent* faults (schema violations, bad
+configuration, validation failures) must fail fast and loudly.  The
+engine branches on this distinction everywhere retry or degraded-mode
+recovery is possible, so the classification lives in one place:
+
+* :class:`TransientFaultError` — the explicit "retry me" marker any layer
+  can raise (the fault injector's :class:`~repro.faults.inject.
+  InjectedFaultError` and the runner's :class:`StageTimeoutError` are
+  subclasses);
+* :class:`PermanentFaultError` — the explicit "do not bother" marker;
+* :func:`classify_fault` — the default classifier for everything else:
+  OS-level flakiness (timeouts, interrupted calls, connection resets,
+  generic ``OSError``) is transient, while missing files, permission
+  errors, and ordinary programming errors (``ValueError``,
+  ``TypeError``, ``KeyError``, ...) are permanent.
+
+Any exception can also opt in by carrying a truthy ``transient``
+attribute — useful for library errors the taxonomy cannot import.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+__all__ = [
+    "FaultKind",
+    "TransientFaultError",
+    "PermanentFaultError",
+    "StageTimeoutError",
+    "OnError",
+    "classify_fault",
+    "is_transient",
+]
+
+
+class FaultKind(enum.Enum):
+    """Retryability of a failure."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+
+
+class TransientFaultError(RuntimeError):
+    """A failure expected to clear on retry (flaky IO, evicted worker)."""
+
+    transient = True
+
+
+class PermanentFaultError(RuntimeError):
+    """A failure that will recur on every retry (bad input, bad config)."""
+
+    transient = False
+
+
+class StageTimeoutError(TransientFaultError):
+    """A stage exceeded its deadline budget (slow rank, stuck filesystem)."""
+
+
+#: OSError subclasses that indicate a wrong *request*, not a flaky system;
+#: everything else OS-level is presumed transient
+_PERMANENT_OS_ERRORS = (
+    FileNotFoundError,
+    PermissionError,
+    IsADirectoryError,
+    NotADirectoryError,
+    FileExistsError,
+)
+
+#: non-OSError exception types the classifier treats as transient
+_TRANSIENT_TYPES = (
+    TimeoutError,
+    InterruptedError,
+    ConnectionError,
+    BlockingIOError,
+)
+
+
+def classify_fault(error: BaseException) -> FaultKind:
+    """Classify an exception as transient (retryable) or permanent.
+
+    Precedence: an explicit ``transient`` attribute on the exception wins;
+    then the known-permanent ``OSError`` subclasses; then the transient
+    type lists; everything unrecognised is permanent — retrying an
+    unknown failure mode by default would mask real bugs.
+    """
+    marker = getattr(error, "transient", None)
+    if marker is not None:
+        return FaultKind.TRANSIENT if marker else FaultKind.PERMANENT
+    if isinstance(error, _PERMANENT_OS_ERRORS):
+        return FaultKind.PERMANENT
+    if isinstance(error, _TRANSIENT_TYPES):
+        return FaultKind.TRANSIENT
+    if isinstance(error, OSError):
+        return FaultKind.TRANSIENT
+    return FaultKind.PERMANENT
+
+
+def is_transient(error: BaseException) -> bool:
+    return classify_fault(error) is FaultKind.TRANSIENT
+
+
+class OnError(enum.Enum):
+    """Per-stage policy for a failure that survives classification/retry.
+
+    * ``FAIL`` — abort the run (historical behaviour, the default);
+    * ``RETRY`` — re-execute the stage under its retry policy; when
+      attempts are exhausted, fail;
+    * ``SKIP_DEGRADED`` — after retries are exhausted, record a
+      dead-letter for the stage, mark the run degraded, and continue
+      with the stage's *input* payload passed through unchanged.  Only
+      meaningful for observer/enrichment stages whose output is
+      optional.
+    """
+
+    FAIL = "fail"
+    RETRY = "retry"
+    SKIP_DEGRADED = "skip-degraded"
+
+    @classmethod
+    def coerce(cls, value: Union["OnError", str, None]) -> "OnError":
+        """Accept an enum member or its string value (``"skip-degraded"``)."""
+        if value is None:
+            return cls.FAIL
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise ValueError(
+                f"unknown on_error policy {value!r}; "
+                f"choose from {[m.value for m in cls]}"
+            ) from None

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import struct
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
@@ -110,7 +111,14 @@ def write_shard(
     path: Union[str, Path],
     codec: Optional[Codec] = None,
 ) -> "ShardInfo":
-    """Write one shard file; returns its :class:`ShardInfo` accounting."""
+    """Write one shard file; returns its :class:`ShardInfo` accounting.
+
+    The write is crash-safe: bytes land in a ``.tmp`` sibling which is
+    atomically renamed over *path* only once complete, so a crashed (or
+    chaos-injected) writer leaves either the previous shard intact or a
+    stray ``.tmp`` — never a torn file under the real shard name — and a
+    retried write heals any garbage a torn attempt left at *path*.
+    """
     path = Path(path)
     codec = codec or RawCodec()
     lengths = {v.shape[0] for v in columns.values()}
@@ -127,10 +135,12 @@ def write_shard(
         offset += len(block)
     header = json.dumps({"n_samples": n_samples, "columns": index}, sort_keys=True).encode()
     digest = hashlib.sha256()
-    with open(path, "wb") as fh:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
         for chunk in (MAGIC, _HEADER_LEN.pack(len(header)), header, *blocks):
             fh.write(chunk)
             digest.update(chunk)
+    os.replace(tmp, path)
     nbytes = 4 + _HEADER_LEN.size + len(header) + offset
     return ShardInfo(
         path=path.name,
@@ -323,11 +333,22 @@ class ShardSet:
         return sorted(self.manifest.splits)
 
     def verify(self) -> None:
-        """Recompute every shard checksum; raise on any mismatch."""
+        """Verify every shard against its manifest entry; raise on mismatch.
+
+        Two independent checks per shard: the on-disk byte size must equal
+        the manifest's ``nbytes`` (a cheap torn/truncated-write detector),
+        and the recomputed sha256 must match the recorded checksum.
+        """
         for split, shards in self.manifest.splits.items():
             for info in shards:
+                data = (self.directory / info.path).read_bytes()
+                if len(data) != info.nbytes:
+                    raise ShardError(
+                        f"size mismatch for {info.path} in split {split!r}: "
+                        f"manifest says {info.nbytes} bytes, file has {len(data)}"
+                    )
                 digest = hashlib.sha256()
-                digest.update((self.directory / info.path).read_bytes())
+                digest.update(data)
                 if digest.hexdigest() != info.checksum:
                     raise ShardError(
                         f"checksum mismatch for {info.path} in split {split!r}"

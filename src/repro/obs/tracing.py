@@ -50,6 +50,8 @@ class Span:
     duration_s: float = 0.0
     status: SpanStatus = SpanStatus.RUNNING
     attributes: Dict[str, object] = dataclasses.field(default_factory=dict)
+    #: point-in-time occurrences inside the span (retries, injected faults)
+    events: List[Dict[str, object]] = dataclasses.field(default_factory=list)
     #: perf-clock reading at start (implementation detail of duration_s)
     perf_start: float = dataclasses.field(default=0.0, repr=False)
 
@@ -58,6 +60,17 @@ class Span:
 
     def set_attributes(self, **attributes: object) -> None:
         self.attributes.update(attributes)
+
+    def add_event(self, name: str, **attributes: object) -> Dict[str, object]:
+        """Record a named point-in-time event (``retry``, ``fault_injected``).
+
+        Events are ordered occurrences *within* a span, not child spans:
+        a stage span that retried twice carries two ``retry`` events with
+        their attempt numbers and backoff delays.
+        """
+        event: Dict[str, object] = {"name": name, **attributes}
+        self.events.append(event)
+        return event
 
     @property
     def ended(self) -> bool:
@@ -75,6 +88,7 @@ class Span:
             "duration_s": self.duration_s,
             "status": self.status.value,
             "attributes": dict(self.attributes),
+            "events": [dict(e) for e in self.events],
         }
 
 

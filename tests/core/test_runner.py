@@ -234,19 +234,34 @@ class TestCheckpointResume:
                 np.ones(2), resume=True
             )
 
-    def test_corrupted_checkpoint_payload_rejected(self, tmp_path):
+    def test_corrupted_checkpoint_quarantined_on_resume(self, tmp_path):
         import pickle
 
         runner = PipelineRunner(two_stage_plan(), checkpoint_dir=tmp_path)
-        runner.run(np.ones(2))
+        clean = runner.run(np.ones(2))
         blob_path = sorted(tmp_path.glob("stage-*.pkl"))[-1]
         with open(blob_path, "rb") as fh:
             blob = pickle.load(fh)
         blob["payload"] = blob["payload"] + 99.0
         with open(blob_path, "wb") as fh:
             pickle.dump(blob, fh)
+        # strict load still rejects the tampered snapshot outright...
         with pytest.raises(CheckpointError, match="fingerprint"):
-            runner.run(np.ones(2), resume=True)
+            RunCheckpointer(tmp_path).load(runner.plan)
+        # ...but a resuming run quarantines it and falls back to stage 0
+        run = runner.run(np.ones(2), resume=True)
+        assert run.resumed_from == 0
+        assert [q.stage_index for q in run.quarantined] == [1]
+        assert "fingerprint" in run.quarantined[0].reason
+        assert list(tmp_path.glob("*.quarantined"))
+        kinds = [e.kind for e in run.events]
+        assert RunEventKind.CHECKPOINT_QUARANTINED in kinds
+        # stage 1 re-executed and reproduced the clean output bitwise
+        assert not run.results[-1].restored
+        assert (
+            run.results[-1].output_fingerprint
+            == clean.results[-1].output_fingerprint
+        )
 
     def test_resume_verifies_against_provenance_store(self, tmp_path):
         calls = []

@@ -1,0 +1,162 @@
+"""The seeded fault injector: spec parsing, determinism, filesystem chaos."""
+
+import pytest
+
+from repro.core.backends import SerialBackend
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFaultError,
+    RetryPolicy,
+    VirtualClock,
+)
+
+
+class TestFaultSpec:
+    def test_parse_full_spec(self):
+        spec = FaultSpec.parse(
+            "seed=7, rate=0.1, slow-rate=0.2, slow-seconds=0.01,"
+            " torn-shards=1, corrupt-checkpoint=2+4"
+        )
+        assert spec == FaultSpec(
+            seed=7,
+            transient_rate=0.1,
+            slow_rate=0.2,
+            slow_seconds=0.01,
+            torn_shards=1,
+            corrupt_checkpoints=(2, 4),
+        )
+
+    def test_parse_aliases_and_empty_parts(self):
+        spec = FaultSpec.parse("transient_rate=0.3,,seed=1,")
+        assert spec.transient_rate == 0.3
+        assert spec.seed == 1
+
+    @pytest.mark.parametrize("text", [
+        "seed", "bogus=1", "rate=1.5", "torn-shards=-1",
+    ])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(text)
+
+    def test_roundtrip_to_dict(self):
+        spec = FaultSpec(seed=3, transient_rate=0.1)
+        assert spec.to_dict()["seed"] == 3
+        assert spec.to_dict()["transient_rate"] == 0.1
+
+
+def _schedule(injector, sites):
+    """Which of *sites* fault on their first attempt, in order."""
+    hit = []
+    for site in sites:
+        try:
+            injector.fault_point(site)
+        except InjectedFaultError:
+            hit.append(site)
+    return hit
+
+
+class TestInjectorDeterminism:
+    SITES = [f"map#0[{i}]" for i in range(64)]
+
+    def test_same_seed_same_schedule(self):
+        a = _schedule(FaultInjector(FaultSpec(seed=7, transient_rate=0.3)), self.SITES)
+        b = _schedule(FaultInjector(FaultSpec(seed=7, transient_rate=0.3)), self.SITES)
+        assert a == b
+        assert 0 < len(a) < len(self.SITES)  # rate realised, not all-or-nothing
+
+    def test_different_seed_different_schedule(self):
+        a = _schedule(FaultInjector(FaultSpec(seed=7, transient_rate=0.3)), self.SITES)
+        b = _schedule(FaultInjector(FaultSpec(seed=8, transient_rate=0.3)), self.SITES)
+        assert a != b
+
+    def test_retried_site_draws_fresh_attempt(self):
+        spec = FaultSpec(seed=7, transient_rate=0.5)
+        injector = FaultInjector(spec)
+        outcomes = []
+        for _ in range(8):  # same site, successive attempts
+            try:
+                injector.fault_point("stats#0")
+                outcomes.append(False)
+            except InjectedFaultError:
+                outcomes.append(True)
+        # attempts are independent draws: with rate 0.5 over 8 attempts a
+        # constant sequence would mean the attempt number is being ignored
+        assert len(set(outcomes)) == 2
+        repeat = []
+        injector2 = FaultInjector(spec)
+        for _ in range(8):
+            try:
+                injector2.fault_point("stats#0")
+                repeat.append(False)
+            except InjectedFaultError:
+                repeat.append(True)
+        assert repeat == outcomes
+
+    def test_slow_faults_sleep_on_injected_clock(self):
+        clock = VirtualClock()
+        injector = FaultInjector(
+            FaultSpec(seed=1, slow_rate=1.0, slow_seconds=0.25), clock=clock
+        )
+        injector.fault_point("map#0[3]")
+        assert clock.slept == [0.25]
+        assert injector.counts() == {"slow": 1}
+
+    def test_next_op_numbers_sites_in_call_order(self):
+        injector = FaultInjector(FaultSpec())
+        assert injector.next_op("shard_write") == "shard_write#0"
+        assert injector.next_op("shard_write") == "shard_write#1"
+        assert injector.next_op("stats") == "stats#0"
+
+
+class TestFilesystemChaos:
+    def test_tear_budget_and_garbage_file(self, tmp_path):
+        injector = FaultInjector(FaultSpec(torn_shards=1))
+        assert injector.maybe_tear_shard(tmp_path, "train-00000.rps", "shard_write#0")
+        garbage = (tmp_path / "train-00000.rps").read_bytes()
+        assert garbage.startswith(b"RPS1")
+        assert b"torn" in garbage
+        # budget exhausted: the retried write is left alone
+        assert not injector.maybe_tear_shard(tmp_path, "train-00000.rps", "shard_write#1")
+        assert injector.counts() == {"torn-shard": 1}
+
+    def test_corrupt_checkpoint_only_scheduled_and_once(self, tmp_path):
+        injector = FaultInjector(FaultSpec(corrupt_checkpoints=(2,)))
+        path = tmp_path / "stage-2.pkl"
+        payload = bytes(range(200))
+        path.write_bytes(payload)
+        assert not injector.maybe_corrupt_checkpoint(tmp_path / "stage-1.pkl", 1)
+        assert injector.maybe_corrupt_checkpoint(path, 2)
+        corrupted = path.read_bytes()
+        assert len(corrupted) == 100  # truncated to half
+        assert corrupted != payload[:100]  # and bit-flipped
+        path.write_bytes(payload)
+        assert not injector.maybe_corrupt_checkpoint(path, 2)  # once only
+        assert path.read_bytes() == payload
+
+    def test_describe_summarises_injections(self, tmp_path):
+        injector = FaultInjector(FaultSpec(seed=9, torn_shards=1))
+        assert injector.describe() == "fault injector: no faults injected"
+        injector.maybe_tear_shard(tmp_path, "x.rps", "shard_write#0")
+        assert injector.describe() == "fault injector (seed=9): torn-shard=1"
+
+
+class TestFaultInjectingBackend:
+    def test_map_faults_healed_by_task_retry_preserve_order(self):
+        clock = VirtualClock()
+        injector = FaultInjector(FaultSpec(seed=7, transient_rate=0.3), clock=clock)
+        base = SerialBackend()
+        base.configure_retry(
+            RetryPolicy(max_attempts=8, jitter=0.0), clock=clock
+        )
+        backend = injector.wrap_backend(base)
+        result = backend.map(lambda x: x * 2, list(range(32)))
+        assert result == [x * 2 for x in range(32)]
+        assert injector.counts().get("transient", 0) > 0
+        base.configure_retry(None)
+
+    def test_map_fault_without_retry_escapes(self):
+        injector = FaultInjector(FaultSpec(seed=7, transient_rate=1.0))
+        backend = injector.wrap_backend(SerialBackend())
+        with pytest.raises(InjectedFaultError):
+            backend.map(lambda x: x, [1, 2, 3])

@@ -117,10 +117,20 @@ class TestDeterminism:
         row = tracer.to_dicts()[0]
         assert set(row) == {
             "name", "span_id", "trace_id", "parent_id",
-            "start", "end", "duration_s", "status", "attributes",
+            "start", "end", "duration_s", "status", "attributes", "events",
         }
         assert row["status"] == "ok"
         assert row["attributes"] == {"k": "v"}
+        assert row["events"] == []
+
+    def test_span_events_serialise_in_order(self):
+        tracer = Tracer(trace_id="t-e")
+        with tracer.span("a") as sp:
+            sp.add_event("retry", attempt=1, delay_s=0.05)
+            sp.add_event("fault_injected", kind="transient", site="map#0[3]")
+        row = tracer.to_dicts()[0]
+        assert [e["name"] for e in row["events"]] == ["retry", "fault_injected"]
+        assert row["events"][0]["attempt"] == 1
 
 
 class TestThreadSafety:

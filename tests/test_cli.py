@@ -161,3 +161,49 @@ class TestTelemetryCommands:
         out_path = tmp_path / "combined.jsonl"
         assert main(["telemetry", "export", str(tmp_path / "none"), "--jsonl", str(out_path)]) == 1
         assert "no telemetry records" in capsys.readouterr().err
+
+
+class TestFaultToleranceCLI:
+    """run --retries/--inject-faults plus the fault counters in telemetry."""
+
+    @pytest.fixture
+    def chaos_run(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        code = main([
+            "run", "climate",
+            "--workdir", str(tmp_path / "work"),
+            "--seed", "3",
+            "--retries", "3",
+            "--inject-faults", "seed=7,rate=0.05,torn-shards=1",
+            "--trace-dir", str(trace_dir),
+        ])
+        return code, capsys.readouterr().out, trace_dir
+
+    def test_chaos_run_completes_and_reports(self, chaos_run):
+        code, out, _ = chaos_run
+        assert code == 0
+        assert "fault tolerance" in out
+        assert "fault injector (seed=7):" in out
+        assert "retries spent:" in out
+
+    def test_fault_counters_reach_telemetry_summary(self, chaos_run, capsys):
+        _, _, trace_dir = chaos_run
+        assert main(["telemetry", "summary", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance counters:" in out
+        assert "faults_injected_total" in out
+
+    def test_bad_inject_spec_is_a_usage_error(self, tmp_path, capsys):
+        code = main([
+            "run", "materials", "--workdir", str(tmp_path),
+            "--inject-faults", "bogus=1",
+        ])
+        assert code == 2
+        assert "--inject-faults" in capsys.readouterr().err
+
+    def test_negative_retries_is_a_usage_error(self, tmp_path, capsys):
+        code = main([
+            "run", "materials", "--workdir", str(tmp_path), "--retries", "-1",
+        ])
+        assert code == 2
+        assert "--retries" in capsys.readouterr().err
