@@ -8,7 +8,11 @@ Walks the shortest useful path through the public API:
 2. run the Figure 1 steps with a pipeline that records readiness evidence;
 3. assess readiness and render the dataset's position in the Table 2
    maturity matrix;
-4. export AI-ready shards and read them back the way a trainer would.
+4. export AI-ready shards and read them back the way a trainer would;
+5. render a datasheet;
+6. enforce a data contract as a readiness gate: quarantine the records
+   that violate it, then re-drive the quarantine after fixing the
+   contract.
 
 Run:  python examples/quickstart.py
 """
@@ -172,6 +176,46 @@ def main() -> None:
     sheet = build_datasheet(run.payload, assessment=assessment)
     print("\n".join(sheet.render_markdown().splitlines()[:18]))
     print("...")
+
+    print(section("6. data readiness gates + quarantine re-drive"))
+    from repro.gates import (
+        ColumnCheck,
+        QuarantineStore,
+        StageContract,
+        redrive,
+    )
+
+    # the contract the ingest boundary must satisfy — note the bounds are
+    # (deliberately) miscalibrated: the detector legitimately swings past 3
+    contract = StageContract("quickstart-ingest", checks=(
+        ColumnCheck("finite", "signal"),
+        ColumnCheck("bounds", "signal", lo=-2.0, hi=3.0),
+    ))
+    gated = Pipeline("quickstart-gated", [
+        PipelineStage("ingest", DataProcessingStage.INGEST, ingest,
+                      output_contract=contract),
+    ])
+    quarantine_dir = work_dir / "quarantine"
+    gated_run = gated.run(raw, gates="quarantine",
+                          quarantine_dir=quarantine_dir)
+    for report in gated_run.gate_reports:
+        print(report.summary())
+    survivors = gated_run.payload
+    print(f"run degraded: {gated_run.degraded}; "
+          f"{survivors.n_samples}/{raw.n_samples} records survived")
+
+    # the pen is not a graveyard: fix the bounds and replay the quarantine.
+    # NaN-signal records still violate and are re-quarantined; the records
+    # the miscalibrated bounds rejected are promoted into a shard.
+    fixed = StageContract("quickstart-ingest", checks=(
+        ColumnCheck("finite", "signal"),
+        ColumnCheck("bounds", "signal", lo=-5.0, hi=6.0),
+    ))
+    redrive_report = redrive(QuarantineStore(quarantine_dir),
+                             {"quickstart-ingest": fixed},
+                             work_dir / "redrive")
+    print(redrive_report.summary())
+    print(f"promoted shard: {redrive_report.shard_path}")
     print(f"\nworkspace: {work_dir}")
 
 

@@ -11,6 +11,8 @@ technical readiness"; this CLI is that tool::
     python -m repro inspect SHARD_DIR         # verify + describe a shard set
     python -m repro telemetry summary DIR     # slowest spans of a trace
     python -m repro crosswalk LEVEL           # NOAA/METRIC crosswalks
+    python -m repro quarantine list DIR       # records a gate split out
+    python -m repro quarantine re-drive DIR --domain D --output OUT
 
 ``run`` drives the layered engine: ``--backend`` picks the execution
 backend (serial, threaded, simspmd — all bitwise-equivalent),
@@ -25,7 +27,14 @@ deadline budget, ``--on-error`` picks the stage error policy
 (``fail`` / ``retry`` / ``skip-degraded``), and ``--inject-faults
 'seed=7,rate=0.05,torn-shards=1'`` runs the whole engine under seeded
 chaos — the standing demonstration that retried, fault-ridden runs
-produce bitwise-identical shards.  ``telemetry`` reads a trace directory back:
+produce bitwise-identical shards.  Data readiness gates ride it too:
+``--gates quarantine`` enforces the domain's declared stage contracts,
+splitting violating records into ``--quarantine-dir`` while survivors
+ship (``--inject-bad-records N`` seeds deliberately corrupt sources to
+catch), and ``--dead-letter-dir`` persists the run's dead letters as a
+durable JSONL ledger.  ``quarantine list/show/re-drive`` reads a
+quarantine back and replays it through the current contracts, promoting
+records that now pass.  ``telemetry`` reads a trace directory back:
 ``summary`` tables the slowest stages, ``export --jsonl`` merges the
 trace into one combined JSONL stream.
 
@@ -99,8 +108,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run under seeded chaos, e.g. "
                           "'seed=7,rate=0.05,torn-shards=1,corrupt-checkpoint=2'; "
                           "combine with --retries to watch the run self-heal")
+    run.add_argument("--gates", choices=["fail", "quarantine", "warn"], default=None,
+                     help="enforce the domain's declared data contracts at stage "
+                          "boundaries: fail aborts on violation, quarantine splits "
+                          "violating records out and continues degraded, warn only "
+                          "records verdicts")
+    run.add_argument("--quarantine-dir", type=Path, default=None,
+                     help="persist gate-quarantined records (JSONL entries + "
+                          "pickled payloads) under this directory")
+    run.add_argument("--dead-letter-dir", type=Path, default=None,
+                     help="append the run's dead letters as JSONL under this "
+                          "directory (a durable ledger of undone work)")
+    run.add_argument("--inject-bad-records", type=int, default=None, metavar="N",
+                     help="synthesize N deliberately corrupt source records "
+                          "(climate: poisoned models, fusion: poisoned shots) so "
+                          "--gates has something to catch")
 
     sub.add_parser("backends", help="list the available execution backends")
+
+    quarantine = sub.add_parser(
+        "quarantine", help="inspect and re-drive gate-quarantined records"
+    )
+    quarantine_sub = quarantine.add_subparsers(dest="quarantine_command", required=True)
+    q_list = quarantine_sub.add_parser("list", help="list quarantined records")
+    q_list.add_argument("directory", type=Path)
+    q_show = quarantine_sub.add_parser(
+        "show", help="show one quarantined record by fingerprint (prefix ok)"
+    )
+    q_show.add_argument("directory", type=Path)
+    q_show.add_argument("fingerprint")
+    q_redrive = quarantine_sub.add_parser(
+        "re-drive", help="replay quarantined records through the current contracts"
+    )
+    q_redrive.add_argument("directory", type=Path)
+    q_redrive.add_argument("--domain", required=True,
+                           choices=["climate", "fusion", "bio", "materials"],
+                           help="domain whose contract registry to re-drive against")
+    q_redrive.add_argument("--output", required=True, type=Path,
+                           help="where promoted shards and the re-drive report go")
+    q_redrive.add_argument("--codec", default="raw",
+                           help="codec for the promoted supplemental shard")
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect a JSONL trace directory written by run --trace-dir"
@@ -173,6 +220,10 @@ def _cmd_run(
     stage_timeout: Optional[float] = None,
     on_error: Optional[str] = None,
     inject_faults: Optional[str] = None,
+    gates: Optional[str] = None,
+    quarantine_dir: Optional[Path] = None,
+    dead_letter_dir: Optional[Path] = None,
+    inject_bad_records: Optional[int] = None,
 ) -> int:
     from repro.domains import (
         BioArchetype,
@@ -209,13 +260,38 @@ def _cmd_run(
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    source_params = None
+    if inject_bad_records is not None:
+        if inject_bad_records < 1:
+            print("error: --inject-bad-records must be >= 1", file=sys.stderr)
+            return 2
+        corrupt_knobs = {
+            "climate": "n_corrupt_models",
+            "fusion": "n_corrupt_shots",
+        }
+        if domain not in corrupt_knobs:
+            print(f"error: --inject-bad-records is not supported for {domain} "
+                  f"(supported: {', '.join(sorted(corrupt_knobs))})",
+                  file=sys.stderr)
+            return 2
+        source_params = {corrupt_knobs[domain]: inject_bad_records}
     telemetry = Telemetry() if trace_dir is not None else None
     archetype = classes[domain](seed=seed)
     print(f"running {domain} archetype ({archetype.pattern_string()}) "
           f"on the {backend} backend ...")
+
+    def _save_dead_letters(log) -> None:
+        if dead_letter_dir is None or not len(log):
+            return
+        from repro.faults import DEAD_LETTER_NAME
+
+        path = log.save(Path(dead_letter_dir) / DEAD_LETTER_NAME)
+        print(f"{len(log)} dead letter(s) appended to {path}")
+
     try:
         result = archetype.run(
             workdir,
+            source_params=source_params,
             backend=backend,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
@@ -224,6 +300,8 @@ def _cmd_run(
             on_error=on_error,
             stage_timeout=stage_timeout,
             fault_injector=injector,
+            gates=gates,
+            quarantine_dir=quarantine_dir,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -231,6 +309,10 @@ def _cmd_run(
     except PipelineError as exc:
         where = f" (stage {exc.stage_name!r})" if exc.stage_name else ""
         print(f"error{where}: {exc}", file=sys.stderr)
+        gate_report = getattr(exc, "gate_report", None)
+        if gate_report is not None:
+            print(f"gate verdict: {gate_report.summary()}", file=sys.stderr)
+        _save_dead_letters(getattr(exc, "dead_letters", []) or [])
         if telemetry is not None:
             # a failed run's partial trace is exactly what you want to keep
             telemetry.export(JsonlTelemetrySink(trace_dir), events=getattr(exc, "events", []))
@@ -254,11 +336,25 @@ def _cmd_run(
         if len(run.dead_letters):
             print("\ndead letters:")
             print(run.dead_letters.render())
+    _save_dead_letters(run.dead_letters)
+    if gates is not None:
+        print(section("data readiness gates"))
+        print(f"policy: {gates}")
+        for report in run.gate_reports:
+            print(f"  {report.summary()}")
+        if run.records_quarantined:
+            where = quarantine_dir if quarantine_dir is not None else "(in-memory)"
+            print(f"{run.records_quarantined} record(s) quarantined -> {where}")
     if run.degraded:
         degraded = [r.stage_name for r in run.results if r.degraded]
-        print(f"\nWARNING: run completed DEGRADED — stage(s) "
-              f"{', '.join(degraded)} exhausted their error policy and were "
-              f"skipped; outputs passed through unchanged")
+        if run.records_quarantined:
+            print(f"\nWARNING: run completed DEGRADED — stage(s) "
+                  f"{', '.join(degraded)} shed {run.records_quarantined} "
+                  f"record(s) into quarantine; survivors shipped")
+        else:
+            print(f"\nWARNING: run completed DEGRADED — stage(s) "
+                  f"{', '.join(degraded)} exhausted their error policy and were "
+                  f"skipped; outputs passed through unchanged")
     if events:
         print(section("run events"))
         print(result.run.event_log())
@@ -285,6 +381,67 @@ def _cmd_run(
             for split in sorted(result.manifest.splits)
         ]
         print(render_table(["split", "samples", "shards"], rows))
+    return 0
+
+
+def _cmd_quarantine_list(directory: Path) -> int:
+    from repro.gates import QuarantineStore
+
+    store = QuarantineStore(directory)
+    print(store.render())
+    return 0
+
+
+def _cmd_quarantine_show(directory: Path, fingerprint: str) -> int:
+    import json as _json
+
+    from repro.gates import QuarantineStore
+
+    store = QuarantineStore(directory)
+    matches = [
+        e
+        for e in store.entries()
+        if str(e.get("record_fingerprint", "")).startswith(fingerprint)
+    ]
+    if not matches:
+        print(f"error: no quarantine entry matches {fingerprint!r}", file=sys.stderr)
+        return 1
+    if len(matches) > 1:
+        names = ", ".join(str(e["record_fingerprint"])[:16] for e in matches)
+        print(f"error: ambiguous fingerprint prefix ({names})", file=sys.stderr)
+        return 1
+    entry = matches[0]
+    print(_json.dumps(entry, indent=2, sort_keys=True))
+    try:
+        record = store.load_record(str(entry["record_fingerprint"]))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"(record payload unavailable: {exc})", file=sys.stderr)
+        return 0
+    print(f"\nrecord payload: {type(record).__name__}")
+    print(f"  {record!r:.500}")
+    return 0
+
+
+def _cmd_quarantine_redrive(
+    directory: Path, domain: str, output: Path, codec: str
+) -> int:
+    from repro.gates import QuarantineStore, contracts_for_domain, redrive
+
+    store = QuarantineStore(directory)
+    if not len(store):
+        print(f"error: quarantine under {directory} is empty", file=sys.stderr)
+        return 1
+    contracts = contracts_for_domain(domain)
+    if not contracts:
+        print(f"error: domain {domain!r} declares no contracts", file=sys.stderr)
+        return 1
+    report = redrive(store, contracts, output, codec_name=codec)
+    print(report.summary())
+    if report.shard_path:
+        print(f"promoted records shipped as supplemental shard: {report.shard_path}")
+    if report.requarantined:
+        print(f"re-quarantined entries written to {Path(output) / 'requarantined.jsonl'}")
+    print(f"re-drive report: {Path(output) / 'report.json'}")
     return 0
 
 
@@ -447,9 +604,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             stage_timeout=args.stage_timeout,
             on_error=args.on_error,
             inject_faults=args.inject_faults,
+            gates=args.gates,
+            quarantine_dir=args.quarantine_dir,
+            dead_letter_dir=args.dead_letter_dir,
+            inject_bad_records=args.inject_bad_records,
         )
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "quarantine":
+        if args.quarantine_command == "list":
+            return _cmd_quarantine_list(args.directory)
+        if args.quarantine_command == "show":
+            return _cmd_quarantine_show(args.directory, args.fingerprint)
+        return _cmd_quarantine_redrive(
+            args.directory, args.domain, args.output, args.codec
+        )
     if args.command == "telemetry":
         if args.telemetry_command == "summary":
             return _cmd_telemetry_summary(args.trace_dir, args.top)

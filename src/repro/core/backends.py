@@ -43,6 +43,7 @@ from typing import (
     Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -96,6 +97,30 @@ def _shard_table(
         for i, chunk in enumerate(np.array_split(indices, n_shards)):
             table.append((split, i, chunk))
     return table
+
+
+def _shard_metadata(
+    dataset: Dataset,
+    written_by_ranks: int,
+    certificate: Optional[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """The manifest metadata block every backend writes identically.
+
+    The readiness certificate key is only present when a gated run
+    supplies one — ungated manifests stay byte-identical to what they
+    were before gates existed.  Must stay in lockstep with
+    :func:`repro.parallel.executor.distributed_shard_write`.
+    """
+    metadata: Dict[str, Any] = {
+        "domain": dataset.metadata.domain,
+        "source": dataset.metadata.source,
+        "version": dataset.metadata.version,
+        "modality": dataset.metadata.modality.value,
+        "written_by_ranks": written_by_ranks,
+    }
+    if certificate is not None:
+        metadata["readiness_certificate"] = dict(certificate)
+    return metadata
 
 
 class ExecutionBackend(abc.ABC):
@@ -213,6 +238,7 @@ class ExecutionBackend(abc.ABC):
         shards_per_split: int = 4,
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
+        certificate: Optional[Mapping[str, Any]] = None,
     ) -> ShardManifest:
         """Export *dataset* as a shard set, parallelising over shard files.
 
@@ -243,13 +269,7 @@ class ExecutionBackend(abc.ABC):
                 for split, rows in by_split.items()
             },
             codec=codec_name,
-            metadata={
-                "domain": dataset.metadata.domain,
-                "source": dataset.metadata.source,
-                "version": dataset.metadata.version,
-                "modality": dataset.metadata.modality.value,
-                "written_by_ranks": self.width,
-            },
+            metadata=_shard_metadata(dataset, self.width, certificate),
         )
         (directory / MANIFEST_NAME).write_text(manifest.to_json())
         return manifest
@@ -369,6 +389,7 @@ class SimSPMDBackend(ExecutionBackend):
         shards_per_split: int = 4,
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
+        certificate: Optional[Mapping[str, Any]] = None,
     ) -> ShardManifest:
         return distributed_shard_write(
             dataset,
@@ -378,6 +399,7 @@ class SimSPMDBackend(ExecutionBackend):
             shards_per_split=shards_per_split,
             codec_name=codec_name,
             codec_level=codec_level,
+            certificate=certificate,
         )
 
 

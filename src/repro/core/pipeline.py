@@ -63,6 +63,15 @@ from repro.faults import (
     OnError,
     RetryPolicy,
 )
+from repro.gates import (
+    ColumnCheck,
+    DriftCheck,
+    GatePolicy,
+    GateReport,
+    GateViolation,
+    QuarantineStore,
+    StageContract,
+)
 
 __all__ = [
     "Pipeline",
@@ -92,6 +101,13 @@ __all__ = [
     "FaultSpec",
     "DeadLetterLog",
     "DeadLetterRecord",
+    "GatePolicy",
+    "GateReport",
+    "GateViolation",
+    "StageContract",
+    "ColumnCheck",
+    "DriftCheck",
+    "QuarantineStore",
 ]
 
 
@@ -139,6 +155,9 @@ class Pipeline:
         stage_timeout: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
         fault_clock: Optional[Clock] = None,
+        gates: Union[GatePolicy, str, None] = None,
+        quarantine_dir: Union[str, Path, None] = None,
+        quarantine_store: Optional[QuarantineStore] = None,
     ) -> PipelineRunner:
         """A configured :class:`PipelineRunner` for this pipeline's plan."""
         return PipelineRunner(
@@ -153,6 +172,9 @@ class Pipeline:
             stage_timeout=stage_timeout,
             fault_injector=fault_injector,
             fault_clock=fault_clock,
+            gates=gates,
+            quarantine_dir=quarantine_dir,
+            quarantine_store=quarantine_store,
         )
 
     def run(
@@ -171,6 +193,9 @@ class Pipeline:
         stage_timeout: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
         fault_clock: Optional[Clock] = None,
+        gates: Union[GatePolicy, str, None] = None,
+        quarantine_dir: Union[str, Path, None] = None,
+        quarantine_store: Optional[QuarantineStore] = None,
     ) -> PipelineRun:
         """Execute all stages; provenance is captured per transition.
 
@@ -185,6 +210,10 @@ class Pipeline:
         ``on_error``, and ``stage_timeout`` set run-wide fault-tolerance
         defaults (stages override via their own fields), and
         ``fault_injector`` runs the whole engine under seeded chaos.
+        ``gates`` turns on data-contract enforcement at stage boundaries
+        (``"fail"`` / ``"quarantine"`` / ``"warn"``; see
+        :mod:`repro.gates`), with quarantined records persisted under
+        ``quarantine_dir``.
         """
         runner = self.runner(
             backend=backend,
@@ -197,5 +226,8 @@ class Pipeline:
             stage_timeout=stage_timeout,
             fault_injector=fault_injector,
             fault_clock=fault_clock,
+            gates=gates,
+            quarantine_dir=quarantine_dir,
+            quarantine_store=quarantine_store,
         )
         return runner.run(payload, context, resume=resume)

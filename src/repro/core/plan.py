@@ -39,6 +39,7 @@ from repro.provenance.record import fingerprint_array
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.retry import RetryPolicy
+    from repro.gates.contracts import StageContract
 
 __all__ = [
     "PipelineError",
@@ -119,6 +120,11 @@ class PipelineStage:
     retry: Optional["RetryPolicy"] = None
     #: deadline budget in seconds (None inherits the runner stage_timeout)
     timeout: Optional[float] = None
+    #: data contract enforced on the stage's *input* payload (see
+    #: :mod:`repro.gates`); None means no input gate
+    input_contract: Optional["StageContract"] = None
+    #: data contract enforced on the stage's *output* payload
+    output_contract: Optional["StageContract"] = None
 
     def __post_init__(self) -> None:
         if self.on_error is not None:
@@ -196,18 +202,24 @@ class StagePlan:
         fresh closure (a new process, a monkeypatched method) must not
         invalidate checkpoints.
         """
-        blob = {
-            "pipeline": self.name,
-            "stages": [
-                {
-                    "name": s.name,
-                    "stage": s.processing_stage.name,
-                    "parallelism": s.parallelism.value,
-                    "params": {k: str(v) for k, v in sorted(s.params.items())},
-                }
-                for s in self.stages
-            ],
-        }
+        stages = []
+        for s in self.stages:
+            row: Dict[str, object] = {
+                "name": s.name,
+                "stage": s.processing_stage.name,
+                "parallelism": s.parallelism.value,
+                "params": {k: str(v) for k, v in sorted(s.params.items())},
+            }
+            # contracts are part of the plan's shape (what the data must
+            # satisfy), unlike the gate *policy* (how strictly it is
+            # enforced, an execution concern).  Contract-less plans keep
+            # their pre-gates fingerprint.
+            if s.input_contract is not None:
+                row["input_contract"] = s.input_contract.content_hash()
+            if s.output_contract is not None:
+                row["output_contract"] = s.output_contract.content_hash()
+            stages.append(row)
+        blob = {"pipeline": self.name, "stages": stages}
         encoded = json.dumps(blob, sort_keys=True).encode("utf-8")
         return hashlib.sha256(encoded).hexdigest()
 

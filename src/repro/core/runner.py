@@ -58,6 +58,9 @@ from repro.faults.deadletter import DeadLetterLog, DeadLetterRecord
 from repro.faults.errors import OnError, StageTimeoutError, classify_fault, is_transient
 from repro.faults.inject import FaultInjector
 from repro.faults.retry import Clock, Deadline, RetryPolicy, RetryStats, SystemClock
+from repro.gates.contracts import GatePolicy
+from repro.gates.gate import GateReport, GateViolation, apply_contract
+from repro.gates.quarantine import QuarantineStore
 from repro.governance.audit import AuditLog
 from repro.obs import Telemetry, payload_items, payload_nbytes, throughput
 from repro.obs.instrument import InstrumentedBackend
@@ -110,6 +113,19 @@ class PipelineContext:
         #: span of the stage currently executing (None when untraced)
         self.telemetry: Optional[Telemetry] = None
         self.current_span: Optional[Span] = None
+        #: gate verdicts accumulated by a gated run, in evaluation order
+        self.gate_reports: List[GateReport] = []
+
+    def readiness_certificate(self) -> Optional[Dict[str, Any]]:
+        """The readiness certificate of the gates evaluated so far.
+
+        None outside a gated run, so shard stages can attach it
+        unconditionally (``certificate=ctx.readiness_certificate()``)
+        without changing ungated manifests by a byte.
+        """
+        from repro.gates.certificate import build_certificate
+
+        return build_certificate(self.gate_reports)
 
     def annotate_span(
         self, **attributes: object
@@ -176,10 +192,13 @@ class StageResult:
     #: task-level retries spent inside the backend fan-out for this stage
     task_retries: int = 0
     #: True when the stage exhausted its error policy and was skipped
-    #: under ``on_error="skip-degraded"`` — its payload passed through
+    #: under ``on_error="skip-degraded"`` — its payload passed through —
+    #: or when a data gate quarantined records at one of its boundaries
     degraded: bool = False
     #: the final error message for a degraded stage (empty otherwise)
     error: str = ""
+    #: records a data gate split out at this stage's boundaries
+    records_quarantined: int = 0
 
 
 class RunEventKind(enum.Enum):
@@ -193,6 +212,10 @@ class RunEventKind(enum.Enum):
     STAGE_RETRIED = "stage-retried"
     STAGE_DEGRADED = "stage-degraded"
     CHECKPOINT_QUARANTINED = "checkpoint-quarantined"
+    GATE_PASSED = "gate-passed"
+    GATE_WARNED = "gate-warned"
+    RECORDS_QUARANTINED = "records-quarantined"
+    GATE_FAILED = "gate-failed"
     RUN_COMPLETED = "run-completed"
     RUN_FAILED = "run-failed"
 
@@ -243,6 +266,13 @@ class PipelineRun:
     quarantined: List["QuarantinedCheckpoint"] = dataclasses.field(
         default_factory=list
     )
+    #: data-gate verdicts, one per contract evaluation, in order
+    gate_reports: List[GateReport] = dataclasses.field(default_factory=list)
+
+    @property
+    def records_quarantined(self) -> int:
+        """Records data gates split out across the run."""
+        return sum(r.records_quarantined for r in self.results)
 
     @property
     def total_seconds(self) -> float:
@@ -639,6 +669,9 @@ class PipelineRunner:
         stage_timeout: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
         fault_clock: Optional[Clock] = None,
+        gates: Union[GatePolicy, str, None] = None,
+        quarantine_dir: Union[str, Path, None] = None,
+        quarantine_store: Optional[QuarantineStore] = None,
     ):
         self.plan = plan
         self.backend = get_backend(backend)
@@ -667,6 +700,12 @@ class PipelineRunner:
                 fault_injector.clock if fault_injector is not None else SystemClock()
             )
         self.fault_clock = fault_clock
+        #: data-gate verdict policy; None disables gating entirely —
+        #: stage contracts are dormant until a policy turns them on
+        self.gate_policy = GatePolicy.coerce(gates) if gates is not None else None
+        if quarantine_store is None and quarantine_dir is not None:
+            quarantine_store = QuarantineStore(quarantine_dir)
+        self.quarantine_store = quarantine_store
 
     def _stage_policy(
         self, stage: PipelineStage
@@ -768,6 +807,13 @@ class PipelineRunner:
         events: List[RunEvent] = []
         results: List[StageResult] = []
         dead_letters = DeadLetterLog()
+        # explicit None test: an empty QuarantineStore is falsy (len == 0)
+        quarantine = (
+            self.quarantine_store
+            if self.quarantine_store is not None
+            else QuarantineStore(None)
+        )
+        gate_policy = self.gate_policy
         injector = self.fault_injector
         task_stats = RetryStats()
 
@@ -880,6 +926,143 @@ class PipelineRunner:
                         kind=fault.kind,
                     ).inc()
 
+        def _record_gate(report: GateReport, stage: PipelineStage, span) -> None:
+            """Flow one gate verdict into telemetry, audit, and the event log."""
+            context.gate_reports.append(report)
+            if telemetry is not None:
+                telemetry.metrics.counter(
+                    "gate_checks_total",
+                    pipeline=self.plan.name,
+                    stage=report.stage,
+                    boundary=report.boundary,
+                    verdict=report.verdict,
+                ).inc()
+                if report.records_quarantined:
+                    telemetry.metrics.counter(
+                        "records_quarantined_total",
+                        pipeline=self.plan.name,
+                        stage=report.stage,
+                    ).inc(report.records_quarantined)
+            if span is not None:
+                span.add_event(
+                    "gate",
+                    boundary=report.boundary,
+                    contract=report.contract,
+                    contract_hash=report.contract_hash[:12],
+                    verdict=report.verdict,
+                    records_checked=report.records_checked,
+                    records_quarantined=report.records_quarantined,
+                )
+            if report.verdict != "fail":
+                context.audit.record(
+                    context.agent,
+                    f"gate-{report.verdict}",
+                    stage.name,
+                    contract=report.contract,
+                    boundary=report.boundary,
+                )
+
+        def _gate(
+            boundary: str,
+            stage: PipelineStage,
+            index: int,
+            stage_span,
+            payload_value: Any,
+        ) -> Tuple[Any, Optional[GateReport]]:
+            """Enforce one boundary's contract; returns the surviving payload.
+
+            A ``fail`` verdict tears the run down exactly like a stage
+            failure: spans end in ERROR, ``runs_total{status=error}``
+            ticks, GATE_FAILED/RUN_FAILED fire, and the raised
+            :class:`PipelineError` carries the event log, dead letters,
+            and the failing :class:`GateReport`.
+            """
+            contract = (
+                stage.input_contract if boundary == "input" else stage.output_contract
+            )
+            if gate_policy is None or contract is None:
+                return payload_value, None
+            try:
+                outcome = apply_contract(
+                    contract,
+                    payload_value,
+                    policy=gate_policy,
+                    pipeline=self.plan.name,
+                    stage=stage.name,
+                    stage_index=index,
+                    boundary=boundary,
+                )
+            except GateViolation as exc:
+                report = exc.report
+                _record_gate(report, stage, stage_span)
+                error_detail = str(exc)
+                if telemetry is not None:
+                    telemetry.tracer.end_span(
+                        stage_span, status=SpanStatus.ERROR, error=error_detail
+                    )
+                    telemetry.tracer.end_span(
+                        run_span,
+                        status=SpanStatus.ERROR,
+                        error=f"gate failed at stage {stage.name!r}",
+                    )
+                    telemetry.metrics.counter(
+                        "runs_total", pipeline=self.plan.name, status="error"
+                    ).inc()
+                context.current_span = None
+                context.audit.record(
+                    context.agent, "gate-failed", stage.name, error=error_detail
+                )
+                self._emit(
+                    events,
+                    RunEventKind.GATE_FAILED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    detail=error_detail,
+                )
+                self._emit(
+                    events,
+                    RunEventKind.RUN_FAILED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    detail=error_detail,
+                )
+                error = PipelineError(
+                    error_detail, stage_name=stage.name, stage_index=index
+                )
+                error.events = events  # type: ignore[attr-defined]
+                error.dead_letters = dead_letters  # type: ignore[attr-defined]
+                error.gate_report = report  # type: ignore[attr-defined]
+                raise error from exc
+            report = outcome.report
+            _record_gate(report, stage, stage_span)
+            for entry, record in outcome.quarantined:
+                quarantine.add(entry, record)
+            if report.verdict == "quarantine":
+                self._emit(
+                    events,
+                    RunEventKind.RECORDS_QUARANTINED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    detail=report.summary(),
+                )
+            elif report.verdict == "warn":
+                self._emit(
+                    events,
+                    RunEventKind.GATE_WARNED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    detail=report.summary(),
+                )
+            else:
+                self._emit(
+                    events,
+                    RunEventKind.GATE_PASSED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    detail=report.summary(),
+                )
+            return outcome.payload, report
+
         for index in range(start_index, len(self.plan.stages)):
             stage = self.plan.stages[index]
             mode, policy, timeout = self._stage_policy(stage)
@@ -908,6 +1091,29 @@ class PipelineRunner:
                 instrumented.activate_stage(stage.name, stage_span)
                 profiler = ResourceProfiler().start()
             context.current_span = stage_span
+            stage_quarantined = 0
+            input_report: Optional[GateReport] = None
+            if gate_policy is not None and stage.input_contract is not None:
+                current, input_report = _gate(
+                    "input", stage, index, stage_span, current
+                )
+                if input_report is not None and input_report.records_quarantined:
+                    stage_quarantined += input_report.records_quarantined
+                    gated_fp = fingerprint_payload(current)
+                    if gated_fp != prev_fp:
+                        annotations = {
+                            "processing_stage": stage.processing_stage.name,
+                            "role": "gate",
+                            "gate_contract": input_report.contract_hash,
+                            "gate_verdict": input_report.verdict,
+                        }
+                        if stage_span is not None:
+                            annotations["span_id"] = stage_span.span_id
+                            annotations["trace_id"] = stage_span.trace_id
+                        context._capture(
+                            f"{stage.name}:gate", [prev_fp], gated_fp, None, annotations
+                        )
+                        prev_fp = gated_fp
             deadline = (
                 Deadline(timeout, clock=self.fault_clock)
                 if timeout is not None
@@ -1068,6 +1274,7 @@ class PipelineRunner:
                             task_retries=task_retries,
                             degraded=True,
                             error=error_detail,
+                            records_quarantined=stage_quarantined,
                         )
                     )
                     # no checkpoint for a degraded stage: a resume must
@@ -1117,6 +1324,13 @@ class PipelineRunner:
                 error.events = events  # type: ignore[attr-defined]
                 error.dead_letters = dead_letters  # type: ignore[attr-defined]
                 raise error from stage_error
+            output_report: Optional[GateReport] = None
+            if gate_policy is not None and stage.output_contract is not None:
+                current, output_report = _gate(
+                    "output", stage, index, stage_span, current
+                )
+                if output_report is not None:
+                    stage_quarantined += output_report.records_quarantined
             context.current_span = None
             out_fp = fingerprint_payload(current)
             out_items = payload_items(current)
@@ -1156,6 +1370,9 @@ class PipelineRunner:
                 if stage_span is not None:
                     annotations["span_id"] = stage_span.span_id
                     annotations["trace_id"] = stage_span.trace_id
+                if output_report is not None:
+                    annotations["gate_contract"] = output_report.contract_hash
+                    annotations["gate_verdict"] = output_report.verdict
                 context._capture(
                     stage.name,
                     [prev_fp],
@@ -1182,6 +1399,8 @@ class PipelineRunner:
                     nbytes=out_bytes,
                     attempts=attempts,
                     task_retries=task_retries,
+                    degraded=bool(stage_quarantined),
+                    records_quarantined=stage_quarantined,
                 )
             )
             self._emit(
@@ -1192,6 +1411,23 @@ class PipelineRunner:
                 seconds=elapsed,
                 fingerprint=out_fp,
             )
+            if stage_quarantined:
+                # quarantine reuses the degraded machinery: the stage
+                # completed, but not with all of its records
+                self._emit(
+                    events,
+                    RunEventKind.STAGE_DEGRADED,
+                    stage_name=stage.name,
+                    stage_index=index,
+                    fingerprint=out_fp,
+                    detail=f"{stage_quarantined} record(s) quarantined",
+                )
+                if telemetry is not None:
+                    telemetry.metrics.counter(
+                        "stages_degraded_total",
+                        pipeline=self.plan.name,
+                        stage=stage.name,
+                    ).inc()
             if self.checkpointer is not None:
                 self.checkpointer.save(
                     self.plan, index, stage, prev_fp, out_fp, current, context
@@ -1238,4 +1474,5 @@ class PipelineRunner:
             backend_name=self.backend.name,
             dead_letters=dead_letters,
             quarantined=quarantined,
+            gate_reports=list(context.gate_reports),
         )

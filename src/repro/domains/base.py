@@ -119,6 +119,8 @@ class DomainArchetype(abc.ABC):
         stage_timeout: Optional[float] = None,
         fault_injector: Optional["FaultInjector"] = None,
         fault_clock: Optional["Clock"] = None,
+        gates: Any = None,
+        quarantine_dir: Union[str, Path, None] = None,
     ) -> ArchetypeResult:
         """Synthesize a source, run the pipeline, assess, detect challenges.
 
@@ -129,7 +131,11 @@ class DomainArchetype(abc.ABC):
         the run produces spans, metrics, and resource profiles;
         ``retry_policy``/``on_error``/``stage_timeout`` set run-wide
         fault-tolerance defaults, and ``fault_injector`` runs the pipeline
-        under seeded chaos (see :mod:`repro.faults`).
+        under seeded chaos (see :mod:`repro.faults`).  ``gates`` enables
+        data-contract enforcement (``"fail"``/``"quarantine"``/``"warn"``)
+        against the contracts the domain pipeline declares, with
+        quarantined records persisted under ``quarantine_dir`` (see
+        :mod:`repro.gates`).
         """
         work_dir = Path(work_dir)
         source_dir = work_dir / "source"
@@ -150,6 +156,8 @@ class DomainArchetype(abc.ABC):
             stage_timeout=stage_timeout,
             fault_injector=fault_injector,
             fault_clock=fault_clock,
+            gates=gates,
+            quarantine_dir=quarantine_dir,
         )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):

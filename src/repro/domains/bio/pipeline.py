@@ -44,6 +44,7 @@ from repro.domains.bio.synthetic import (
     read_fasta_like,
     synthesize_bio_sources,
 )
+from repro.gates import ColumnCheck, StageContract
 from repro.governance.anonymize import anonymize_dataset, pseudonymize
 from repro.governance.enclave import SecureEnclave
 from repro.governance.policy import hipaa_deidentified_policy
@@ -51,10 +52,35 @@ from repro.governance.privacy import PrivacyScanner
 from repro.transforms.encode import dna_one_hot
 from repro.transforms.split import SplitSpec, random_split
 
-__all__ = ["BioArchetype"]
+__all__ = ["BioArchetype", "CONTRACTS"]
 
 #: key used for deterministic pseudonymization across both modalities
 _PSEUDONYM_KEY = b"repro-bio-release-key"
+
+#: data contracts enforced at stage boundaries when gating is enabled
+#: (keyed ``(stage_name, boundary)``; also the re-drive contract registry).
+#: The acquire payload is a two-modality dict, so checks are payload-scope;
+#: ``expression`` is deliberately NOT finiteness-checked at ingest — missing
+#: assays are designed-in NaNs that the fuse stage imputes (the fuse
+#: contract then does require a finite label).
+CONTRACTS: Dict[tuple, StageContract] = {
+    ("acquire", "output"): StageContract(
+        name="bio-ingest",
+        checks=(
+            ColumnCheck("bounds", "age", lo=0.0, hi=120.0, scope="payload"),
+            ColumnCheck("finite", "biomarker", scope="payload"),
+        ),
+    ),
+    ("fuse", "output"): StageContract(
+        name="bio-structure",
+        checks=(
+            ColumnCheck("finite", "motif_features"),
+            ColumnCheck("finite", "biomarker"),
+            ColumnCheck("finite", "expression"),
+        ),
+        validate_schema=True,
+    ),
+}
 
 
 class BioArchetype(DomainArchetype):
@@ -360,6 +386,7 @@ class BioArchetype(DomainArchetype):
             shards_per_split=3,
             codec_name="zlib",
             codec_level=3,
+            certificate=ctx.readiness_certificate(),
         )
         enclave = SecureEnclave()
         enclave.authorize("release-engineer")
@@ -384,11 +411,13 @@ class BioArchetype(DomainArchetype):
             "bio",
             [
                 PipelineStage("acquire", DataProcessingStage.INGEST, self._acquire,
-                              on_error=OnError.RETRY),
+                              on_error=OnError.RETRY,
+                              output_contract=CONTRACTS[("acquire", "output")]),
                 PipelineStage("encode", DataProcessingStage.PREPROCESS, self._encode),
                 PipelineStage("anonymize", DataProcessingStage.TRANSFORM, self._anonymize,
                               params={"k": self.k}),
-                PipelineStage("fuse", DataProcessingStage.STRUCTURE, self._fuse),
+                PipelineStage("fuse", DataProcessingStage.STRUCTURE, self._fuse,
+                              output_contract=CONTRACTS[("fuse", "output")]),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"secure": True},
                               parallelism=Parallelism.WRITE,

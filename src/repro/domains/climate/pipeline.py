@@ -13,6 +13,7 @@ sharded.
 from __future__ import annotations
 
 import dataclasses
+import statistics
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -41,6 +42,7 @@ from repro.domains.climate.synthetic import (
     ClimateSourceConfig,
     synthesize_climate_archive,
 )
+from repro.gates import ColumnCheck, DriftCheck, StageContract
 from repro.io.grib import read_grib
 from repro.io.netcdf import read_netcdf
 from repro.quality.validation import check_finite, check_monotonic
@@ -49,10 +51,43 @@ from repro.transforms.normalize import ZScoreNormalizer
 from repro.transforms.regrid import RegularGrid, regrid
 from repro.transforms.split import SplitSpec, temporal_split
 
-__all__ = ["ClimateArchetype", "GriddedSource"]
+__all__ = ["ClimateArchetype", "GriddedSource", "CONTRACTS"]
 
 #: the variables every training sample must carry
 CORE_VARIABLES = ("tas", "pr", "psl")
+
+#: frozen standard-normal reference sample for the advisory drift check
+#: (stack output is z-scored, so its healthy distribution is ~N(0, 1))
+_TAS_BASELINE = tuple(
+    round(statistics.NormalDist().inv_cdf((i + 0.5) / 128.0), 6)
+    for i in range(128)
+)
+
+#: data contracts enforced at stage boundaries when gating is enabled
+#: (keyed ``(stage_name, boundary)``; also the re-drive contract registry)
+CONTRACTS: Dict[Tuple[str, str], StageContract] = {
+    ("download", "output"): StageContract(
+        name="climate-ingest",
+        checks=(
+            ColumnCheck("finite", "tas"),
+            ColumnCheck("bounds", "tas", lo=150.0, hi=400.0),
+            ColumnCheck("finite", "pr", required=False),
+            ColumnCheck("bounds", "pr", lo=0.0, hi=1000.0, required=False),
+            ColumnCheck("finite", "psl", required=False),
+        ),
+    ),
+    ("stack", "output"): StageContract(
+        name="climate-structure",
+        checks=(
+            ColumnCheck("finite", "tas"),
+            ColumnCheck("finite", "pr"),
+            ColumnCheck("finite", "psl"),
+            ColumnCheck("finite", "tas_next"),
+        ),
+        drift=(DriftCheck("tas", baseline=_TAS_BASELINE, threshold=0.75),),
+        validate_schema=True,
+    ),
+}
 
 
 @dataclasses.dataclass
@@ -405,6 +440,7 @@ class ClimateArchetype(DomainArchetype):
             shards_per_split=4,
             codec_name="zlib",
             codec_level=3,
+            certificate=ctx.readiness_certificate(),
         )
         ctx.add_artifact("manifest", manifest)
         ctx.record(
@@ -425,14 +461,16 @@ class ClimateArchetype(DomainArchetype):
             [
                 PipelineStage("download", DataProcessingStage.INGEST, self._ingest,
                               description="decode NetCDF-like + GRIB-like sources",
-                              on_error=OnError.RETRY),
+                              on_error=OnError.RETRY,
+                              output_contract=CONTRACTS[("download", "output")]),
                 PipelineStage("regrid", DataProcessingStage.PREPROCESS, self._regrid,
                               params={"target": self.target_grid.shape},
                               parallelism=Parallelism.MAP),
                 PipelineStage("normalize", DataProcessingStage.TRANSFORM, self._normalize,
                               params={"method": "zscore", "ranks": self.n_ranks},
                               parallelism=Parallelism.REDUCE),
-                PipelineStage("stack", DataProcessingStage.STRUCTURE, self._structure),
+                PipelineStage("stack", DataProcessingStage.STRUCTURE, self._structure,
+                              output_contract=CONTRACTS[("stack", "output")]),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"codec": "zlib"},
                               parallelism=Parallelism.WRITE,

@@ -27,7 +27,12 @@ from repro.io.grib import GribMessage, GridDefinition, write_grib
 from repro.io.netcdf import NCDataset, write_netcdf
 from repro.transforms.regrid import RegularGrid
 
-__all__ = ["ClimateSourceConfig", "generate_model_dataset", "synthesize_climate_archive"]
+__all__ = [
+    "ClimateSourceConfig",
+    "generate_model_dataset",
+    "generate_corrupt_model_dataset",
+    "synthesize_climate_archive",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,6 +44,9 @@ class ClimateSourceConfig:
     base_resolution: Tuple[int, int] = (16, 32)  # coarsest model grid
     include_reanalysis: bool = True
     seed: int = 0
+    #: extra poisoned "models" (NaN tas patches, out-of-range pr) appended
+    #: after the clean ones — gate-testing knob; clean bytes are unchanged
+    n_corrupt_models: int = 0
 
 
 #: variable name -> (units, plausible physical range)
@@ -127,6 +135,29 @@ def generate_model_dataset(
     return nc
 
 
+def generate_corrupt_model_dataset(
+    corrupt_index: int, config: ClimateSourceConfig
+) -> NCDataset:
+    """A poisoned model output: NaN tas patches + out-of-range pr.
+
+    Built on top of :func:`generate_model_dataset` with a model index
+    *after* the clean ones, so adding corrupt models never perturbs the
+    clean models' random streams (each model seeds independently).  The
+    poison is deterministic: readiness gates must reach bitwise-identical
+    quarantine decisions on every backend.
+    """
+    model_index = config.n_models + corrupt_index
+    nc = generate_model_dataset(model_index, config)
+    tas = nc["tas"].data
+    # NaN patch in the first timestep plus a scattered stripe later on
+    tas[0, : max(1, tas.shape[1] // 4), :] = np.nan
+    tas[min(1, tas.shape[0] - 1), :, 0] = np.nan
+    pr = nc["pr"].data
+    pr[0] = 5.0e4  # physically impossible precipitation (mm/day)
+    nc.attrs["title"] = f"synthetic-corrupt-model-{corrupt_index}"
+    return nc
+
+
 def generate_reanalysis_messages(config: ClimateSourceConfig) -> List[GribMessage]:
     """ERA5-like packed reanalysis: tas only, on yet another grid."""
     rng = np.random.default_rng(config.seed + 99)
@@ -172,6 +203,11 @@ def synthesize_climate_archive(
     for m in range(config.n_models):
         nc = generate_model_dataset(m, config)
         path = directory / f"model_{m}.ncl"
+        write_netcdf(nc, path)
+        netcdf_paths.append(str(path))
+    for k in range(config.n_corrupt_models):
+        nc = generate_corrupt_model_dataset(k, config)
+        path = directory / f"corrupt_model_{k}.ncl"
         write_netcdf(nc, path)
         netcdf_paths.append(str(path))
     manifest: Dict[str, object] = {

@@ -41,6 +41,7 @@ from repro.domains.fusion.synthetic import (
     FusionCampaignConfig,
     synthesize_campaign,
 )
+from repro.gates import ColumnCheck, StageContract
 from repro.io.tfrecord import Example, TFRecordWriter
 from repro.parallel.stats import RunningMoments
 from repro.quality.metrics import noise_estimate
@@ -48,13 +49,34 @@ from repro.transforms.align import Signal, align_signals, window_series
 from repro.transforms.label import UNLABELED, labeled_fraction, pseudo_label
 from repro.transforms.split import SplitSpec, group_split
 
-__all__ = ["FusionArchetype", "ShotRecord", "AlignedShot"]
+__all__ = ["FusionArchetype", "ShotRecord", "AlignedShot", "CONTRACTS"]
 
 #: channels every aligned shot exposes, in fixed order
 CHANNEL_ORDER = tuple(CHANNELS)
 #: label horizon: windows starting within this many seconds of the quench
 #: are "disruptive precursor" positives
 WARNING_HORIZON = 0.35
+
+#: data contracts enforced at stage boundaries when gating is enabled
+#: (keyed ``(stage_name, boundary)``; also the re-drive contract registry)
+CONTRACTS: Dict[tuple, StageContract] = {
+    ("extract", "output"): StageContract(
+        name="fusion-ingest",
+        checks=(
+            ColumnCheck("finite", "ip"),
+            ColumnCheck("bounds", "ip", lo=-0.5, hi=2.0),
+            ColumnCheck("finite", "mirnov"),
+        ),
+    ),
+    ("window", "output"): StageContract(
+        name="fusion-structure",
+        checks=(
+            ColumnCheck("finite", "window"),
+            ColumnCheck("finite", "features"),
+        ),
+        validate_schema=True,
+    ),
+}
 
 
 @dataclasses.dataclass
@@ -380,6 +402,7 @@ class FusionArchetype(DomainArchetype):
             shards_per_split=3,
             codec_name="zlib",
             codec_level=2,
+            certificate=ctx.readiness_certificate(),
         )
         # TFRecord export (the archetype's declared format)
         tf_dir = self._output_dir / "tfrecord"
@@ -417,14 +440,16 @@ class FusionArchetype(DomainArchetype):
             [
                 PipelineStage("extract", DataProcessingStage.INGEST, self._extract,
                               description="shot-level reads from the MDSplus-like store",
-                              on_error=OnError.RETRY),
+                              on_error=OnError.RETRY,
+                              output_contract=CONTRACTS[("extract", "output")]),
                 PipelineStage("align", DataProcessingStage.PREPROCESS, self._align,
                               params={"dt": self.dt},
                               parallelism=Parallelism.MAP),
                 PipelineStage("normalize", DataProcessingStage.TRANSFORM, self._normalize,
                               parallelism=Parallelism.REDUCE),
                 PipelineStage("window", DataProcessingStage.STRUCTURE, self._window,
-                              params={"window": self.window, "stride": self.stride}),
+                              params={"window": self.window, "stride": self.stride},
+                              output_contract=CONTRACTS[("window", "output")]),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"formats": ["rps", "tfrecord"]},
                               parallelism=Parallelism.WRITE,

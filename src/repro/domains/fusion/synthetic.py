@@ -28,7 +28,12 @@ import numpy as np
 from repro.domains.fusion.shottree import ShotTreeStore
 from repro.transforms.align import Signal
 
-__all__ = ["FusionCampaignConfig", "generate_shot", "synthesize_campaign"]
+__all__ = [
+    "FusionCampaignConfig",
+    "generate_shot",
+    "generate_corrupt_shot",
+    "synthesize_campaign",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,6 +46,9 @@ class FusionCampaignConfig:
     missing_channel_fraction: float = 0.15
     base_duration: float = 4.0  # seconds of flat-top
     seed: int = 0
+    #: extra poisoned shots (NaN current, Inf magnetics) appended after the
+    #: clean campaign — gate-testing knob; clean bytes are unchanged
+    n_corrupt_shots: int = 0
 
 
 #: channel name -> (units, nominal sample rate in Hz)
@@ -118,6 +126,24 @@ def generate_shot(
     return signals, attrs
 
 
+def generate_corrupt_shot(
+    shot: int, config: FusionCampaignConfig, rng: np.random.Generator
+) -> tuple:
+    """A poisoned shot: NaN plasma current, Inf magnetics tail.
+
+    Deterministic on top of an ordinary shot draw from *rng*; the caller
+    seeds that generator independently of the clean campaign so adding
+    corrupt shots never perturbs clean shot bytes.
+    """
+    signals, attrs = generate_shot(shot, config, rng)
+    ip = signals["ip"].values
+    ip[: max(1, ip.size // 10)] = np.nan  # DAQ dropout at breakdown
+    mirnov = signals["mirnov"].values
+    mirnov[-5:] = np.inf  # probe railed at the end of the record
+    attrs["corrupt"] = True
+    return signals, attrs
+
+
 def synthesize_campaign(
     directory: Union[str, Path], config: FusionCampaignConfig
 ) -> Dict[str, object]:
@@ -129,6 +155,12 @@ def synthesize_campaign(
         shot = first_shot + i
         signals, attrs = generate_shot(shot, config, rng)
         store.write_shot(shot, signals, attrs)
+    if config.n_corrupt_shots:
+        corrupt_rng = np.random.default_rng(config.seed + 777777)
+        for k in range(config.n_corrupt_shots):
+            shot = first_shot + config.n_shots + k
+            signals, attrs = generate_corrupt_shot(shot, config, corrupt_rng)
+            store.write_shot(shot, signals, attrs)
     return {
         "domain": "fusion",
         "store": str(store.directory),

@@ -49,15 +49,38 @@ from repro.domains.materials.synthetic import (
     MaterialsSourceConfig,
     synthesize_materials_archive,
 )
+from repro.gates import ColumnCheck, StageContract
 from repro.io.adios import BPWriter
 from repro.quality.metrics import imbalance_ratio
 from repro.transforms.augment import smote_like
 from repro.transforms.normalize import ZScoreNormalizer
 from repro.transforms.split import SplitSpec, stratified_split
 
-__all__ = ["MaterialsArchetype"]
+__all__ = ["MaterialsArchetype", "CONTRACTS"]
 
 FAMILY_TO_CLASS = {family: i for i, family in enumerate(CRYSTAL_FAMILIES)}
+
+#: data contracts enforced at stage boundaries when gating is enabled
+#: (keyed ``(stage_name, boundary)``; also the re-drive contract registry)
+CONTRACTS: Dict[tuple, StageContract] = {
+    ("parse", "output"): StageContract(
+        name="materials-ingest",
+        checks=(
+            ColumnCheck("finite", "positions"),
+            ColumnCheck("finite", "forces"),
+            ColumnCheck("finite", "energy_ev"),
+            ColumnCheck("bounds", "energy_ev", lo=-1.0e4, hi=1.0e4),
+        ),
+    ),
+    ("graph", "output"): StageContract(
+        name="materials-structure",
+        checks=(
+            ColumnCheck("finite", "descriptor"),
+            ColumnCheck("finite", "energy_per_atom"),
+        ),
+        validate_schema=True,
+    ),
+}
 
 
 class MaterialsArchetype(DomainArchetype):
@@ -336,6 +359,7 @@ class MaterialsArchetype(DomainArchetype):
             shards_per_split=3,
             codec_name="zlib",
             codec_level=2,
+            certificate=ctx.readiness_certificate(),
         )
         # ADIOS-like export: one step per structure (HydraGNN's write pattern)
         bp_path = self._output_dir / "graphs.bp"
@@ -373,12 +397,14 @@ class MaterialsArchetype(DomainArchetype):
             "materials",
             [
                 PipelineStage("parse", DataProcessingStage.INGEST, self._parse,
-                              on_error=OnError.RETRY),
+                              on_error=OnError.RETRY,
+                              output_contract=CONTRACTS[("parse", "output")]),
                 PipelineStage("normalize", DataProcessingStage.PREPROCESS, self._normalize),
                 PipelineStage("encode", DataProcessingStage.TRANSFORM, self._encode,
                               parallelism=Parallelism.MAP),
                 PipelineStage("graph", DataProcessingStage.STRUCTURE, self._structure,
-                              params={"oversample_to_ratio": self.oversample_to_ratio}),
+                              params={"oversample_to_ratio": self.oversample_to_ratio},
+                              output_contract=CONTRACTS[("graph", "output")]),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"formats": ["rps", "adios-like"]},
                               parallelism=Parallelism.WRITE,

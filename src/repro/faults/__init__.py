@@ -16,7 +16,11 @@ tolerance").  Four pieces:
   complete, keyed by payload fingerprint for re-driving.
 """
 
-from repro.faults.deadletter import DeadLetterLog, DeadLetterRecord
+from repro.faults.deadletter import (
+    DEAD_LETTER_NAME,
+    DeadLetterLog,
+    DeadLetterRecord,
+)
 from repro.faults.errors import (
     FaultKind,
     OnError,
@@ -67,6 +71,7 @@ __all__ = [
     "ChaosCheckpointer",
     "InjectedFault",
     "InjectedFaultError",
+    "DEAD_LETTER_NAME",
     "DeadLetterRecord",
     "DeadLetterLog",
 ]

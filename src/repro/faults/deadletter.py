@@ -7,16 +7,25 @@ either aborting or continuing degraded.  The fingerprint is the crucial
 field: it names the exact payload that failed, so a later campaign can
 re-drive precisely the dead-lettered work against the provenance chain
 instead of re-running everything.
+
+:meth:`DeadLetterLog.save` / :meth:`DeadLetterLog.load` persist the log
+as JSONL (the :mod:`repro.obs.sinks` envelope format), so dead letters
+survive the process that produced them — the other half of the re-drive
+story alongside the gate quarantine store (:mod:`repro.gates`).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
 
 from repro.faults.errors import FaultKind
 
-__all__ = ["DeadLetterRecord", "DeadLetterLog"]
+__all__ = ["DEAD_LETTER_NAME", "DeadLetterRecord", "DeadLetterLog"]
+
+#: default file name for a persisted dead-letter log
+DEAD_LETTER_NAME = "dead-letters.jsonl"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,6 +59,22 @@ class DeadLetterRecord:
             "action": self.action,
             "timestamp": self.timestamp,
         }
+
+    @classmethod
+    def from_dict(cls, blob: Dict[str, object]) -> "DeadLetterRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
+        return cls(
+            pipeline=str(blob["pipeline"]),
+            stage_name=str(blob["stage_name"]),
+            stage_index=int(blob["stage_index"]),
+            attempts=int(blob["attempts"]),
+            error_type=str(blob["error_type"]),
+            error=str(blob["error"]),
+            fault_kind=FaultKind(str(blob["fault_kind"])),
+            input_fingerprint=str(blob["input_fingerprint"]),
+            action=str(blob.get("action", "failed")),
+            timestamp=float(blob.get("timestamp", 0.0)),
+        )
 
 
 class DeadLetterLog:
@@ -86,6 +111,37 @@ class DeadLetterLog:
                 f"{r.error_type}: {r.error}"
             )
         return "\n".join(lines)
+
+    def save(self, path: Union[str, Path], *, append: bool = True) -> Path:
+        """Persist the log as envelope JSONL; returns the written path.
+
+        ``append=True`` (the default) extends an existing file, so
+        successive runs pointed at one ``--dead-letter-dir`` accumulate
+        a campaign-wide ledger of undone work.
+        """
+        from repro.obs.sinks import envelope, write_jsonl
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_jsonl(
+            path,
+            [envelope("dead-letter", r.to_dict()) for r in self._records],
+            append=append,
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DeadLetterLog":
+        """Rebuild a log from a :meth:`save` file (torn lines tolerated)."""
+        from repro.obs.sinks import read_jsonl
+
+        log = cls()
+        for row in read_jsonl(path):
+            if row.get("type") != "dead-letter":
+                continue
+            blob = {k: v for k, v in row.items() if k not in ("schema", "type")}
+            log.append(DeadLetterRecord.from_dict(blob))
+        return log
 
     def __len__(self) -> int:
         return len(self._records)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -300,6 +300,7 @@ class FaultInjectingBackend(ExecutionBackend):
         shards_per_split: int = 4,
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
+        certificate: Optional[Mapping[str, Any]] = None,
     ) -> Any:
         site = self.injector.next_op("shard_write")
         table = _shard_table(splits, shards_per_split)
@@ -319,6 +320,7 @@ class FaultInjectingBackend(ExecutionBackend):
             shards_per_split=shards_per_split,
             codec_name=codec_name,
             codec_level=codec_level,
+            certificate=certificate,
         )
 
     def describe(self) -> str:

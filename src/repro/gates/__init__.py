@@ -1,0 +1,42 @@
+"""Data readiness gates: enforced per-stage data contracts.
+
+The :mod:`repro.quality` validators are a library; this package is the
+*enforcement* layer that turns them into readiness gates the engine
+applies at every stage boundary — with record-level quarantine, durable
+re-drive, and a readiness certificate in the shard manifest.  See
+:mod:`repro.gates.contracts` for the declarative contract model and
+:mod:`repro.core.runner` for where gates execute.
+"""
+
+from repro.gates.certificate import CERTIFICATE_SCHEMA, build_certificate
+from repro.gates.contracts import ColumnCheck, DriftCheck, GatePolicy, StageContract
+from repro.gates.gate import (
+    GateOutcome,
+    GateReport,
+    GateViolation,
+    RecordViolation,
+    apply_contract,
+    evaluate_contract,
+)
+from repro.gates.quarantine import QUARANTINE_NAME, QuarantineStore
+from repro.gates.redrive import RedriveReport, contracts_for_domain, redrive
+
+__all__ = [
+    "GatePolicy",
+    "ColumnCheck",
+    "DriftCheck",
+    "StageContract",
+    "GateViolation",
+    "GateReport",
+    "GateOutcome",
+    "RecordViolation",
+    "apply_contract",
+    "evaluate_contract",
+    "QuarantineStore",
+    "QUARANTINE_NAME",
+    "build_certificate",
+    "CERTIFICATE_SCHEMA",
+    "RedriveReport",
+    "redrive",
+    "contracts_for_domain",
+]

@@ -1,0 +1,65 @@
+"""Readiness certificates: what the shard manifest attests to.
+
+The paper's maturity framing wants readiness *certified*, not asserted:
+a consumer of a shard set should be able to see which contracts the
+data passed on its way to disk.  :func:`build_certificate` folds a
+run's :class:`~repro.gates.gate.GateReport` sequence into a
+deterministic JSON-able block that the shard stages attach to the
+manifest metadata (``metadata["readiness_certificate"]``).
+
+The certificate is a pure function of gate verdicts — no timestamps, no
+backend identity, no scheduling state — so serial, threaded, and
+simspmd runs of the same data emit byte-identical manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.gates.gate import GateReport
+
+__all__ = ["CERTIFICATE_SCHEMA", "build_certificate"]
+
+CERTIFICATE_SCHEMA = 1
+
+
+def build_certificate(
+    reports: Sequence[GateReport],
+) -> Optional[Dict[str, object]]:
+    """Fold gate reports (in evaluation order) into a readiness certificate.
+
+    Returns None when no contracts were evaluated — an ungated run's
+    manifest must stay byte-identical to what it was before gates
+    existed.
+    """
+    if not reports:
+        return None
+    contracts: List[Dict[str, object]] = []
+    for r in reports:
+        contracts.append(
+            {
+                "stage": r.stage,
+                "boundary": r.boundary,
+                "contract": r.contract,
+                "contract_hash": r.contract_hash,
+                "policy": r.policy,
+                "verdict": r.verdict,
+                "records_checked": r.records_checked,
+                "records_quarantined": r.records_quarantined,
+                "warnings": len(r.warnings),
+            }
+        )
+    if any(c["verdict"] == "quarantine" for c in contracts):
+        status = "degraded"
+    elif any(c["verdict"] == "warn" for c in contracts):
+        status = "warned"
+    else:
+        status = "pass"
+    return {
+        "schema": CERTIFICATE_SCHEMA,
+        "status": status,
+        "records_quarantined": sum(
+            int(c["records_quarantined"]) for c in contracts
+        ),
+        "contracts": contracts,
+    }

@@ -1,0 +1,118 @@
+"""The quarantine store: durable home for records a gate split out.
+
+Layout under ``directory``::
+
+    quarantine.jsonl          one envelope per quarantined record
+    records/<fingerprint>.pkl the record payload, keyed by content hash
+
+The JSONL entry carries everything needed to re-drive the record — the
+pipeline, stage, boundary, contract name + hash, policy, and the record
+fingerprint (the same content-hash key :mod:`repro.faults.deadletter`
+uses) — and deliberately **no** wall-clock timestamps or backend
+identity, so two runs of the same data produce byte-identical
+quarantine files regardless of scheduling.  The reader tolerates torn
+trailing lines the same way :mod:`repro.obs.sinks` does.
+
+With ``directory=None`` the store is in-memory only (the runner's
+default when gating is enabled without a quarantine dir).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.sinks import envelope, read_jsonl, write_jsonl
+
+__all__ = ["QUARANTINE_NAME", "QuarantineStore"]
+
+QUARANTINE_NAME = "quarantine.jsonl"
+
+
+class QuarantineStore:
+    """Append-only store of quarantined records and their identities."""
+
+    def __init__(self, directory: Union[str, Path, None] = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._entries: List[Dict[str, object]] = []
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self.directory / QUARANTINE_NAME if self.directory else None
+
+    @property
+    def records_dir(self) -> Optional[Path]:
+        return self.directory / "records" if self.directory else None
+
+    def add(self, entry: Dict[str, object], record: Any) -> None:
+        """Quarantine one record: append its entry, persist its payload."""
+        self._entries.append(dict(entry))
+        if self.directory is None:
+            return
+        write_jsonl(self.path, [envelope("quarantine", entry)], append=True)
+        self.records_dir.mkdir(parents=True, exist_ok=True)
+        path = self.records_dir / f"{entry['record_fingerprint']}.pkl"
+        if not path.exists():  # content-addressed: write once
+            tmp = path.with_name(path.name + ".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump(record, fh)
+            tmp.replace(path)
+
+    def entries(self) -> List[Dict[str, object]]:
+        """All quarantine entries, durable ones first if on disk."""
+        if self.directory is not None and self.path.exists():
+            return [
+                {k: v for k, v in row.items() if k not in ("schema", "type")}
+                for row in read_jsonl(self.path)
+                if row.get("type") == "quarantine"
+            ]
+        return [dict(e) for e in self._entries]
+
+    def load_record(self, fingerprint: str) -> Any:
+        """Load one quarantined record payload by its content hash."""
+        if self.directory is None:
+            raise FileNotFoundError(
+                "in-memory quarantine store has no persisted record payloads"
+            )
+        matches = sorted(self.records_dir.glob(f"{fingerprint}*.pkl"))
+        if not matches:
+            raise FileNotFoundError(
+                f"no quarantined record matches fingerprint {fingerprint!r}"
+            )
+        if len(matches) > 1:
+            names = ", ".join(p.stem[:16] for p in matches)
+            raise ValueError(f"ambiguous fingerprint prefix ({names})")
+        with open(matches[0], "rb") as fh:
+            return pickle.load(fh)
+
+    def render(self) -> str:
+        """One aligned line per quarantined record (the CLI list body)."""
+        entries = self.entries()
+        if not entries:
+            return "(quarantine is empty)"
+        lines = [
+            f"{'stage':<16} {'boundary':<8} {'contract':<20} "
+            f"{'record':<12} {'kind':<14} issues"
+        ]
+        for e in entries:
+            issues = e.get("issues") or []
+            first = issues[0] if issues else {}
+            summary = (
+                f"{first.get('check', '?')}({first.get('column', '?')}): "
+                f"{first.get('message', '')}"
+            )
+            if len(issues) > 1:
+                summary += f" (+{len(issues) - 1} more)"
+            lines.append(
+                f"{str(e.get('stage', '')):<16} {str(e.get('boundary', '')):<8} "
+                f"{str(e.get('contract', '')):<20} "
+                f"{str(e.get('record_fingerprint', ''))[:12]:<12} "
+                f"{str(e.get('record_kind', '')):<14} {summary}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries())

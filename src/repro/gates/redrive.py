@@ -1,0 +1,166 @@
+"""Re-drive: replay quarantined records through their contracts.
+
+A quarantine is a holding pen, not a graveyard.  After an upstream fix
+(new source drop, corrected contract, recalibrated bounds) the
+quarantined records are re-evaluated against the *current* contract:
+
+* records that now pass are **promoted** — row-shaped records are
+  stacked into a supplemental shard (``promoted-00000.rps``) next to a
+  ``report.json``; other record shapes are persisted as pickles under
+  ``promoted/``;
+* records that still violate are **re-quarantined** into
+  ``requarantined.jsonl``.
+
+Everything is a pure function of record content and contract, so
+re-driving the same quarantine twice produces byte-identical outputs —
+the determinism the acceptance test asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.gates.contracts import StageContract
+from repro.gates.gate import evaluate_contract
+from repro.gates.quarantine import QuarantineStore
+from repro.io.compression import get_codec
+from repro.io.shards import write_shard
+from repro.obs.sinks import envelope, write_jsonl
+
+__all__ = ["RedriveReport", "contracts_for_domain", "redrive"]
+
+REPORT_NAME = "report.json"
+REQUARANTINED_NAME = "requarantined.jsonl"
+PROMOTED_SHARD = "promoted-00000.rps"
+
+
+@dataclasses.dataclass
+class RedriveReport:
+    """What one re-drive pass did with each quarantined record."""
+
+    promoted: List[str] = dataclasses.field(default_factory=list)
+    requarantined: List[str] = dataclasses.field(default_factory=list)
+    skipped: List[str] = dataclasses.field(default_factory=list)
+    shard_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "promoted": list(self.promoted),
+            "requarantined": list(self.requarantined),
+            "skipped": list(self.skipped),
+            "shard_path": self.shard_path,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"re-drive: {len(self.promoted)} promoted, "
+            f"{len(self.requarantined)} re-quarantined, "
+            f"{len(self.skipped)} skipped (no contract)"
+        )
+
+
+def contracts_for_domain(domain: str) -> Dict[str, StageContract]:
+    """The contract registry of one domain pipeline, keyed by contract name.
+
+    Each domain pipeline module publishes a ``CONTRACTS`` mapping of
+    ``(stage_name, boundary) -> StageContract``; re-drive only needs the
+    name-keyed view to match quarantine entries back to their contracts.
+    """
+    import importlib
+
+    module = importlib.import_module(f"repro.domains.{domain}.pipeline")
+    table: Mapping[Tuple[str, str], StageContract] = getattr(module, "CONTRACTS", {})
+    return {contract.name: contract for contract in table.values()}
+
+
+def _is_row_record(record: Any) -> bool:
+    """True for dict-of-column records a supplemental shard can hold."""
+    if not isinstance(record, Mapping) or not record:
+        return False
+    return all(
+        isinstance(v, (np.ndarray, np.generic, int, float, str, bool))
+        for v in record.values()
+    )
+
+
+def _stack_rows(rows: List[Mapping[str, Any]]) -> Dict[str, np.ndarray]:
+    columns: Dict[str, np.ndarray] = {}
+    for key in rows[0]:
+        values = [row[key] for row in rows]
+        if isinstance(values[0], np.ndarray):
+            columns[key] = np.stack(values)
+        else:
+            columns[key] = np.asarray(values)
+    return columns
+
+
+def redrive(
+    store: QuarantineStore,
+    contracts: Mapping[str, StageContract],
+    output_dir: Union[str, Path],
+    *,
+    codec_name: str = "raw",
+) -> RedriveReport:
+    """Replay every quarantined record through its (current) contract."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    report = RedriveReport()
+    requarantined_entries: List[Dict[str, object]] = []
+    promoted_rows: List[Mapping[str, Any]] = []
+    promoted_other: List[Tuple[str, Any]] = []
+
+    for entry in store.entries():
+        fingerprint = str(entry.get("record_fingerprint", ""))
+        contract = contracts.get(str(entry.get("contract", "")))
+        if contract is None:
+            report.skipped.append(fingerprint)
+            continue
+        record = store.load_record(fingerprint)
+        # a single-record payload: evaluate exactly as the gate would
+        per_record, payload_issues, _ = evaluate_contract(contract, [record])
+        errors = [
+            i
+            for issues in per_record.values()
+            for i in issues
+            if i.severity == "error"
+        ] + [i for i in payload_issues if i.severity == "error"]
+        if errors:
+            report.requarantined.append(fingerprint)
+            redriven = dict(entry)
+            redriven["issues"] = [dataclasses.asdict(i) for i in errors]
+            redriven["disposition"] = "requarantined"
+            redriven["contract_changed"] = (
+                entry.get("contract_hash") != contract.content_hash()
+            )
+            requarantined_entries.append(redriven)
+        else:
+            report.promoted.append(fingerprint)
+            if _is_row_record(record):
+                promoted_rows.append(record)
+            else:
+                promoted_other.append((fingerprint, record))
+
+    if promoted_rows:
+        shard_path = output_dir / PROMOTED_SHARD
+        write_shard(_stack_rows(promoted_rows), shard_path, get_codec(codec_name))
+        report.shard_path = str(shard_path)
+    promoted_dir = output_dir / "promoted"
+    for fingerprint, record in promoted_other:
+        promoted_dir.mkdir(parents=True, exist_ok=True)
+        with open(promoted_dir / f"{fingerprint}.pkl", "wb") as fh:
+            pickle.dump(record, fh)
+
+    write_jsonl(
+        output_dir / REQUARANTINED_NAME,
+        [envelope("quarantine", e) for e in requarantined_entries],
+    )
+    (output_dir / REPORT_NAME).write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    return report

@@ -24,7 +24,7 @@ import json
 import os
 import struct
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -263,6 +263,7 @@ def write_shard_set(
     shards_per_split: int = 4,
     codec_name: str = "raw",
     codec_level: Optional[int] = None,
+    certificate: Optional[Mapping[str, Any]] = None,
 ) -> ShardManifest:
     """Export *dataset* as a sharded directory with a manifest.
 
@@ -302,17 +303,20 @@ def write_shard_set(
             )
             infos.append(info)
         manifest_splits[split] = infos
+    metadata: Dict[str, Any] = {
+        "domain": dataset.metadata.domain,
+        "source": dataset.metadata.source,
+        "version": dataset.metadata.version,
+        "modality": dataset.metadata.modality.value,
+    }
+    if certificate is not None:
+        metadata["readiness_certificate"] = dict(certificate)
     manifest = ShardManifest(
         dataset_name=dataset.metadata.name,
         schema=dataset.schema,
         splits=manifest_splits,
         codec=codec_name,
-        metadata={
-            "domain": dataset.metadata.domain,
-            "source": dataset.metadata.source,
-            "version": dataset.metadata.version,
-            "modality": dataset.metadata.modality.value,
-        },
+        metadata=metadata,
     )
     (directory / MANIFEST_NAME).write_text(manifest.to_json())
     return manifest

@@ -27,7 +27,17 @@ keep calling the plain backend protocol and never see the difference.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -142,6 +152,7 @@ class InstrumentedBackend(ExecutionBackend):
         shards_per_split: int = 4,
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
+        certificate: Optional[Mapping[str, Any]] = None,
     ) -> "ShardManifest":
         # logical task count == the global shard table every backend cuts
         n_shards = len(_shard_table(splits, shards_per_split))
@@ -160,6 +171,7 @@ class InstrumentedBackend(ExecutionBackend):
                 shards_per_split=shards_per_split,
                 codec_name=codec_name,
                 codec_level=codec_level,
+                certificate=certificate,
             )
             op_span.set_attributes(
                 shards=manifest.n_shards,

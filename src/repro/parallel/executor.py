@@ -14,7 +14,7 @@ three patterns the archetype pipelines actually use:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -107,6 +107,27 @@ def distributed_stats(
     return run_spmd(n_ranks, worker)[0]
 
 
+def _manifest_metadata(
+    dataset: Dataset,
+    written_by_ranks: int,
+    certificate: Optional[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Manifest metadata block — must stay in lockstep with
+    ``repro.core.backends._shard_metadata`` so all backends write
+    byte-identical manifests (the certificate key only appears when a
+    gated run supplies one)."""
+    metadata: Dict[str, Any] = {
+        "domain": dataset.metadata.domain,
+        "source": dataset.metadata.source,
+        "version": dataset.metadata.version,
+        "modality": dataset.metadata.modality.value,
+        "written_by_ranks": written_by_ranks,
+    }
+    if certificate is not None:
+        metadata["readiness_certificate"] = dict(certificate)
+    return metadata
+
+
 def distributed_shard_write(
     dataset: Dataset,
     directory: Union[str, Path],
@@ -116,6 +137,7 @@ def distributed_shard_write(
     shards_per_split: int = 4,
     codec_name: str = "raw",
     codec_level: Optional[int] = None,
+    certificate: Optional[Mapping[str, Any]] = None,
 ) -> ShardManifest:
     """Parallel shard export: shards are distributed cyclically over ranks.
 
@@ -161,13 +183,7 @@ def distributed_shard_write(
                 for split, rows in by_split.items()
             },
             codec=codec_name,
-            metadata={
-                "domain": dataset.metadata.domain,
-                "source": dataset.metadata.source,
-                "version": dataset.metadata.version,
-                "modality": dataset.metadata.modality.value,
-                "written_by_ranks": comm.size,
-            },
+            metadata=_manifest_metadata(dataset, comm.size, certificate),
         )
         (directory / MANIFEST_NAME).write_text(manifest.to_json())
         return manifest

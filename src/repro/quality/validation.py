@@ -97,7 +97,18 @@ def check_bounds(
     severity: str = "error",
 ) -> List[ValidationIssue]:
     """Physical range check (e.g. temperature within [150, 350] K)."""
-    values = np.asarray(values, dtype=np.float64)
+    values = np.asarray(values)
+    try:
+        values = values.astype(np.float64)
+    except (TypeError, ValueError):
+        return [
+            ValidationIssue(
+                check="bounds",
+                column=column,
+                severity="error",
+                message=f"non-numeric dtype {values.dtype} cannot be range-checked",
+            )
+        ]
     finite = values[np.isfinite(values)]
     below = int((finite < lo).sum())
     above = int((finite > hi).sum())
@@ -155,6 +166,15 @@ def check_conservation(
     after = np.asarray(after, dtype=np.float64)
     wb = np.ones_like(before) if weights_before is None else np.asarray(weights_before)
     wa = np.ones_like(after) if weights_after is None else np.asarray(weights_after)
+    if before.size == 0 or after.size == 0 or wb.sum() == 0 or wa.sum() == 0:
+        return [
+            ValidationIssue(
+                check="conservation",
+                column=quantity,
+                severity="error",
+                message="no data to compare (empty array or zero total weight)",
+            )
+        ]
     mean_before = float((before * wb).sum() / wb.sum())
     mean_after = float((after * wa).sum() / wa.sum())
     scale = max(abs(mean_before), abs(mean_after), 1e-30)
@@ -177,7 +197,18 @@ def check_monotonic(
     values: np.ndarray, column: str = "-", strictly: bool = True
 ) -> List[ValidationIssue]:
     """Coordinate axes (time, lat, lon) must be monotonic."""
-    values = np.asarray(values, dtype=np.float64)
+    values = np.asarray(values)
+    try:
+        values = values.astype(np.float64)
+    except (TypeError, ValueError):
+        return [
+            ValidationIssue(
+                check="monotonic",
+                column=column,
+                severity="error",
+                message=f"non-numeric dtype {values.dtype} cannot be ordered",
+            )
+        ]
     diffs = np.diff(values)
     bad = (diffs <= 0) if strictly else (diffs < 0)
     n = int(bad.sum())
@@ -228,7 +259,25 @@ class ConstraintValidator:
         return self
 
     def validate(self, dataset: Dataset) -> ValidationResult:
+        """Run every registered check; a crashing check becomes an issue.
+
+        Checks referencing absent columns, zero-row/zero-column datasets,
+        or non-numeric dtypes must degrade to structured errors — a
+        validator that raises mid-audit loses every finding after the
+        crash point.
+        """
         issues: List[ValidationIssue] = list(validate_schema(dataset).issues)
-        for _, fn in self._checks:
-            issues.extend(fn(dataset))
+        for name, fn in self._checks:
+            kind, _, column = name.partition(":")
+            try:
+                issues.extend(fn(dataset))
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                issues.append(
+                    ValidationIssue(
+                        check=kind or name,
+                        column=column or "-",
+                        severity="error",
+                        message=f"check could not run: {type(exc).__name__}: {exc}",
+                    )
+                )
         return ValidationResult(issues=issues)

@@ -1,0 +1,86 @@
+"""Dead-letter persistence: the JSONL save/load half of the re-drive story."""
+
+import pytest
+
+from repro.faults import (
+    DEAD_LETTER_NAME,
+    DeadLetterLog,
+    DeadLetterRecord,
+    FaultKind,
+)
+
+
+def _record(stage="stack", action="degraded", fingerprint="a" * 64):
+    return DeadLetterRecord(
+        pipeline="climate",
+        stage_name=stage,
+        stage_index=2,
+        attempts=4,
+        error_type="TransientFaultError",
+        error="injected fault",
+        fault_kind=FaultKind.TRANSIENT,
+        input_fingerprint=fingerprint,
+        action=action,
+    )
+
+
+def test_save_load_roundtrip(tmp_path):
+    log = DeadLetterLog()
+    log.append(_record())
+    log.append(_record(stage="shard", action="failed", fingerprint="b" * 64))
+    path = log.save(tmp_path / "dl" / DEAD_LETTER_NAME)
+    assert path.exists()
+
+    loaded = DeadLetterLog.load(path)
+    assert loaded.records == log.records  # frozen dataclasses: deep equality
+
+
+def test_append_accumulates_a_campaign_ledger(tmp_path):
+    path = tmp_path / DEAD_LETTER_NAME
+    first = DeadLetterLog()
+    first.append(_record(fingerprint="a" * 64))
+    first.save(path)
+    second = DeadLetterLog()
+    second.append(_record(fingerprint="b" * 64))
+    second.save(path)  # append=True is the default
+
+    fingerprints = [r.input_fingerprint for r in DeadLetterLog.load(path)]
+    assert fingerprints == ["a" * 64, "b" * 64]
+
+
+def test_save_overwrite_replaces(tmp_path):
+    path = tmp_path / DEAD_LETTER_NAME
+    log = DeadLetterLog()
+    log.append(_record())
+    log.save(path)
+    log.save(path, append=False)
+    assert len(DeadLetterLog.load(path)) == 1
+
+
+def test_load_tolerates_torn_lines_and_foreign_envelopes(tmp_path):
+    path = tmp_path / DEAD_LETTER_NAME
+    log = DeadLetterLog()
+    log.append(_record())
+    log.save(path)
+    with open(path, "a") as fh:
+        fh.write('{"type": "metric", "name": "not-a-dead-letter"}\n')
+        fh.write('{"type": "dead-letter", "pipeline": "cli')  # torn tail
+
+    assert len(DeadLetterLog.load(path)) == 1
+
+
+def test_from_dict_defaults_and_kind_coercion():
+    blob = _record().to_dict()
+    blob.pop("action")
+    blob.pop("timestamp")
+    rebuilt = DeadLetterRecord.from_dict(blob)
+    assert rebuilt.action == "failed"
+    assert rebuilt.timestamp == 0.0
+    assert rebuilt.fault_kind is FaultKind.TRANSIENT
+
+
+def test_from_dict_rejects_unknown_fault_kind():
+    blob = _record().to_dict()
+    blob["fault_kind"] = "gremlins"
+    with pytest.raises(ValueError):
+        DeadLetterRecord.from_dict(blob)

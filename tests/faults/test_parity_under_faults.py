@@ -10,6 +10,8 @@ quarantines the corrupt checkpoint and falls back to the last
 verifiable stage.
 """
 
+import json
+
 import pytest
 
 from repro.core.pipeline import RetryPolicy, RunEventKind
@@ -17,6 +19,7 @@ from repro.domains import ClimateArchetype, FusionArchetype
 from repro.domains.climate.synthetic import ClimateSourceConfig
 from repro.domains.fusion.synthetic import FusionCampaignConfig
 from repro.faults import FaultInjector, FaultSpec, VirtualClock
+from repro.gates import QUARANTINE_NAME, QuarantineStore, contracts_for_domain, redrive
 from repro.io.shards import MANIFEST_NAME
 
 BACKEND_NAMES = ["serial", "threaded", "simspmd"]
@@ -29,6 +32,24 @@ ARCHETYPES = {
     "fusion": (
         FusionArchetype,
         {"config": FusionCampaignConfig(n_shots=10, seed=21)},
+    ),
+}
+
+# the same campaigns with deterministically poisoned records appended, so
+# the gates have something real to quarantine; the clean records' bytes
+# are untouched (independent rng streams for the corrupt sources)
+GATED_ARCHETYPES = {
+    "climate": (
+        ClimateArchetype,
+        {
+            "config": ClimateSourceConfig(
+                n_models=2, n_timesteps=12, seed=21, n_corrupt_models=1
+            )
+        },
+    ),
+    "fusion": (
+        FusionArchetype,
+        {"config": FusionCampaignConfig(n_shots=10, seed=21, n_corrupt_shots=2)},
     ),
 }
 
@@ -128,3 +149,104 @@ def test_resume_quarantines_corrupt_checkpoint(domain, tmp_path):
     )
     assert _shard_bytes(work_dir / "shards") == before
     assert (work_dir / "shards" / MANIFEST_NAME).read_bytes() == manifest_before
+
+
+def _normalized_manifest(directory):
+    """Manifest content with the one legitimately backend-dependent key
+    (``written_by_ranks``: 1 serial, 4 threaded/simspmd) removed."""
+    blob = json.loads((directory / MANIFEST_NAME).read_text())
+    blob.get("metadata", {}).pop("written_by_ranks", None)
+    return blob
+
+
+def _gated_chaos_run(cls, kwargs, work_dir, backend, checkpoint_dir, quarantine_dir):
+    injector = FaultInjector(CHAOS, clock=VirtualClock())
+    result = cls(seed=21, **kwargs).run(
+        work_dir,
+        backend=backend,
+        retry_policy=POLICY,
+        fault_injector=injector,
+        checkpoint_dir=checkpoint_dir,
+        gates="quarantine",
+        quarantine_dir=quarantine_dir,
+    )
+    return result, injector
+
+
+@pytest.mark.parametrize("domain", sorted(GATED_ARCHETYPES))
+def test_gated_chaos_quarantine_bitwise_identical_across_backends(domain, tmp_path):
+    """ISSUE satellite: gate decisions are part of the parity contract.
+
+    With corrupt records seeded into the source and the chaos schedule
+    active, every backend must shed the *same* records into quarantine
+    (byte-identical ``quarantine.jsonl``), ship byte-identical shards of
+    the survivors, and stamp the same readiness certificate into the
+    manifest — gate evaluation happens in the runner on record content,
+    never on scheduling order.
+    """
+    cls, kwargs = GATED_ARCHETYPES[domain]
+    quarantine_bytes = {}
+    shard_bytes = {}
+    manifests = {}
+    for backend in BACKEND_NAMES:
+        base = tmp_path / backend
+        result, injector = _gated_chaos_run(
+            cls, kwargs, base / "work", backend, base / "ckpt", base / "q"
+        )
+        assert injector.counts().get("torn-shard") == 1
+        assert result.run.degraded, f"{domain}/{backend} should degrade"
+        assert result.run.records_quarantined > 0
+        assert len(result.run.dead_letters) == 0
+        qfile = base / "q" / QUARANTINE_NAME
+        assert qfile.exists(), f"{domain}/{backend} wrote no quarantine log"
+        quarantine_bytes[backend] = qfile.read_bytes()
+        assert quarantine_bytes[backend], "quarantine log should be non-empty"
+        shard_bytes[backend] = _shard_bytes(base / "work" / "shards")
+        manifests[backend] = _normalized_manifest(base / "work" / "shards")
+        cert = manifests[backend]["metadata"]["readiness_certificate"]
+        assert cert["status"] in ("degraded", "warned")
+        assert cert["records_quarantined"] == result.run.records_quarantined
+
+    reference = BACKEND_NAMES[0]
+    for backend in BACKEND_NAMES[1:]:
+        assert quarantine_bytes[backend] == quarantine_bytes[reference], (
+            f"{domain}: quarantine decisions diverged on {backend}"
+        )
+        assert shard_bytes[backend] == shard_bytes[reference], (
+            f"{domain}: survivor shards diverged on {backend}"
+        )
+        assert manifests[backend] == manifests[reference], (
+            f"{domain}: manifests diverged on {backend}"
+        )
+
+
+@pytest.mark.parametrize("domain", sorted(GATED_ARCHETYPES))
+def test_gated_redrive_replays_deterministically(domain, tmp_path):
+    """Satellite: ``quarantine re-drive`` is a pure replay.
+
+    Re-driving the same quarantine store against the same contracts
+    twice must produce byte-identical reports — and records poisoned at
+    the source still violate their contract, so they are re-quarantined
+    rather than promoted.
+    """
+    cls, kwargs = GATED_ARCHETYPES[domain]
+    qdir = tmp_path / "q"
+    result = cls(seed=21, **kwargs).run(
+        tmp_path / "work", gates="quarantine", quarantine_dir=qdir
+    )
+    assert result.run.records_quarantined > 0
+
+    contracts = contracts_for_domain(domain)
+    reports = {}
+    for attempt in ("first", "second"):
+        out = tmp_path / attempt
+        report = redrive(QuarantineStore(qdir), contracts, out)
+        assert not report.promoted, "poisoned records must not be promoted"
+        assert len(report.requarantined) == result.run.records_quarantined
+        assert not report.skipped
+        reports[attempt] = {
+            p.name: p.read_bytes() for p in out.iterdir() if p.is_file()
+        }
+    assert reports["first"] == reports["second"], (
+        f"{domain}: re-drive is not deterministic"
+    )

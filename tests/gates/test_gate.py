@@ -1,0 +1,140 @@
+"""Unit tests for gate evaluation and policy enforcement (repro.gates.gate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import fingerprint_payload
+from repro.gates import (
+    ColumnCheck,
+    GatePolicy,
+    GateViolation,
+    StageContract,
+    apply_contract,
+    evaluate_contract,
+)
+
+
+def _records(*temps):
+    """A list-of-dict payload, one record per temperature array."""
+    return [{"t": np.asarray(t, dtype=np.float64)} for t in temps]
+
+
+CONTRACT = StageContract(
+    "t-gate",
+    checks=(
+        ColumnCheck("finite", "t"),
+        ColumnCheck("bounds", "t", lo=150.0, hi=350.0),
+    ),
+)
+
+GOOD = [200.0, 300.0]
+BAD_NAN = [np.nan, 250.0]
+BAD_HOT = [200.0, 900.0]
+
+
+def _apply(contract, payload, policy):
+    return apply_contract(
+        contract,
+        payload,
+        policy=GatePolicy.coerce(policy),
+        pipeline="unit",
+        stage="s0",
+        stage_index=0,
+        boundary="output",
+    )
+
+
+class TestEvaluateContract:
+    def test_blames_only_the_violating_record(self):
+        per_record, payload_issues, n = evaluate_contract(
+            CONTRACT, _records(GOOD, BAD_NAN, GOOD)
+        )
+        assert n == 3
+        assert sorted(per_record) == [1]
+        assert payload_issues == []
+
+    def test_missing_required_field_is_an_error(self):
+        per_record, _, _ = evaluate_contract(CONTRACT, [{"other": np.ones(2)}])
+        assert per_record[0][0].message == "required field is missing"
+
+    def test_missing_optional_field_is_silent(self):
+        lenient = StageContract(
+            "t-gate", checks=(ColumnCheck("finite", "t", required=False),)
+        )
+        per_record, payload_issues, _ = evaluate_contract(
+            lenient, [{"other": np.ones(2)}]
+        )
+        assert not per_record and not payload_issues
+
+    def test_recordless_payload_falls_back_to_payload_scope(self):
+        per_record, payload_issues, n = evaluate_contract(
+            CONTRACT, {"t": np.asarray(BAD_NAN)}
+        )
+        assert n == 1
+        assert not per_record
+        assert [i.check for i in payload_issues] == ["finite"]
+
+
+class TestApplyContract:
+    def test_clean_payload_passes(self):
+        outcome = _apply(CONTRACT, _records(GOOD, GOOD), "fail")
+        assert outcome.report.verdict == "pass"
+        assert outcome.report.records_checked == 2
+        assert outcome.quarantined == []
+
+    def test_fail_policy_raises_with_report(self):
+        with pytest.raises(GateViolation) as exc:
+            _apply(CONTRACT, _records(GOOD, BAD_HOT), "fail")
+        assert exc.value.report.verdict == "fail"
+        assert len(exc.value.report.violations) == 1
+
+    def test_warn_policy_never_blocks(self):
+        payload = _records(BAD_NAN, BAD_HOT)
+        outcome = _apply(CONTRACT, payload, "warn")
+        assert outcome.report.verdict == "warn"
+        assert outcome.payload is payload
+        assert outcome.quarantined == []
+
+    def test_quarantine_splits_violators_and_keeps_survivors(self):
+        payload = _records(GOOD, BAD_NAN, BAD_HOT)
+        outcome = _apply(CONTRACT, payload, "quarantine")
+        assert outcome.report.verdict == "quarantine"
+        assert outcome.report.records_quarantined == 2
+        assert len(outcome.payload) == 1
+        np.testing.assert_array_equal(outcome.payload[0]["t"], np.asarray(GOOD))
+        entries = [entry for entry, _ in outcome.quarantined]
+        assert [e["record_index"] for e in entries] == [1, 2]
+        # the entry fingerprint is the content hash of the record itself
+        for entry, record in outcome.quarantined:
+            assert entry["record_fingerprint"] == fingerprint_payload(record)
+            assert entry["contract_hash"] == CONTRACT.content_hash()
+
+    def test_quarantine_escalates_when_no_record_axis(self):
+        with pytest.raises(GateViolation, match="payload-level"):
+            _apply(CONTRACT, {"t": np.asarray(BAD_NAN)}, "quarantine")
+
+    def test_quarantine_escalates_when_nothing_survives(self):
+        with pytest.raises(GateViolation, match="no records survive"):
+            _apply(CONTRACT, _records(BAD_NAN, BAD_HOT), "quarantine")
+
+    def test_contract_policy_overrides_run_policy(self):
+        strict = StageContract("t-gate", checks=CONTRACT.checks, policy="fail")
+        with pytest.raises(GateViolation):
+            _apply(strict, _records(GOOD, BAD_NAN), "warn")
+
+    def test_advisory_issues_yield_warn_verdict(self):
+        advisory = StageContract(
+            "t-gate", checks=(ColumnCheck("precision", "t", minimum_bits=64),)
+        )
+        payload = [{"t": np.zeros(2, dtype=np.float32)}]
+        outcome = _apply(advisory, payload, "fail")
+        assert outcome.report.verdict == "warn"
+        assert outcome.payload is payload
+
+    def test_decisions_are_content_deterministic(self):
+        """The parity property the engine relies on, in miniature."""
+        payload = _records(GOOD, BAD_NAN, GOOD, BAD_HOT)
+        first = _apply(CONTRACT, payload, "quarantine")
+        second = _apply(CONTRACT, _records(GOOD, BAD_NAN, GOOD, BAD_HOT), "quarantine")
+        assert first.report.to_dict() == second.report.to_dict()
+        assert [e for e, _ in first.quarantined] == [e for e, _ in second.quarantined]

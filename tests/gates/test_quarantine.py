@@ -1,0 +1,110 @@
+"""Unit tests for the durable quarantine store (repro.gates.quarantine)."""
+
+import numpy as np
+import pytest
+
+from repro.gates import QUARANTINE_NAME, QuarantineStore
+
+
+def _entry(fingerprint, index=0):
+    return {
+        "pipeline": "unit",
+        "stage": "s0",
+        "stage_index": 0,
+        "boundary": "output",
+        "contract": "t-gate",
+        "contract_hash": "c" * 64,
+        "policy": "quarantine",
+        "record_index": index,
+        "record_fingerprint": fingerprint,
+        "record_kind": "dict",
+        "issues": [
+            {
+                "check": "finite",
+                "column": "t",
+                "severity": "error",
+                "message": "1 non-finite entries",
+            }
+        ],
+    }
+
+
+class TestDurableStore:
+    def test_roundtrip_across_processes(self, tmp_path):
+        record = {"t": np.asarray([np.nan, 1.0])}
+        store = QuarantineStore(tmp_path / "q")
+        store.add(_entry("a" * 64), record)
+
+        reopened = QuarantineStore(tmp_path / "q")
+        assert len(reopened) == 1
+        entries = reopened.entries()
+        assert entries[0]["record_fingerprint"] == "a" * 64
+        # envelope bookkeeping keys are stripped on read
+        assert "schema" not in entries[0] and "type" not in entries[0]
+        loaded = reopened.load_record("a" * 64)
+        np.testing.assert_array_equal(loaded["t"], record["t"], strict=True)
+
+    def test_record_payloads_are_content_addressed(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.add(_entry("a" * 64, index=0), {"t": np.zeros(2)})
+        store.add(_entry("a" * 64, index=3), {"t": np.zeros(2)})
+        assert len(store.entries()) == 2  # both sightings logged...
+        assert len(list(store.records_dir.glob("*.pkl"))) == 1  # ...one payload
+
+    def test_load_record_by_unique_prefix(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.add(_entry("a" * 64), {"t": np.zeros(2)})
+        store.add(_entry("b" * 64), {"t": np.ones(2)})
+        assert store.load_record("b" * 8)["t"][0] == 1.0
+        with pytest.raises(FileNotFoundError, match="no quarantined record"):
+            store.load_record("f" * 8)
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.add(_entry("ab" + "0" * 62), {"t": np.zeros(2)})
+        store.add(_entry("ab" + "1" * 62), {"t": np.ones(2)})
+        with pytest.raises(ValueError, match="ambiguous"):
+            store.load_record("ab")
+
+    def test_render_lists_each_record(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        assert store.render() == "(quarantine is empty)"
+        store.add(_entry("a" * 64), {"t": np.zeros(2)})
+        text = store.render()
+        assert "a" * 12 in text
+        assert "finite(t)" in text
+
+    def test_jsonl_lives_under_expected_name(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.add(_entry("a" * 64), {"t": np.zeros(2)})
+        assert (tmp_path / "q" / QUARANTINE_NAME).exists()
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.add(_entry("a" * 64), {"t": np.zeros(2)})
+        with open(store.path, "a") as fh:
+            fh.write('{"type": "quarantine", "record_fing')  # simulated crash
+        assert len(QuarantineStore(tmp_path / "q").entries()) == 1
+
+
+class TestInMemoryStore:
+    def test_entries_without_directory(self):
+        store = QuarantineStore(None)
+        store.add(_entry("a" * 64), {"t": np.zeros(2)})
+        assert store.path is None and store.records_dir is None
+        assert len(store) == 1
+        assert store.entries()[0]["record_fingerprint"] == "a" * 64
+
+    def test_no_persisted_payloads(self):
+        store = QuarantineStore(None)
+        store.add(_entry("a" * 64), {"t": np.zeros(2)})
+        with pytest.raises(FileNotFoundError, match="in-memory"):
+            store.load_record("a" * 64)
+
+    def test_empty_store_is_falsy_but_usable(self, tmp_path):
+        # regression: the runner must test `is not None`, not truthiness —
+        # a freshly opened durable store has len 0 and is therefore falsy
+        store = QuarantineStore(tmp_path / "q")
+        assert len(store) == 0 and not store
+        store.add(_entry("a" * 64), {"t": np.zeros(2)})
+        assert store

@@ -1,0 +1,89 @@
+"""Unit tests for quarantine re-drive (repro.gates.redrive)."""
+
+import json
+
+import numpy as np
+
+from repro.core.plan import fingerprint_payload
+from repro.gates import ColumnCheck, QuarantineStore, StageContract, redrive
+from repro.gates.redrive import PROMOTED_SHARD, REPORT_NAME, REQUARANTINED_NAME
+from repro.io.shards import read_shard
+from repro.obs.sinks import read_jsonl
+
+STRICT = StageContract(
+    "t-gate", checks=(ColumnCheck("bounds", "t", lo=150.0, hi=350.0),)
+)
+RELAXED = StageContract(
+    "t-gate", checks=(ColumnCheck("bounds", "t", lo=150.0, hi=1000.0),)
+)
+
+
+def _quarantine(store, record, contract):
+    fingerprint = fingerprint_payload(record)
+    store.add(
+        {
+            "pipeline": "unit",
+            "stage": "s0",
+            "stage_index": 0,
+            "boundary": "output",
+            "contract": contract.name,
+            "contract_hash": contract.content_hash(),
+            "policy": "quarantine",
+            "record_index": 0,
+            "record_fingerprint": fingerprint,
+            "record_kind": "dict",
+            "issues": [],
+        },
+        record,
+    )
+    return fingerprint
+
+
+def test_relaxed_contract_promotes_into_supplemental_shard(tmp_path):
+    """The holding-pen story: fix the contract, recover the records."""
+    store = QuarantineStore(tmp_path / "q")
+    warm = {"t": np.asarray([200.0, 900.0])}  # violates STRICT, passes RELAXED
+    fingerprint = _quarantine(store, warm, STRICT)
+
+    out = tmp_path / "redrive"
+    report = redrive(store, {"t-gate": RELAXED}, out)
+    assert report.promoted == [fingerprint]
+    assert not report.requarantined and not report.skipped
+    assert report.shard_path == str(out / PROMOTED_SHARD)
+    columns = read_shard(out / PROMOTED_SHARD)
+    np.testing.assert_array_equal(columns["t"], np.asarray([[200.0, 900.0]]))
+    assert not list(read_jsonl(out / REQUARANTINED_NAME))
+
+
+def test_still_violating_record_is_requarantined(tmp_path):
+    store = QuarantineStore(tmp_path / "q")
+    hot = {"t": np.asarray([200.0, 2000.0])}  # violates both contracts
+    fingerprint = _quarantine(store, hot, STRICT)
+
+    out = tmp_path / "redrive"
+    report = redrive(store, {"t-gate": RELAXED}, out)
+    assert report.requarantined == [fingerprint]
+    rows = list(read_jsonl(out / REQUARANTINED_NAME))
+    assert rows[0]["disposition"] == "requarantined"
+    assert rows[0]["contract_changed"] is True  # RELAXED != STRICT hash
+    assert rows[0]["issues"][0]["check"] == "bounds"
+
+
+def test_unknown_contract_is_skipped_not_guessed(tmp_path):
+    store = QuarantineStore(tmp_path / "q")
+    fingerprint = _quarantine(store, {"t": np.asarray([2000.0])}, STRICT)
+
+    report = redrive(store, {}, tmp_path / "redrive")
+    assert report.skipped == [fingerprint]
+    blob = json.loads((tmp_path / "redrive" / REPORT_NAME).read_text())
+    assert blob["skipped"] == [fingerprint]
+    assert blob["promoted"] == [] and blob["shard_path"] is None
+
+
+def test_every_domain_publishes_named_contracts():
+    from repro.gates import contracts_for_domain
+
+    for domain in ("climate", "fusion", "bio", "materials"):
+        contracts = contracts_for_domain(domain)
+        assert contracts, f"{domain} declares no contracts"
+        assert set(contracts) == {f"{domain}-ingest", f"{domain}-structure"}

@@ -1,0 +1,91 @@
+"""Integration: gates in the PipelineRunner, end to end on a domain pipeline."""
+
+import json
+
+import pytest
+
+from repro.core.plan import PipelineError
+from repro.domains import ClimateArchetype
+from repro.domains.climate.synthetic import ClimateSourceConfig
+from repro.gates import QUARANTINE_NAME, QuarantineStore
+from repro.io.shards import MANIFEST_NAME
+
+CLEAN = ClimateSourceConfig(n_models=2, n_timesteps=12, seed=21)
+CORRUPT = ClimateSourceConfig(n_models=2, n_timesteps=12, seed=21, n_corrupt_models=1)
+
+
+def _run(config, tmp_path, **kwargs):
+    return ClimateArchetype(seed=21, config=config).run(tmp_path / "work", **kwargs)
+
+
+def _manifest(tmp_path):
+    return json.loads((tmp_path / "work" / "shards" / MANIFEST_NAME).read_text())
+
+
+def test_ungated_run_is_untouched(tmp_path):
+    """gates=None must not change behaviour or manifest bytes at all."""
+    result = _run(CLEAN, tmp_path)
+    assert result.run.gate_reports == []
+    assert result.run.records_quarantined == 0
+    assert "readiness_certificate" not in _manifest(tmp_path)["metadata"]
+
+
+def test_gated_clean_run_certifies_pass(tmp_path):
+    result = _run(CLEAN, tmp_path, gates="fail")
+    assert result.run.gate_reports, "contracts should have been evaluated"
+    assert all(r.verdict in ("pass", "warn") for r in result.run.gate_reports)
+    cert = _manifest(tmp_path)["metadata"]["readiness_certificate"]
+    assert cert["records_quarantined"] == 0
+    names = {c["contract"] for c in cert["contracts"]}
+    assert names == {"climate-ingest", "climate-structure"}
+
+
+def test_quarantine_policy_sheds_corrupt_records_and_degrades(tmp_path):
+    qdir = tmp_path / "q"
+    result = _run(CORRUPT, tmp_path, gates="quarantine", quarantine_dir=qdir)
+    assert result.run.degraded
+    assert result.run.records_quarantined == 1
+    assert (qdir / QUARANTINE_NAME).exists()
+    store = QuarantineStore(qdir)
+    entries = store.entries()
+    assert len(entries) == 1
+    assert entries[0]["contract"] == "climate-ingest"
+    assert entries[0]["stage"] == "download"
+    # the quarantined payload is durably recoverable by its fingerprint
+    record = store.load_record(str(entries[0]["record_fingerprint"]))
+    assert type(record).__name__ == "GriddedSource"
+    cert = _manifest(tmp_path)["metadata"]["readiness_certificate"]
+    assert cert["status"] == "degraded"
+    assert cert["records_quarantined"] == 1
+
+
+def test_fail_policy_aborts_with_gate_report(tmp_path):
+    with pytest.raises(PipelineError) as exc:
+        _run(CORRUPT, tmp_path, gates="fail")
+    report = exc.value.gate_report
+    assert report.verdict == "fail"
+    assert report.contract == "climate-ingest"
+
+
+def test_warn_policy_defers_the_failure_downstream(tmp_path):
+    """``warn`` never blocks *at the gate* — the corrupt records pass
+    through with a recorded warning, and it is the stack stage's own
+    internal validation (not a gate) that rejects the NaNs later."""
+    from repro.core.pipeline import RunEventKind
+
+    with pytest.raises(PipelineError) as exc:
+        _run(CORRUPT, tmp_path, gates="warn")
+    assert exc.value.stage_name == "stack"
+    assert not hasattr(exc.value, "gate_report")
+    kinds = [e.kind for e in exc.value.events]
+    assert RunEventKind.GATE_WARNED in kinds
+    assert RunEventKind.GATE_FAILED not in kinds
+
+
+def test_quarantine_survivors_match_clean_run_bytes(tmp_path):
+    """Shedding the poisoned model leaves exactly the clean campaign."""
+    clean = _run(CLEAN, tmp_path / "clean")
+    gated = _run(
+        CORRUPT, tmp_path / "gated", gates="quarantine", quarantine_dir=tmp_path / "q"
+    )
+    assert gated.dataset.fingerprint() == clean.dataset.fingerprint()

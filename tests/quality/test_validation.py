@@ -58,6 +58,74 @@ class TestChecks:
         assert check_conservation(before, after) == []
 
 
+class TestHardening:
+    """Degenerate inputs become structured issues, never tracebacks.
+
+    A validator that raises mid-audit loses every finding after the
+    crash point — these are the regression tests for the hardened paths.
+    """
+
+    def test_bounds_non_numeric_dtype(self):
+        issues = check_bounds(np.asarray(["cold", "hot"]), 150, 350, "t")
+        assert [i.severity for i in issues] == ["error"]
+        assert "non-numeric dtype" in issues[0].message
+
+    def test_monotonic_non_numeric_dtype(self):
+        issues = check_monotonic(np.asarray(["a", "b"]), "axis")
+        assert [i.severity for i in issues] == ["error"]
+        assert "cannot be ordered" in issues[0].message
+
+    def test_conservation_empty_arrays(self):
+        issues = check_conservation(np.asarray([]), np.asarray([1.0]))
+        assert issues and "no data to compare" in issues[0].message
+
+    def test_conservation_zero_total_weight(self):
+        before = np.full(4, 5.0)
+        issues = check_conservation(
+            before, before, weights_before=np.zeros(4), weights_after=np.ones(4)
+        )
+        assert issues and issues[0].severity == "error"
+
+    def test_validator_missing_column_becomes_issue(self, small_dataset):
+        result = (
+            ConstraintValidator()
+            .require_finite("no_such_column")
+            .require_finite("x1")
+            .validate(small_dataset)
+        )
+        assert not result.ok
+        [issue] = result.errors
+        assert issue.check == "finite"
+        assert issue.column == "no_such_column"
+        assert "check could not run" in issue.message
+
+    def test_validator_survives_zero_row_dataset(self):
+        from repro.core.dataset import Dataset
+
+        empty = Dataset.from_arrays({"t": np.zeros((0,))})
+        validator = (
+            ConstraintValidator()
+            .require_finite("t")
+            .require_bounds("t", 150, 350)
+            .require("conserved", lambda ds: check_conservation(ds["t"], ds["t"]))
+        )
+        result = validator.validate(empty)
+        # finite/bounds on zero rows are vacuously fine; conservation
+        # reports "no data" instead of dividing by a zero weight sum
+        assert [i.check for i in result.errors] == ["conservation"]
+
+    def test_validator_crashing_custom_check_is_contained(self, small_dataset):
+        def explode(ds):
+            raise RuntimeError("boom")
+
+        result = ConstraintValidator().require("custom", explode).validate(
+            small_dataset
+        )
+        [issue] = result.errors
+        assert issue.check == "custom"
+        assert "RuntimeError: boom" in issue.message
+
+
 class TestSchemaValidation:
     def test_valid_dataset(self, small_dataset):
         assert validate_schema(small_dataset).ok
