@@ -1,0 +1,204 @@
+"""Record and check the repo's performance baselines.
+
+Two machine-readable baselines live at the repo root, committed next to
+the code they measure so every PR carries its own perf trajectory:
+
+- ``BENCH_fig1.json`` — wall time of the Figure-1 end-to-end pipeline
+  (``bench_fig1_pipeline.run_figure1_steps``), with per-stage seconds
+  read back from the engine's own ``stage_seconds`` histogram;
+- ``BENCH_sharding.json`` — the parallel shard-write path at 1..8 ranks
+  plus the modelled 10 TB strong-scaling sweep (knee and I/O-crossover
+  rank counts per cluster).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py emit
+    PYTHONPATH=src python benchmarks/record_baseline.py check [--tolerance 0.25]
+
+``emit`` re-measures and rewrites both JSON files.  ``check`` re-measures
+and exits non-zero if the fig1 wall time regressed more than
+``--tolerance`` (default 25%) against the committed baseline — this is
+the CI bench-regression gate.  Wall timings take the best of
+``--repeats`` runs to damp scheduler noise; the modelled sweep is
+deterministic and compared exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import bench_fig1_pipeline as fig1  # noqa: E402
+import bench_sharding_scaling as sharding  # noqa: E402
+
+SCHEMA_VERSION = 1
+FIG1_BASELINE = REPO_ROOT / "BENCH_fig1.json"
+SHARDING_BASELINE = REPO_ROOT / "BENCH_sharding.json"
+
+
+def _best_of(fn, repeats: int):
+    """(best wall seconds, result of the fastest run)."""
+    best, result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, out
+    return best, result
+
+
+def measure_fig1(repeats: int) -> dict:
+    def run():
+        with tempfile.TemporaryDirectory() as tmp:
+            return fig1.run_figure1_steps(Path(tmp), seed=0)
+
+    wall, (_rows, _labeled, run_result, telemetry) = _best_of(run, repeats)
+    stages = {}
+    for result in run_result.results:
+        hist = telemetry.metrics.get(
+            "stage_seconds",
+            pipeline=run_result.pipeline_name,
+            stage=result.stage_name,
+        )
+        stages[result.stage_name] = round(hist.sum, 6)
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": "fig1",
+        "pipeline": run_result.pipeline_name,
+        "n_stages": len(run_result.results),
+        "wall_seconds": round(wall, 6),
+        "stage_seconds": stages,
+    }
+
+
+def measure_sharding(repeats: int) -> dict:
+    dataset = sharding.make_dataset()
+    write_path = {}
+    for ranks in (1, 2, 4, 8):
+        def write():
+            with tempfile.TemporaryDirectory() as tmp:
+                return sharding.parallel_write(dataset, Path(tmp), ranks)
+
+        wall, manifest = _best_of(write, repeats)
+        total = sum(
+            s.nbytes for shards in manifest.splits.values() for s in shards
+        )
+        write_path[str(ranks)] = {
+            "wall_seconds": round(wall, 6),
+            "bytes": total,
+            "mb_per_s": round(total / wall / 1e6, 1),
+        }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": "sharding",
+        "dataset": {"n": dataset.n_samples, "width": 64},
+        "write_path": write_path,
+        # deterministic analytic sweep: qualitative shape markers
+        "modelled": _modelled_curves(),
+    }
+
+
+def _modelled_curves() -> dict:
+    workload = sharding.WorkloadSpec(
+        name="climax-like-prep",
+        input_bytes=10e12,
+        output_bytes=4e12,
+        compute_passes=2.0,
+    )
+    rank_counts = [1, 4, 16, 64, 256, 1024, 4096]
+    out = {}
+    for cluster in (
+        sharding.commodity_cluster(128),
+        sharding.leadership_system(512),
+    ):
+        model = sharding.PipelineScalingModel(cluster)
+        counts = [r for r in rank_counts if r <= cluster.max_ranks]
+        curve = model.sweep(workload, counts)
+        out[cluster.name] = {
+            "ranks": [p.ranks for p in curve.points],
+            "total_seconds": [round(p.total_seconds, 3) for p in curve.points],
+            "io_dominated_from": curve.io_dominated_from(),
+            "knee_ranks": curve.knee_ranks(),
+        }
+    return out
+
+
+def cmd_emit(args) -> int:
+    fig1_doc = measure_fig1(args.repeats)
+    sharding_doc = measure_sharding(args.repeats)
+    FIG1_BASELINE.write_text(json.dumps(fig1_doc, indent=2, sort_keys=True) + "\n")
+    SHARDING_BASELINE.write_text(
+        json.dumps(sharding_doc, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {FIG1_BASELINE.name}: wall {fig1_doc['wall_seconds']:.3f}s "
+          f"over {fig1_doc['n_stages']} stages")
+    print(f"wrote {SHARDING_BASELINE.name}: "
+          + ", ".join(
+              f"{r} ranks {v['wall_seconds']:.3f}s"
+              for r, v in sharding_doc["write_path"].items()
+          ))
+    return 0
+
+
+def cmd_check(args) -> int:
+    if not FIG1_BASELINE.exists():
+        print(f"no committed baseline at {FIG1_BASELINE}; run emit first")
+        return 2
+    baseline = json.loads(FIG1_BASELINE.read_text())
+    if baseline.get("schema") != SCHEMA_VERSION:
+        print(f"baseline schema {baseline.get('schema')!r} != {SCHEMA_VERSION}")
+        return 2
+    current = measure_fig1(args.repeats)
+    ref, now = baseline["wall_seconds"], current["wall_seconds"]
+    # ratio gate with an absolute noise floor: sub-100ms walls jitter far
+    # more than 25% run to run, so tiny baselines get slack in seconds too
+    limit = ref * (1.0 + args.tolerance) + args.noise_floor
+    print(f"fig1 wall: baseline {ref:.3f}s, current {now:.3f}s "
+          f"(limit {limit:.3f}s = {args.tolerance:.0%} + "
+          f"{args.noise_floor:.2f}s floor)")
+    status = 0
+    if now > limit:
+        print(f"FAIL: fig1 wall time regressed beyond {args.tolerance:.0%}")
+        status = 1
+
+    # the modelled sweep is analytic — any drift is a real model change
+    if SHARDING_BASELINE.exists():
+        committed = json.loads(SHARDING_BASELINE.read_text())["modelled"]
+        fresh = _modelled_curves()
+        if committed != fresh:
+            print("FAIL: modelled strong-scaling curves drifted from baseline "
+                  "(re-run emit if the model change is intentional)")
+            status = 1
+        else:
+            print("modelled scaling curves match the committed baseline")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in (("emit", cmd_emit), ("check", cmd_check)):
+        p = sub.add_parser(name)
+        p.add_argument("--repeats", type=int, default=3,
+                       help="wall timings take the best of N runs")
+        p.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed fractional regression (check mode)")
+        p.add_argument("--noise-floor", type=float, default=0.25,
+                       help="absolute slack in seconds added to the limit")
+        p.set_defaults(fn=fn)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -216,6 +216,39 @@ def main() -> None:
                              work_dir / "redrive")
     print(redrive_report.summary())
     print(f"promoted shard: {redrive_report.shard_path}")
+
+    print(section("7. cost-model-driven planning (plan explain)"))
+    from repro.sched import (
+        CalibrationStore,
+        choose_config,
+        estimate_workload,
+        resolve_cluster,
+    )
+
+    # predict: size the plan's per-stage byte flows from the raw payload,
+    # then sweep backend × workers × stripes × batch through the cluster
+    # simulator — exactly what `repro plan explain` / `run --plan auto` do
+    workload = estimate_workload(pipeline.plan, raw)
+    print(workload.describe())
+    decision = choose_config(workload, resolve_cluster("workstation"))
+    print()
+    print(decision.render_table(top=5))
+    print(decision.summary())
+
+    # calibrate: feed measured stage_seconds back, and the next choice
+    # deterministically reflects this machine instead of the bare model
+    store = CalibrationStore(work_dir / "calibration")
+    for stage_name, predicted in decision.predicted_stage_seconds:
+        actual = next(
+            r.seconds for r in run.results if r.stage_name == stage_name
+        )
+        store.observe(workload.pipeline, stage_name, predicted, actual)
+    calibrated = choose_config(
+        workload, resolve_cluster("workstation"), calibration=store
+    )
+    print(f"\nuncalibrated prediction: {decision.predicted_seconds:.4f}s")
+    print(f"calibrated prediction  : {calibrated.predicted_seconds:.4f}s "
+          f"({len(calibrated.calibration)} stage factor(s) applied)")
     print(f"\nworkspace: {work_dir}")
 
 

@@ -7,6 +7,7 @@ technical readiness"; this CLI is that tool::
     python -m repro archetypes                # render Table 1 (registry)
     python -m repro templates [DOMAIN]        # preprocessing templates
     python -m repro run DOMAIN --workdir DIR  # run an archetype end-to-end
+    python -m repro plan explain DOMAIN       # rank candidate configs by cost
     python -m repro backends                  # list execution backends
     python -m repro inspect SHARD_DIR         # verify + describe a shard set
     python -m repro telemetry summary DIR     # slowest spans of a trace
@@ -32,7 +33,12 @@ produce bitwise-identical shards.  Data readiness gates ride it too:
 splitting violating records into ``--quarantine-dir`` while survivors
 ship (``--inject-bad-records N`` seeds deliberately corrupt sources to
 catch), and ``--dead-letter-dir`` persists the run's dead letters as a
-durable JSONL ledger.  ``quarantine list/show/re-drive`` reads a
+durable JSONL ledger.  Cost-model planning closes the loop from the
+scaling simulator to the scheduler: ``run --plan auto`` prices every
+candidate configuration through :mod:`repro.parallel.simulate`, runs the
+predicted-fastest one, and feeds observed stage timings back through
+``--calibration-dir``; ``plan explain`` shows the same ranking without
+running anything.  ``quarantine list/show/re-drive`` reads a
 quarantine back and replays it through the current contracts, promoting
 records that now pass.  ``telemetry`` reads a trace directory back:
 ``summary`` tables the slowest stages, ``export --jsonl`` merges the
@@ -80,8 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("domain", choices=["climate", "fusion", "bio", "materials"])
     run.add_argument("--workdir", required=True, type=Path)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--backend", choices=sorted(BACKENDS), default="serial",
-                     help="execution backend for data-parallel stage internals")
+    run.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                     help="execution backend for data-parallel stage internals "
+                          "(default: serial, or the cost model's pick under "
+                          "--plan auto)")
+    run.add_argument("--plan", choices=["fixed", "auto"], default="fixed",
+                     dest="plan_mode",
+                     help="'auto' prices every (backend x workers x stripe x "
+                          "batch) candidate through the scaling model and runs "
+                          "the predicted-fastest one; the decision record is "
+                          "embedded in events, spans, and the shard manifest")
+    run.add_argument("--calibration-dir", type=Path, default=None,
+                     help="persist predicted-vs-actual stage timings here "
+                          "(content-addressed JSONL); later auto-planned runs "
+                          "correct their predictions with these observations")
+    run.add_argument("--cluster", choices=["workstation", "commodity", "leadership"],
+                     default="workstation",
+                     help="modelled machine the chooser prices candidates "
+                          "against (default workstation)")
     run.add_argument("--checkpoint-dir", type=Path, default=None,
                      help="persist per-stage checkpoints under this directory")
     run.add_argument("--resume", action="store_true",
@@ -125,6 +147,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "--gates has something to catch")
 
     sub.add_parser("backends", help="list the available execution backends")
+
+    plan = sub.add_parser(
+        "plan", help="cost-model planning: inspect what 'run --plan auto' would do"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    explain = plan_sub.add_parser(
+        "explain",
+        help="estimate a domain's workload and rank every candidate config",
+    )
+    explain.add_argument("domain", choices=["climate", "fusion", "bio", "materials"])
+    explain.add_argument("--workdir", type=Path, default=None,
+                         help="where the synthesized source goes (default: a "
+                              "temporary directory)")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--cluster",
+                         choices=["workstation", "commodity", "leadership"],
+                         default="workstation")
+    explain.add_argument("--calibration-dir", type=Path, default=None,
+                         help="apply persisted correction factors from this store")
+    explain.add_argument("--top", type=int, default=None,
+                         help="show only the N best candidates")
 
     quarantine = sub.add_parser(
         "quarantine", help="inspect and re-drive gate-quarantined records"
@@ -210,7 +253,10 @@ def _cmd_run(
     domain: str,
     workdir: Path,
     seed: int,
-    backend: str = "serial",
+    backend: Optional[str] = None,
+    plan_mode: str = "fixed",
+    calibration_dir: Optional[Path] = None,
+    cluster: str = "workstation",
     checkpoint_dir: Optional[Path] = None,
     resume: bool = False,
     events: bool = False,
@@ -275,10 +321,15 @@ def _cmd_run(
                   file=sys.stderr)
             return 2
         source_params = {corrupt_knobs[domain]: inject_bad_records}
+    # a fixed plan defaults to serial; under auto, an unset backend lets
+    # the cost-model chooser pick (an explicit --backend always wins)
+    if backend is None and plan_mode != "auto":
+        backend = "serial"
     telemetry = Telemetry() if trace_dir is not None else None
     archetype = classes[domain](seed=seed)
+    how = backend if backend is not None else "cost-model-chosen"
     print(f"running {domain} archetype ({archetype.pattern_string()}) "
-          f"on the {backend} backend ...")
+          f"on the {how} backend ...")
 
     def _save_dead_letters(log) -> None:
         if dead_letter_dir is None or not len(log):
@@ -302,6 +353,9 @@ def _cmd_run(
             fault_injector=injector,
             gates=gates,
             quarantine_dir=quarantine_dir,
+            plan_mode=plan_mode,
+            calibration_dir=calibration_dir,
+            cluster=cluster,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -319,6 +373,23 @@ def _cmd_run(
             print(f"partial trace written to {trace_dir}", file=sys.stderr)
         return 1
     run = result.run
+    if result.schedule is not None:
+        decision = result.schedule
+        print(section("schedule decision"))
+        print(decision.summary())
+        print()
+        print(decision.render_table(top=5))
+        executed = {r.stage_name for r in run.results if not r.restored and not r.degraded}
+        predicted = sum(s for name, s in decision.predicted_stage_seconds
+                        if name in executed)
+        actual = sum(r.seconds for r in run.results
+                     if r.stage_name in executed)
+        if predicted > 0:
+            error = abs(actual - predicted) / predicted
+            print(f"\npredicted {predicted:.4f} s, actual {actual:.4f} s "
+                  f"(prediction error {error:.0%})")
+        if calibration_dir is not None:
+            print(f"calibration observations appended under {calibration_dir}")
     if run.quarantined:
         for q in run.quarantined:
             print(f"quarantined corrupt checkpoint for stage {q.stage_name!r} "
@@ -381,6 +452,63 @@ def _cmd_run(
             for split in sorted(result.manifest.splits)
         ]
         print(render_table(["split", "samples", "shards"], rows))
+    return 0
+
+
+def _cmd_plan_explain(
+    domain: str,
+    workdir: Optional[Path],
+    seed: int,
+    cluster: str,
+    calibration_dir: Optional[Path],
+    top: Optional[int],
+) -> int:
+    import tempfile
+
+    from repro.domains import (
+        BioArchetype,
+        ClimateArchetype,
+        FusionArchetype,
+        MaterialsArchetype,
+    )
+    from repro.sched import (
+        CalibrationStore,
+        choose_config,
+        estimate_workload,
+        resolve_cluster,
+    )
+
+    classes = {
+        "climate": ClimateArchetype,
+        "fusion": FusionArchetype,
+        "bio": BioArchetype,
+        "materials": MaterialsArchetype,
+    }
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="repro-plan-"))
+    workdir = Path(workdir)
+    source_dir = workdir / "source"
+    source_dir.mkdir(parents=True, exist_ok=True)
+    archetype = classes[domain](seed=seed)
+    source_manifest = archetype.synthesize_source(source_dir)
+    pipeline = archetype.build_pipeline(workdir / "shards")
+    workload = estimate_workload(pipeline.plan, source_manifest)
+    print(section("estimated workload"))
+    print(workload.describe())
+    calibration = None
+    if calibration_dir is not None:
+        calibration = CalibrationStore(calibration_dir)
+        print(f"\ncalibration store: {len(calibration)} observation(s) "
+              f"from {calibration_dir}")
+    spec = resolve_cluster(cluster)
+    decision = choose_config(workload, spec, calibration=calibration)
+    print(section(f"candidate ranking ({cluster})"))
+    print(decision.render_table(top=top))
+    print(f"\n{decision.summary()}")
+    if decision.calibration:
+        factors = ", ".join(f"{s}x{f:.2f}" for s, f in decision.calibration)
+        print(f"calibration factors applied: {factors}")
+    print(f"decision hash: {decision.content_hash()[:16]}")
     return 0
 
 
@@ -595,6 +723,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.workdir,
             args.seed,
             backend=args.backend,
+            plan_mode=args.plan_mode,
+            calibration_dir=args.calibration_dir,
+            cluster=args.cluster,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             events=args.events,
@@ -611,6 +742,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "plan":
+        return _cmd_plan_explain(
+            args.domain,
+            args.workdir,
+            args.seed,
+            args.cluster,
+            args.calibration_dir,
+            args.top,
+        )
     if args.command == "quarantine":
         if args.quarantine_command == "list":
             return _cmd_quarantine_list(args.directory)

@@ -103,12 +103,14 @@ def _shard_metadata(
     dataset: Dataset,
     written_by_ranks: int,
     certificate: Optional[Mapping[str, Any]],
+    schedule: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The manifest metadata block every backend writes identically.
 
-    The readiness certificate key is only present when a gated run
-    supplies one — ungated manifests stay byte-identical to what they
-    were before gates existed.  Must stay in lockstep with
+    The readiness certificate and schedule decision keys are only
+    present when the run supplies them — ungated, fixed-plan manifests
+    stay byte-identical to what they were before either subsystem
+    existed.  Must stay in lockstep with
     :func:`repro.parallel.executor.distributed_shard_write`.
     """
     metadata: Dict[str, Any] = {
@@ -120,6 +122,8 @@ def _shard_metadata(
     }
     if certificate is not None:
         metadata["readiness_certificate"] = dict(certificate)
+    if schedule is not None:
+        metadata["schedule_decision"] = dict(schedule)
     return metadata
 
 
@@ -239,6 +243,7 @@ class ExecutionBackend(abc.ABC):
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
         certificate: Optional[Mapping[str, Any]] = None,
+        schedule: Optional[Mapping[str, Any]] = None,
     ) -> ShardManifest:
         """Export *dataset* as a shard set, parallelising over shard files.
 
@@ -269,7 +274,7 @@ class ExecutionBackend(abc.ABC):
                 for split, rows in by_split.items()
             },
             codec=codec_name,
-            metadata=_shard_metadata(dataset, self.width, certificate),
+            metadata=_shard_metadata(dataset, self.width, certificate, schedule),
         )
         (directory / MANIFEST_NAME).write_text(manifest.to_json())
         return manifest
@@ -390,6 +395,7 @@ class SimSPMDBackend(ExecutionBackend):
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
         certificate: Optional[Mapping[str, Any]] = None,
+        schedule: Optional[Mapping[str, Any]] = None,
     ) -> ShardManifest:
         return distributed_shard_write(
             dataset,
@@ -400,6 +406,7 @@ class SimSPMDBackend(ExecutionBackend):
             codec_name=codec_name,
             codec_level=codec_level,
             certificate=certificate,
+            schedule=schedule,
         )
 
 

@@ -158,6 +158,7 @@ class Pipeline:
         gates: Union[GatePolicy, str, None] = None,
         quarantine_dir: Union[str, Path, None] = None,
         quarantine_store: Optional[QuarantineStore] = None,
+        calibration_store: Any = None,
     ) -> PipelineRunner:
         """A configured :class:`PipelineRunner` for this pipeline's plan."""
         return PipelineRunner(
@@ -175,6 +176,7 @@ class Pipeline:
             gates=gates,
             quarantine_dir=quarantine_dir,
             quarantine_store=quarantine_store,
+            calibration_store=calibration_store,
         )
 
     def run(
@@ -196,6 +198,7 @@ class Pipeline:
         gates: Union[GatePolicy, str, None] = None,
         quarantine_dir: Union[str, Path, None] = None,
         quarantine_store: Optional[QuarantineStore] = None,
+        calibration_store: Any = None,
     ) -> PipelineRun:
         """Execute all stages; provenance is captured per transition.
 
@@ -229,5 +232,6 @@ class Pipeline:
             gates=gates,
             quarantine_dir=quarantine_dir,
             quarantine_store=quarantine_store,
+            calibration_store=calibration_store,
         )
         return runner.run(payload, context, resume=resume)

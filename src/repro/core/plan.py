@@ -40,6 +40,8 @@ from repro.provenance.record import fingerprint_array
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.retry import RetryPolicy
     from repro.gates.contracts import StageContract
+    from repro.sched.decision import ScheduleDecision
+    from repro.sched.estimate import StageCostHint
 
 __all__ = [
     "PipelineError",
@@ -125,6 +127,10 @@ class PipelineStage:
     input_contract: Optional["StageContract"] = None
     #: data contract enforced on the stage's *output* payload
     output_contract: Optional["StageContract"] = None
+    #: cost annotation for the scheduler (see :mod:`repro.sched`): how
+    #: this stage scales its bytes and how much compute it spends.  Like
+    #: the fault policy, planning metadata — excluded from the fingerprint
+    cost: Optional["StageCostHint"] = None
 
     def __post_init__(self) -> None:
         if self.on_error is not None:
@@ -144,6 +150,11 @@ class StagePlan:
 
     name: str
     stages: Tuple[PipelineStage, ...]
+    #: the cost-model decision this plan was scheduled under (see
+    #: :mod:`repro.sched`); None for fixed-config runs.  An execution
+    #: concern, excluded from the fingerprint: scheduling the same plan
+    #: differently must not invalidate its checkpoints
+    schedule: Optional["ScheduleDecision"] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "stages", tuple(self.stages))
@@ -165,6 +176,10 @@ class StagePlan:
     def build(cls, name: str, stages: Sequence[PipelineStage]) -> "StagePlan":
         """Validated construction from any stage sequence."""
         return cls(name=name, stages=tuple(stages))
+
+    def with_schedule(self, decision: Optional["ScheduleDecision"]) -> "StagePlan":
+        """The same plan carrying (or shedding) a schedule decision."""
+        return dataclasses.replace(self, schedule=decision)
 
     # -- introspection -----------------------------------------------------------
     def __len__(self) -> int:

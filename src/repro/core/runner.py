@@ -47,7 +47,18 @@ import os
 import pickle
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.backends import ExecutionBackend, get_backend
 from repro.core.evidence import EvidenceKind, ReadinessEvidence
@@ -69,6 +80,10 @@ from repro.obs.tracing import Span, SpanStatus
 from repro.provenance.graph import LineageGraph
 from repro.provenance.record import ProvenanceRecord
 from repro.provenance.store import ProvenanceStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.calibrate import CalibrationStore
+    from repro.sched.decision import ScheduleDecision
 
 import enum
 
@@ -115,6 +130,21 @@ class PipelineContext:
         self.current_span: Optional[Span] = None
         #: gate verdicts accumulated by a gated run, in evaluation order
         self.gate_reports: List[GateReport] = []
+        #: the cost-model decision this run executes under (set by a
+        #: PipelineRunner from plan.schedule; None for fixed-config runs)
+        self.schedule_decision: Optional["ScheduleDecision"] = None
+
+    def schedule_record(self) -> Optional[Dict[str, Any]]:
+        """The run's schedule decision as a manifest-embeddable dict.
+
+        None for fixed-config runs, so shard stages can attach it
+        unconditionally (``schedule=ctx.schedule_record()``) without
+        changing unscheduled manifests by a byte — the same contract as
+        :meth:`readiness_certificate`.
+        """
+        if self.schedule_decision is None:
+            return None
+        return self.schedule_decision.to_dict()
 
     def readiness_certificate(self) -> Optional[Dict[str, Any]]:
         """The readiness certificate of the gates evaluated so far.
@@ -205,6 +235,7 @@ class RunEventKind(enum.Enum):
     """What happened, for structured run logs."""
 
     RUN_STARTED = "run-started"
+    RUN_SCHEDULED = "run-scheduled"
     STAGE_STARTED = "stage-started"
     STAGE_COMPLETED = "stage-completed"
     STAGE_FAILED = "stage-failed"
@@ -672,6 +703,7 @@ class PipelineRunner:
         gates: Union[GatePolicy, str, None] = None,
         quarantine_dir: Union[str, Path, None] = None,
         quarantine_store: Optional[QuarantineStore] = None,
+        calibration_store: Optional["CalibrationStore"] = None,
     ):
         self.plan = plan
         self.backend = get_backend(backend)
@@ -706,6 +738,9 @@ class PipelineRunner:
         if quarantine_store is None and quarantine_dir is not None:
             quarantine_store = QuarantineStore(quarantine_dir)
         self.quarantine_store = quarantine_store
+        #: where a scheduled run's predicted-vs-actual stage seconds are
+        #: recorded (see :mod:`repro.sched.calibrate`); None = no feedback
+        self.calibration_store = calibration_store
 
     def _stage_policy(
         self, stage: PipelineStage
@@ -804,6 +839,8 @@ class PipelineRunner:
         context = context or PipelineContext(agent=self.plan.name)
         telemetry = self.telemetry
         context.telemetry = telemetry
+        decision = self.plan.schedule
+        context.schedule_decision = decision
         events: List[RunEvent] = []
         results: List[StageResult] = []
         dead_letters = DeadLetterLog()
@@ -849,6 +886,15 @@ class PipelineRunner:
                 backend=self.backend.name,
                 stages=len(self.plan.stages),
             )
+            if decision is not None:
+                run_span.set_attributes(
+                    schedule_mode=decision.mode,
+                    schedule_config=decision.chosen.label(),
+                    schedule_predicted_s=decision.predicted_seconds,
+                    schedule_candidates=len(decision.candidates),
+                    schedule_cluster=decision.cluster,
+                    schedule_hash=decision.content_hash()[:12],
+                )
         context.backend = backend
 
         self._emit(
@@ -860,6 +906,20 @@ class PipelineRunner:
         context.audit.record(
             context.agent, "run-started", self.plan.name, backend=self.backend.name
         )
+        if decision is not None:
+            self._emit(
+                events,
+                RunEventKind.RUN_SCHEDULED,
+                fingerprint=decision.content_hash(),
+                detail=decision.summary(),
+            )
+            context.audit.record(
+                context.agent,
+                "run-scheduled",
+                self.plan.name,
+                mode=decision.mode,
+                config=decision.chosen.label(),
+            )
         for q in quarantined:
             self._emit(
                 events,
@@ -1435,6 +1495,39 @@ class PipelineRunner:
             prev_fp = out_fp
 
         degraded_stages = [r.stage_name for r in results if r.degraded]
+        if decision is not None:
+            # close the predict -> run -> calibrate loop: measured stage
+            # seconds flow back into the calibration store, and the run's
+            # prediction error becomes a first-class metric
+            from repro.sched.calibrate import record_outcome
+
+            stage_errors = record_outcome(decision, results, self.calibration_store)
+            executed = [r for r in results if not r.restored and not r.degraded]
+            predicted_total = sum(
+                sec
+                for name, sec in decision.predicted_stage_seconds
+                if name in {r.stage_name for r in executed}
+            )
+            actual_total = sum(r.seconds for r in executed)
+            run_error = (
+                abs(actual_total - predicted_total) / predicted_total
+                if predicted_total > 0
+                else 0.0
+            )
+            if telemetry is not None:
+                telemetry.metrics.gauge(
+                    "schedule_prediction_error", pipeline=self.plan.name
+                ).set(run_error)
+                for stage_name, err in stage_errors.items():
+                    telemetry.metrics.gauge(
+                        "schedule_prediction_error",
+                        pipeline=self.plan.name,
+                        stage=stage_name,
+                    ).set(err)
+                run_span.set_attributes(
+                    schedule_actual_s=actual_total,
+                    schedule_prediction_error=run_error,
+                )
         if telemetry is not None:
             run_span.set_attributes(
                 stages_executed=len(self.plan.stages) - start_index,

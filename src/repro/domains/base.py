@@ -22,7 +22,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.core.assessment import ReadinessAssessment, ReadinessAssessor
 from repro.core.dataset import Dataset
@@ -31,6 +31,9 @@ from repro.core.pipeline import Pipeline, PipelineContext, PipelineRun
 from repro.faults import Clock, FaultInjector, RetryPolicy
 from repro.io.shards import ShardManifest
 from repro.obs import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched import CalibrationStore, ScheduleDecision
 
 __all__ = ["ArchetypeResult", "DomainArchetype"]
 
@@ -45,6 +48,7 @@ class ArchetypeResult:
     manifest: Optional[ShardManifest]
     assessment: ReadinessAssessment
     detected_challenges: List[str]
+    schedule: Optional["ScheduleDecision"] = None
 
     @property
     def readiness_level(self) -> int:
@@ -121,6 +125,10 @@ class DomainArchetype(abc.ABC):
         fault_clock: Optional["Clock"] = None,
         gates: Any = None,
         quarantine_dir: Union[str, Path, None] = None,
+        plan_mode: str = "fixed",
+        calibration_store: Optional["CalibrationStore"] = None,
+        calibration_dir: Union[str, Path, None] = None,
+        cluster: Any = None,
     ) -> ArchetypeResult:
         """Synthesize a source, run the pipeline, assess, detect challenges.
 
@@ -136,6 +144,19 @@ class DomainArchetype(abc.ABC):
         against the contracts the domain pipeline declares, with
         quarantined records persisted under ``quarantine_dir`` (see
         :mod:`repro.gates`).
+
+        ``plan_mode="auto"`` closes the cost-model loop (see
+        :mod:`repro.sched`): the plan's workload is estimated from the
+        synthesized source, every (backend x workers x stripe x batch)
+        candidate is priced through the scaling model, and the
+        predicted-fastest feasible configuration is executed — the
+        resulting :class:`~repro.sched.ScheduleDecision` rides in the run
+        events, spans, and shard manifest.  ``calibration_store`` (or
+        ``calibration_dir``) feeds observed stage timings back into the
+        next prediction; ``cluster`` names the modelled machine
+        (``"workstation"``/``"commodity"``/``"leadership"`` or a
+        :class:`~repro.parallel.cluster.ClusterSpec`).  An explicit
+        ``backend=`` always wins over the chooser.
         """
         work_dir = Path(work_dir)
         source_dir = work_dir / "source"
@@ -143,6 +164,30 @@ class DomainArchetype(abc.ABC):
         source_dir.mkdir(parents=True, exist_ok=True)
         source_manifest = self.synthesize_source(source_dir, **(source_params or {}))
         pipeline = self.build_pipeline(output_dir, **(pipeline_options or {}))
+        decision: Optional["ScheduleDecision"] = None
+        if plan_mode not in ("fixed", "auto"):
+            raise ValueError(f"unknown plan_mode {plan_mode!r} (use 'fixed' or 'auto')")
+        if calibration_store is None and calibration_dir is not None:
+            from repro.sched import CalibrationStore
+
+            calibration_store = CalibrationStore(calibration_dir)
+        if plan_mode == "auto":
+            from repro.sched import (
+                build_backend,
+                choose_config,
+                estimate_workload,
+                resolve_cluster,
+            )
+
+            workload = estimate_workload(pipeline.plan, source_manifest)
+            decision = choose_config(
+                workload,
+                resolve_cluster(cluster),
+                calibration=calibration_store,
+            )
+            pipeline.plan = pipeline.plan.with_schedule(decision)
+            if backend is None:
+                backend = build_backend(decision)
         context = PipelineContext(agent=f"{self.domain}-pipeline")
         run = pipeline.run(
             source_manifest,
@@ -158,6 +203,7 @@ class DomainArchetype(abc.ABC):
             fault_clock=fault_clock,
             gates=gates,
             quarantine_dir=quarantine_dir,
+            calibration_store=calibration_store,
         )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):
@@ -174,4 +220,5 @@ class DomainArchetype(abc.ABC):
             manifest=manifest if isinstance(manifest, ShardManifest) else None,
             assessment=assessment,
             detected_challenges=challenges,
+            schedule=decision,
         )

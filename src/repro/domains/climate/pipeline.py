@@ -45,6 +45,7 @@ from repro.domains.climate.synthetic import (
 from repro.gates import ColumnCheck, DriftCheck, StageContract
 from repro.io.grib import read_grib
 from repro.io.netcdf import read_netcdf
+from repro.sched import StageCostHint
 from repro.quality.validation import check_finite, check_monotonic
 from repro.transforms.cleaning import UnitConverter
 from repro.transforms.normalize import ZScoreNormalizer
@@ -441,6 +442,7 @@ class ClimateArchetype(DomainArchetype):
             codec_name="zlib",
             codec_level=3,
             certificate=ctx.readiness_certificate(),
+            schedule=ctx.schedule_record(),
         )
         ctx.add_artifact("manifest", manifest)
         ctx.record(
@@ -462,19 +464,32 @@ class ClimateArchetype(DomainArchetype):
                 PipelineStage("download", DataProcessingStage.INGEST, self._ingest,
                               description="decode NetCDF-like + GRIB-like sources",
                               on_error=OnError.RETRY,
-                              output_contract=CONTRACTS[("download", "output")]),
+                              output_contract=CONTRACTS[("download", "output")],
+                              cost=StageCostHint(reads_source=True,
+                                                 compute_passes=1.0)),
                 PipelineStage("regrid", DataProcessingStage.PREPROCESS, self._regrid,
                               params={"target": self.target_grid.shape},
-                              parallelism=Parallelism.MAP),
+                              parallelism=Parallelism.MAP,
+                              # remap weights + apply; output shrinks onto
+                              # the coarse target grid
+                              cost=StageCostHint(output_ratio=0.5,
+                                                 compute_passes=2.0)),
                 PipelineStage("normalize", DataProcessingStage.TRANSFORM, self._normalize,
                               params={"method": "zscore", "ranks": self.n_ranks},
-                              parallelism=Parallelism.REDUCE),
+                              parallelism=Parallelism.REDUCE,
+                              # Welford pass + transform pass
+                              cost=StageCostHint(compute_passes=2.0)),
                 PipelineStage("stack", DataProcessingStage.STRUCTURE, self._structure,
-                              output_contract=CONTRACTS[("stack", "output")]),
+                              output_contract=CONTRACTS[("stack", "output")],
+                              # float64 -> float32 tensors, extras dropped
+                              cost=StageCostHint(output_ratio=0.5)),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"codec": "zlib"},
                               parallelism=Parallelism.WRITE,
-                              on_error=OnError.RETRY),
+                              on_error=OnError.RETRY,
+                              # zlib level 3 on float tensors
+                              cost=StageCostHint(output_ratio=0.6,
+                                                 writes_shards=True)),
             ],
         )
 

@@ -44,6 +44,7 @@ from repro.domains.fusion.synthetic import (
 from repro.gates import ColumnCheck, StageContract
 from repro.io.tfrecord import Example, TFRecordWriter
 from repro.parallel.stats import RunningMoments
+from repro.sched import StageCostHint
 from repro.quality.metrics import noise_estimate
 from repro.transforms.align import Signal, align_signals, window_series
 from repro.transforms.label import UNLABELED, labeled_fraction, pseudo_label
@@ -403,6 +404,7 @@ class FusionArchetype(DomainArchetype):
             codec_name="zlib",
             codec_level=2,
             certificate=ctx.readiness_certificate(),
+            schedule=ctx.schedule_record(),
         )
         # TFRecord export (the archetype's declared format)
         tf_dir = self._output_dir / "tfrecord"
@@ -441,19 +443,32 @@ class FusionArchetype(DomainArchetype):
                 PipelineStage("extract", DataProcessingStage.INGEST, self._extract,
                               description="shot-level reads from the MDSplus-like store",
                               on_error=OnError.RETRY,
-                              output_contract=CONTRACTS[("extract", "output")]),
+                              output_contract=CONTRACTS[("extract", "output")],
+                              cost=StageCostHint(reads_source=True)),
                 PipelineStage("align", DataProcessingStage.PREPROCESS, self._align,
                               params={"dt": self.dt},
-                              parallelism=Parallelism.MAP),
+                              parallelism=Parallelism.MAP,
+                              # resampling onto the common base grows the
+                              # slow channels
+                              cost=StageCostHint(output_ratio=1.5,
+                                                 compute_passes=2.0)),
                 PipelineStage("normalize", DataProcessingStage.TRANSFORM, self._normalize,
-                              parallelism=Parallelism.REDUCE),
+                              parallelism=Parallelism.REDUCE,
+                              # per-shot partials + transform pass
+                              cost=StageCostHint(compute_passes=2.0)),
                 PipelineStage("window", DataProcessingStage.STRUCTURE, self._window,
                               params={"window": self.window, "stride": self.stride},
-                              output_contract=CONTRACTS[("window", "output")]),
+                              output_contract=CONTRACTS[("window", "output")],
+                              # float32 windows + features; unresolved dropped
+                              cost=StageCostHint(output_ratio=0.6,
+                                                 compute_passes=2.0)),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"formats": ["rps", "tfrecord"]},
                               parallelism=Parallelism.WRITE,
-                              on_error=OnError.RETRY),
+                              on_error=OnError.RETRY,
+                              # zlib shards + TFRecord duplicate export
+                              cost=StageCostHint(output_ratio=1.2,
+                                                 writes_shards=True)),
             ],
         )
 

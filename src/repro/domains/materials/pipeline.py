@@ -52,6 +52,7 @@ from repro.domains.materials.synthetic import (
 from repro.gates import ColumnCheck, StageContract
 from repro.io.adios import BPWriter
 from repro.quality.metrics import imbalance_ratio
+from repro.sched import StageCostHint
 from repro.transforms.augment import smote_like
 from repro.transforms.normalize import ZScoreNormalizer
 from repro.transforms.split import SplitSpec, stratified_split
@@ -360,6 +361,7 @@ class MaterialsArchetype(DomainArchetype):
             codec_name="zlib",
             codec_level=2,
             certificate=ctx.readiness_certificate(),
+            schedule=ctx.schedule_record(),
         )
         # ADIOS-like export: one step per structure (HydraGNN's write pattern)
         bp_path = self._output_dir / "graphs.bp"
@@ -398,17 +400,29 @@ class MaterialsArchetype(DomainArchetype):
             [
                 PipelineStage("parse", DataProcessingStage.INGEST, self._parse,
                               on_error=OnError.RETRY,
-                              output_contract=CONTRACTS[("parse", "output")]),
-                PipelineStage("normalize", DataProcessingStage.PREPROCESS, self._normalize),
+                              output_contract=CONTRACTS[("parse", "output")],
+                              # binary arrays are denser than the JSON text
+                              cost=StageCostHint(reads_source=True,
+                                                 output_ratio=0.7)),
+                PipelineStage("normalize", DataProcessingStage.PREPROCESS, self._normalize,
+                              cost=StageCostHint(compute_passes=2.0)),
                 PipelineStage("encode", DataProcessingStage.TRANSFORM, self._encode,
-                              parallelism=Parallelism.MAP),
+                              parallelism=Parallelism.MAP,
+                              # neighbor search dominates; graphs add edges
+                              cost=StageCostHint(output_ratio=1.3,
+                                                 compute_passes=3.0)),
                 PipelineStage("graph", DataProcessingStage.STRUCTURE, self._structure,
                               params={"oversample_to_ratio": self.oversample_to_ratio},
-                              output_contract=CONTRACTS[("graph", "output")]),
+                              output_contract=CONTRACTS[("graph", "output")],
+                              # graphs collapse to fixed descriptors
+                              cost=StageCostHint(output_ratio=0.2)),
                 PipelineStage("shard", DataProcessingStage.SHARD, self._shard,
                               params={"formats": ["rps", "adios-like"]},
                               parallelism=Parallelism.WRITE,
-                              on_error=OnError.RETRY),
+                              on_error=OnError.RETRY,
+                              # zlib shards + ADIOS-like graph container
+                              cost=StageCostHint(output_ratio=1.1,
+                                                 writes_shards=True)),
             ],
         )
 

@@ -301,6 +301,7 @@ class FaultInjectingBackend(ExecutionBackend):
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
         certificate: Optional[Mapping[str, Any]] = None,
+        schedule: Optional[Mapping[str, Any]] = None,
     ) -> Any:
         site = self.injector.next_op("shard_write")
         table = _shard_table(splits, shards_per_split)
@@ -321,6 +322,7 @@ class FaultInjectingBackend(ExecutionBackend):
             codec_name=codec_name,
             codec_level=codec_level,
             certificate=certificate,
+            schedule=schedule,
         )
 
     def describe(self) -> str:

@@ -153,6 +153,7 @@ class InstrumentedBackend(ExecutionBackend):
         codec_name: str = "raw",
         codec_level: Optional[int] = None,
         certificate: Optional[Mapping[str, Any]] = None,
+        schedule: Optional[Mapping[str, Any]] = None,
     ) -> "ShardManifest":
         # logical task count == the global shard table every backend cuts
         n_shards = len(_shard_table(splits, shards_per_split))
@@ -172,6 +173,7 @@ class InstrumentedBackend(ExecutionBackend):
                 codec_name=codec_name,
                 codec_level=codec_level,
                 certificate=certificate,
+                schedule=schedule,
             )
             op_span.set_attributes(
                 shards=manifest.n_shards,

@@ -111,11 +111,12 @@ def _manifest_metadata(
     dataset: Dataset,
     written_by_ranks: int,
     certificate: Optional[Mapping[str, Any]],
+    schedule: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Manifest metadata block — must stay in lockstep with
     ``repro.core.backends._shard_metadata`` so all backends write
-    byte-identical manifests (the certificate key only appears when a
-    gated run supplies one)."""
+    byte-identical manifests (the certificate and schedule-decision keys
+    only appear when the run supplies them)."""
     metadata: Dict[str, Any] = {
         "domain": dataset.metadata.domain,
         "source": dataset.metadata.source,
@@ -125,6 +126,8 @@ def _manifest_metadata(
     }
     if certificate is not None:
         metadata["readiness_certificate"] = dict(certificate)
+    if schedule is not None:
+        metadata["schedule_decision"] = dict(schedule)
     return metadata
 
 
@@ -138,6 +141,7 @@ def distributed_shard_write(
     codec_name: str = "raw",
     codec_level: Optional[int] = None,
     certificate: Optional[Mapping[str, Any]] = None,
+    schedule: Optional[Mapping[str, Any]] = None,
 ) -> ShardManifest:
     """Parallel shard export: shards are distributed cyclically over ranks.
 
@@ -183,7 +187,7 @@ def distributed_shard_write(
                 for split, rows in by_split.items()
             },
             codec=codec_name,
-            metadata=_manifest_metadata(dataset, comm.size, certificate),
+            metadata=_manifest_metadata(dataset, comm.size, certificate, schedule),
         )
         (directory / MANIFEST_NAME).write_text(manifest.to_json())
         return manifest

@@ -1,0 +1,60 @@
+"""Cost-model-driven scheduling: the simulator picks the plan.
+
+The paper's Section 2.2 cost model (:mod:`repro.parallel.simulate`,
+:mod:`repro.parallel.filesystem`) stops being an inert faithfulness
+device here and becomes a production scheduling component.  The loop:
+
+1. **estimate** (:mod:`repro.sched.estimate`) — derive a per-stage
+   workload description from the plan plus domain payload-size hints;
+2. **choose** (:mod:`repro.sched.chooser`) — sweep candidate
+   configurations (backend × workers × stripe count × batch size)
+   through :class:`~repro.parallel.simulate.PipelineScalingModel` and
+   pick the predicted-fastest feasible one;
+3. **run** — the runner executes under the chosen config, records the
+   :class:`~repro.sched.decision.ScheduleDecision` in run events, span
+   attributes, and the shard manifest, and emits the
+   ``schedule_prediction_error`` metric;
+4. **calibrate** (:mod:`repro.sched.calibrate`) — predicted vs actual
+   ``stage_seconds`` feed per-(pipeline, stage) correction factors that
+   deterministically sharpen the next run's predictions.
+
+The bitwise-parity contract is preserved by construction: the chooser
+selects *which* backend executes (and at what width), while stripe count
+and batch size are model-advisory — they shape predictions and are
+recorded in the decision, but never change what bytes a backend writes.
+"""
+
+from repro.sched.calibrate import CALIBRATION_NAME, CalibrationStore, record_outcome
+from repro.sched.chooser import (
+    CandidateConfig,
+    CandidateEvaluation,
+    build_backend,
+    choose_config,
+    enumerate_candidates,
+    resolve_cluster,
+)
+from repro.sched.decision import SCHEDULE_SCHEMA, ScheduleDecision
+from repro.sched.estimate import (
+    PlanWorkload,
+    StageCostHint,
+    estimate_workload,
+    source_nbytes,
+)
+
+__all__ = [
+    "CALIBRATION_NAME",
+    "CalibrationStore",
+    "CandidateConfig",
+    "CandidateEvaluation",
+    "PlanWorkload",
+    "SCHEDULE_SCHEMA",
+    "ScheduleDecision",
+    "StageCostHint",
+    "build_backend",
+    "choose_config",
+    "enumerate_candidates",
+    "estimate_workload",
+    "record_outcome",
+    "resolve_cluster",
+    "source_nbytes",
+]

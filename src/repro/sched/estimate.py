@@ -1,0 +1,203 @@
+"""Workload estimation: from a plan + payload to per-stage byte flows.
+
+The chooser cannot sweep a configuration space without knowing how many
+bytes each stage moves.  This module derives that from three sources:
+
+* the **payload** — :func:`source_nbytes` sizes the run's input, summing
+  real on-disk source files when the payload is a path-bearing manifest
+  (the archetype case) and falling back to
+  :func:`repro.obs.resources.payload_nbytes` for in-memory payloads;
+* the **plan** — stage order and :class:`~repro.core.plan.Parallelism`
+  hints say which stages fan out, reduce, or write;
+* per-stage :class:`StageCostHint` annotations — domain pipelines
+  declare how each stage scales its bytes (a regrid shrinks them, a
+  zlib shard write compresses them) and how many compute passes it
+  makes.
+
+Hints are advisory planning metadata: like retry policies, they are
+*execution* concerns excluded from the plan fingerprint, so annotating
+a pipeline never invalidates its checkpoints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Tuple
+
+from repro.core.plan import Parallelism, StagePlan
+from repro.obs.resources import payload_items, payload_nbytes
+from repro.parallel.simulate import StageWorkload
+
+__all__ = [
+    "StageCostHint",
+    "PlanWorkload",
+    "estimate_workload",
+    "source_nbytes",
+]
+
+#: floor for estimated input bytes — an empty-looking payload must not
+#: collapse every candidate to zero predicted seconds
+_MIN_INPUT_BYTES = 1024.0
+
+_MAX_WALK_DEPTH = 6
+
+
+@dataclasses.dataclass(frozen=True)
+class StageCostHint:
+    """A domain pipeline's cost annotation for one stage.
+
+    Attributes
+    ----------
+    output_ratio:
+        ``output_bytes / input_bytes`` for this stage (0.5 for a stage
+        that halves its data — coarser grid, compression — 1.0 for a
+        pure transform).
+    compute_passes:
+        How many times the stage's input bytes flow through a transform.
+    reads_source / writes_shards:
+        Override whether the stage moves bytes through the filesystem
+        model; ``None`` infers it (first stage reads, ``WRITE`` stages
+        write).
+    serial_fraction:
+        The stage's Amdahl term (manifest assembly, metadata merges).
+    """
+
+    output_ratio: float = 1.0
+    compute_passes: float = 1.0
+    reads_source: Optional[bool] = None
+    writes_shards: Optional[bool] = None
+    serial_fraction: float = 1e-4
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanWorkload:
+    """The sized, per-stage workload the chooser sweeps."""
+
+    pipeline: str
+    input_bytes: float
+    items: int
+    stages: Tuple[StageWorkload, ...]
+
+    @property
+    def total_compute_bytes(self) -> float:
+        return sum(s.input_bytes * s.compute_passes for s in self.stages)
+
+    def fingerprint(self) -> str:
+        """Content hash of the sized stage table (decision provenance)."""
+        blob = {
+            "pipeline": self.pipeline,
+            "input_bytes": self.input_bytes,
+            "items": self.items,
+            "stages": [
+                {
+                    "name": s.name,
+                    "input_bytes": s.input_bytes,
+                    "output_bytes": s.output_bytes,
+                    "compute_passes": s.compute_passes,
+                    "parallelism": s.parallelism,
+                    "reads_source": s.reads_source,
+                    "writes_shards": s.writes_shards,
+                }
+                for s in self.stages
+            ],
+        }
+        encoded = json.dumps(blob, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+    def describe(self) -> str:
+        """Aligned text table of the per-stage byte flow."""
+        lines = [
+            f"{'stage':<16} {'parallelism':<12} {'in bytes':>14} {'out bytes':>14} "
+            f"{'passes':>7}  io"
+        ]
+        for s in self.stages:
+            io = []
+            if s.reads_source:
+                io.append("read")
+            if s.writes_shards:
+                io.append("write")
+            lines.append(
+                f"{s.name:<16} {s.parallelism:<12} {s.input_bytes:>14.0f} "
+                f"{s.output_bytes:>14.0f} {s.compute_passes:>7.2f}  "
+                f"{'+'.join(io) or '-'}"
+            )
+        return "\n".join(lines)
+
+
+def source_nbytes(payload: Any) -> int:
+    """Byte size of a run's input payload.
+
+    Path-bearing manifests (the archetype source manifests: dicts and
+    lists of file-path strings) are sized by summing the referenced
+    files on disk; anything else falls back to the in-memory content
+    estimate of :func:`payload_nbytes`.
+    """
+    on_disk = _walk_paths(payload, 0)
+    if on_disk > 0:
+        return on_disk
+    return payload_nbytes(payload)
+
+
+def _walk_paths(payload: Any, depth: int) -> int:
+    if depth > _MAX_WALK_DEPTH or payload is None:
+        return 0
+    if isinstance(payload, (str, Path)):
+        try:
+            path = Path(payload)
+            if path.is_file():
+                return path.stat().st_size
+        except (OSError, ValueError):
+            return 0
+        return 0
+    if isinstance(payload, Mapping):
+        return sum(_walk_paths(v, depth + 1) for v in payload.values())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(_walk_paths(item, depth + 1) for item in payload)
+    return 0
+
+
+def estimate_workload(plan: StagePlan, payload: Any) -> PlanWorkload:
+    """Size every stage of *plan* for the run starting from *payload*.
+
+    Bytes chain stage to stage: each stage's input is its predecessor's
+    output, scaled by the stage's :class:`StageCostHint` (identity when
+    a stage carries no hint).  The first stage is assumed to read its
+    input from source storage; stages with the ``WRITE`` parallelism
+    hint write theirs through the filesystem model.
+    """
+    input_bytes = float(max(source_nbytes(payload), _MIN_INPUT_BYTES))
+    items = max(payload_items(payload), 1)
+    stages: List[StageWorkload] = []
+    bytes_in = input_bytes
+    for index, stage in enumerate(plan.stages):
+        hint = stage.cost or StageCostHint()
+        bytes_out = bytes_in * hint.output_ratio
+        reads = hint.reads_source if hint.reads_source is not None else index == 0
+        writes = (
+            hint.writes_shards
+            if hint.writes_shards is not None
+            else stage.parallelism is Parallelism.WRITE
+        )
+        stages.append(
+            StageWorkload(
+                name=stage.name,
+                input_bytes=bytes_in,
+                output_bytes=bytes_out,
+                compute_passes=hint.compute_passes,
+                parallelism=stage.parallelism.value,
+                items=items,
+                reads_source=reads,
+                writes_shards=writes,
+                serial_fraction=hint.serial_fraction,
+            )
+        )
+        bytes_in = bytes_out
+    return PlanWorkload(
+        pipeline=plan.name,
+        input_bytes=input_bytes,
+        items=items,
+        stages=tuple(stages),
+    )

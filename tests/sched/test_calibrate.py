@@ -1,0 +1,96 @@
+"""Calibration store: persistence, dedupe, factors, outcome recording."""
+
+import json
+import math
+
+from repro.sched import CALIBRATION_NAME, CalibrationStore
+from repro.sched.calibrate import record_outcome
+from repro.sched.decision import CandidateConfig, ScheduleDecision
+
+
+def _decision(stage_predictions):
+    return ScheduleDecision(
+        pipeline="demo",
+        mode="auto",
+        chosen=CandidateConfig("serial", 1, 1, 256),
+        predicted_seconds=sum(s for _, s in stage_predictions),
+        predicted_stage_seconds=tuple(stage_predictions),
+        candidates=(),
+        calibration=(),
+        workload_fingerprint="f" * 64,
+        cluster="workstation",
+    )
+
+
+class _Result:
+    def __init__(self, stage_name, seconds, restored=False, degraded=False):
+        self.stage_name = stage_name
+        self.seconds = seconds
+        self.restored = restored
+        self.degraded = degraded
+
+
+def test_roundtrip_through_disk(tmp_path):
+    """A reloaded store reproduces the original factors exactly."""
+    store = CalibrationStore(tmp_path)
+    assert store.observe("demo", "ingest", 1.0, 2.0)
+    assert store.observe("demo", "ingest", 1.0, 8.0)
+    assert store.observe("demo", "shard", 2.0, 1.0)
+    reloaded = CalibrationStore(tmp_path)
+    assert len(reloaded) == 3
+    assert reloaded.factor("demo", "ingest") == store.factor("demo", "ingest")
+    assert reloaded.factors("demo") == store.factors("demo")
+    # geometric mean of 2.0 and 8.0 is 4.0
+    assert math.isclose(reloaded.factor("demo", "ingest"), 4.0)
+    assert math.isclose(reloaded.factor("demo", "shard"), 0.5)
+
+
+def test_duplicate_observations_are_idempotent(tmp_path):
+    store = CalibrationStore(tmp_path)
+    assert store.observe("demo", "ingest", 1.0, 2.0)
+    assert not store.observe("demo", "ingest", 1.0, 2.0)
+    assert len(store) == 1
+    # the JSONL holds exactly one content-addressed entry
+    rows = [
+        json.loads(line)
+        for line in (tmp_path / CALIBRATION_NAME).read_text().splitlines()
+    ]
+    assert len(rows) == 1
+    assert "entry" in rows[0]
+    # and no wall-clock timestamps anywhere in the persisted record
+    assert not any("time" in k or "stamp" in k for k in rows[0])
+
+
+def test_unknown_stage_factor_is_identity():
+    store = CalibrationStore()
+    assert store.factor("demo", "never-seen") == 1.0
+
+
+def test_factors_are_clamped():
+    store = CalibrationStore()
+    store.observe("demo", "wild", 1e-6, 10.0)
+    store.observe("demo", "tame", 10.0, 1e-6)
+    assert store.factor("demo", "wild") == 1e2
+    assert store.factor("demo", "tame") == 1e-2
+
+
+def test_record_outcome_skips_restored_and_degraded():
+    store = CalibrationStore()
+    decision = _decision([("a", 1.0), ("b", 1.0), ("c", 1.0)])
+    results = [
+        _Result("a", 2.0),
+        _Result("b", 5.0, restored=True),
+        _Result("c", 5.0, degraded=True),
+        _Result("unplanned", 1.0),
+    ]
+    errors = record_outcome(decision, results, store)
+    assert set(errors) == {"a"}
+    assert math.isclose(errors["a"], 1.0)
+    assert len(store) == 1
+    assert math.isclose(store.factor("demo", "a"), 2.0)
+
+
+def test_record_outcome_tolerates_missing_store():
+    decision = _decision([("a", 2.0)])
+    errors = record_outcome(decision, [_Result("a", 1.0)], None)
+    assert math.isclose(errors["a"], 0.5)

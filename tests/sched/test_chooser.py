@@ -1,0 +1,173 @@
+"""Candidate sweep and choice: determinism, calibration, fallbacks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.backends import SerialBackend, SimSPMDBackend, ThreadedBackend
+from repro.core.levels import DataProcessingStage
+from repro.core.plan import Parallelism, PipelineStage, StagePlan
+from repro.parallel.cluster import leadership_system, workstation
+from repro.sched import (
+    CalibrationStore,
+    CandidateConfig,
+    ScheduleDecision,
+    StageCostHint,
+    build_backend,
+    choose_config,
+    enumerate_candidates,
+    estimate_workload,
+    resolve_cluster,
+)
+
+
+def _noop(payload, ctx):
+    return payload
+
+
+def _workload(nbytes=4_000_000):
+    plan = StagePlan.build(
+        "demo",
+        [
+            PipelineStage("ingest", DataProcessingStage.INGEST, _noop),
+            PipelineStage("map", DataProcessingStage.PREPROCESS, _noop,
+                          parallelism=Parallelism.MAP,
+                          cost=StageCostHint(compute_passes=2.0)),
+            PipelineStage("write", DataProcessingStage.SHARD, _noop,
+                          parallelism=Parallelism.WRITE),
+        ],
+    )
+    return estimate_workload(plan, {"x": np.zeros(nbytes, dtype=np.uint8)})
+
+
+def test_grid_covers_backends_widths_stripes_batches():
+    grid = enumerate_candidates(leadership_system())
+    backends = {c.backend for c in grid}
+    assert backends == {"serial", "threaded", "simspmd"}
+    assert {c.workers for c in grid if c.backend == "serial"} == {1}
+    assert len({c.stripe_count for c in grid}) >= 2
+    assert len({c.batch_records for c in grid}) == 2
+    # deterministic enumeration order
+    assert [c.label() for c in grid] == [
+        c.label() for c in enumerate_candidates(leadership_system())
+    ]
+
+
+def test_widths_clamped_to_cluster_capacity():
+    ws = workstation()
+    assert all(c.workers <= ws.max_ranks for c in enumerate_candidates(ws))
+
+
+def test_decision_is_byte_deterministic():
+    """Same workload + same calibration state => byte-identical decisions."""
+    store = CalibrationStore()
+    store.observe("demo", "map", 1.0, 3.0)
+    blobs = set()
+    for _ in range(3):
+        decision = choose_config(_workload(), workstation(), calibration=store)
+        blobs.add(json.dumps(decision.to_dict(), sort_keys=True))
+    assert len(blobs) == 1
+
+
+def test_empty_store_equals_no_store():
+    """A cold calibration store must not perturb the decision bytes."""
+    bare = choose_config(_workload(), workstation())
+    cold = choose_config(_workload(), workstation(), calibration=CalibrationStore())
+    assert bare.content_hash() == cold.content_hash()
+    assert bare.calibration == ()
+
+
+def test_chooses_predicted_fastest_feasible():
+    decision = choose_config(_workload(), workstation())
+    assert decision.mode == "auto"
+    feasible = [c for c in decision.candidates if c.feasible]
+    assert feasible
+    assert decision.predicted_seconds == min(c.predicted_seconds for c in feasible)
+    assert decision.chosen in {c.config for c in feasible}
+
+
+def test_calibration_changes_the_prediction():
+    baseline = choose_config(_workload(), workstation())
+    store = CalibrationStore()
+    store.observe("demo", "map", 1.0, 10.0)
+    calibrated = choose_config(_workload(), workstation(), calibration=store)
+    assert calibrated.predicted_seconds != baseline.predicted_seconds
+    factors = dict(calibrated.calibration)
+    assert factors["map"] == pytest.approx(10.0)
+    assert calibrated.content_hash() != baseline.content_hash()
+
+
+def test_estimation_failure_falls_back_to_serial():
+    """A raising workload yields a serial fallback, never an exception."""
+
+    class ExplodingWorkload:
+        pipeline = "demo"
+
+        @property
+        def stages(self):
+            raise RuntimeError("boom")
+
+        def fingerprint(self):
+            raise RuntimeError("boom")
+
+    decision = choose_config(ExplodingWorkload(), workstation())
+    assert decision.mode == "fallback"
+    assert decision.chosen == CandidateConfig("serial", 1, 1, 256)
+    assert "boom" in decision.reason
+    assert isinstance(build_backend(decision), SerialBackend)
+
+
+def test_per_candidate_failure_marks_infeasible_only():
+    """One infeasible candidate doesn't poison the rest of the sweep."""
+    grid = [
+        CandidateConfig("serial", 1, 1, 256),
+        # beyond any cluster capacity: evaluate_stage raises ValueError
+        CandidateConfig("simspmd", 10**9, 1, 256),
+    ]
+    decision = choose_config(_workload(), workstation(), candidates=grid)
+    assert decision.mode == "auto"
+    by_label = {c.config.label(): c for c in decision.candidates}
+    assert by_label["serialx1/stripe1/batch256"].feasible
+    assert not by_label["simspmdx1000000000/stripe1/batch256"].feasible
+    assert by_label["simspmdx1000000000/stripe1/batch256"].reason
+
+
+def test_build_backend_instantiates_the_chosen_config():
+    base = choose_config(_workload(), workstation())
+
+    def with_chosen(backend, workers):
+        import dataclasses
+
+        return dataclasses.replace(
+            base, chosen=CandidateConfig(backend, workers, 1, 256)
+        )
+
+    assert isinstance(build_backend(with_chosen("serial", 1)), SerialBackend)
+    threaded = build_backend(with_chosen("threaded", 4))
+    assert isinstance(threaded, ThreadedBackend) and threaded.width == 4
+    spmd = build_backend(with_chosen("simspmd", 8))
+    assert isinstance(spmd, SimSPMDBackend) and spmd.width == 8
+
+
+def test_resolve_cluster_accepts_presets_and_instances():
+    assert resolve_cluster(None).name == workstation().name
+    assert resolve_cluster("leadership").name == leadership_system().name
+    spec = workstation()
+    assert resolve_cluster(spec) is spec
+    with pytest.raises(ValueError):
+        resolve_cluster("laptop-of-theseus")
+
+
+def test_decision_roundtrips_through_dict():
+    decision = choose_config(_workload(), workstation())
+    recovered = ScheduleDecision.from_dict(decision.to_dict())
+    assert recovered == decision
+    assert recovered.content_hash() == decision.content_hash()
+
+
+def test_render_table_marks_the_chosen_row():
+    decision = choose_config(_workload(), workstation())
+    table = decision.render_table(top=3)
+    assert "->" in table
+    assert decision.chosen.backend in table

@@ -207,3 +207,42 @@ class TestFaultToleranceCLI:
         ])
         assert code == 2
         assert "--retries" in capsys.readouterr().err
+
+
+class TestPlanCLI:
+    def test_plan_explain_ranks_candidates(self, tmp_path, capsys):
+        assert main([
+            "plan", "explain", "materials", "--workdir", str(tmp_path),
+            "--top", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "estimated workload" in out
+        assert "candidate ranking" in out
+        assert "->" in out  # the chosen row is marked
+        assert "decision hash:" in out
+
+    def test_run_plan_auto_embeds_decision(self, tmp_path, capsys):
+        assert main([
+            "run", "materials", "--workdir", str(tmp_path / "run"),
+            "--plan", "auto", "--calibration-dir", str(tmp_path / "cal"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schedule decision" in out
+        assert "prediction error" in out
+        assert "calibration observations appended" in out
+        import json
+
+        manifest = json.loads(
+            (tmp_path / "run" / "shards" / "manifest.json").read_text()
+        )
+        assert manifest["metadata"]["schedule_decision"]["mode"] == "auto"
+        assert (tmp_path / "cal" / "calibration.jsonl").exists()
+
+    def test_explicit_backend_wins_over_auto(self, tmp_path, capsys):
+        assert main([
+            "run", "materials", "--workdir", str(tmp_path),
+            "--plan", "auto", "--backend", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "on the serial backend" in out
+        assert "schedule decision" in out
