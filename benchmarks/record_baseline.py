@@ -18,9 +18,13 @@ Usage::
 ``emit`` re-measures and rewrites both JSON files.  ``check`` re-measures
 and exits non-zero if the fig1 wall time regressed more than
 ``--tolerance`` (default 25%) against the committed baseline — this is
-the CI bench-regression gate.  Wall timings take the best of
-``--repeats`` runs to damp scheduler noise; the modelled sweep is
-deterministic and compared exactly.
+the CI bench-regression gate, priced through the same robust
+:func:`repro.obs.history.regression_limit` codepath the cross-run
+``telemetry diff`` uses.  The fig1 baseline also records the telemetry
+overhead (instrumented vs bare wall time of the identical plan) so the
+analytics layer's own cost is on the perf trajectory.  Wall timings take
+the best of ``--repeats`` runs to damp scheduler noise; the modelled
+sweep is deterministic and compared exactly.
 """
 
 from __future__ import annotations
@@ -77,6 +81,35 @@ def measure_fig1(repeats: int) -> dict:
         "n_stages": len(run_result.results),
         "wall_seconds": round(wall, 6),
         "stage_seconds": stages,
+        "telemetry_overhead": measure_telemetry_overhead(repeats),
+    }
+
+
+def measure_telemetry_overhead(repeats: int) -> dict:
+    """Instrumented vs bare wall time of the same fig1 pipeline.
+
+    The analytics layer's own cost, put on the perf trajectory: the
+    instrumented run carries a full Telemetry (spans, metrics, resource
+    profiles); the bare run is the identical plan with no collector.
+    """
+    from repro.core.runner import PipelineRunner
+
+    def bare():
+        with tempfile.TemporaryDirectory() as tmp:
+            runner = PipelineRunner(fig1.build_figure1_plan(Path(tmp), seed=0))
+            return runner.run(fig1.make_raw_dataset(0))
+
+    def instrumented():
+        with tempfile.TemporaryDirectory() as tmp:
+            return fig1.run_figure1_steps(Path(tmp), seed=0)
+
+    bare_s, _ = _best_of(bare, repeats)
+    instrumented_s, _ = _best_of(instrumented, repeats)
+    return {
+        "bare_seconds": round(bare_s, 6),
+        "instrumented_seconds": round(instrumented_s, 6),
+        "overhead_seconds": round(instrumented_s - bare_s, 6),
+        "overhead_ratio": round(instrumented_s / bare_s, 4) if bare_s > 0 else 0.0,
     }
 
 
@@ -160,16 +193,27 @@ def cmd_check(args) -> int:
         return 2
     current = measure_fig1(args.repeats)
     ref, now = baseline["wall_seconds"], current["wall_seconds"]
-    # ratio gate with an absolute noise floor: sub-100ms walls jitter far
-    # more than 25% run to run, so tiny baselines get slack in seconds too
-    limit = ref * (1.0 + args.tolerance) + args.noise_floor
+    # the shared robust comparison codepath (repro.obs.history): with a
+    # single committed sample the MAD term vanishes and the rule is a
+    # ratio gate with an absolute noise floor — sub-100ms walls jitter
+    # far more than 25% run to run, so tiny baselines get slack too
+    from repro.obs.history import regression_limit
+
+    _, limit = regression_limit(
+        [ref], rel_floor=args.tolerance, abs_floor=args.noise_floor
+    )
     print(f"fig1 wall: baseline {ref:.3f}s, current {now:.3f}s "
-          f"(limit {limit:.3f}s = {args.tolerance:.0%} + "
-          f"{args.noise_floor:.2f}s floor)")
+          f"(limit {limit:.3f}s = max({args.tolerance:.0%}, "
+          f"{args.noise_floor:.2f}s floor))")
     status = 0
     if now > limit:
         print(f"FAIL: fig1 wall time regressed beyond {args.tolerance:.0%}")
         status = 1
+    overhead = current.get("telemetry_overhead") or {}
+    if overhead:
+        print(f"telemetry overhead: bare {overhead['bare_seconds']:.3f}s, "
+              f"instrumented {overhead['instrumented_seconds']:.3f}s "
+              f"({overhead['overhead_ratio']:.2f}x)")
 
     # the modelled sweep is analytic — any drift is a real model change
     if SHARDING_BASELINE.exists():

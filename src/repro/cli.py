@@ -11,6 +11,10 @@ technical readiness"; this CLI is that tool::
     python -m repro backends                  # list execution backends
     python -m repro inspect SHARD_DIR         # verify + describe a shard set
     python -m repro telemetry summary DIR     # slowest spans of a trace
+    python -m repro telemetry critical-path DIR  # what set the wall time
+    python -m repro telemetry diff DIR --against BENCH_fig1.json
+    python -m repro telemetry export DIR --chrome trace.json
+    python -m repro runs list RUNS_ROOT       # browse archived runs
     python -m repro crosswalk LEVEL           # NOAA/METRIC crosswalks
     python -m repro quarantine list DIR       # records a gate split out
     python -m repro quarantine re-drive DIR --domain D --output OUT
@@ -41,8 +45,18 @@ predicted-fastest one, and feeds observed stage timings back through
 running anything.  ``quarantine list/show/re-drive`` reads a
 quarantine back and replays it through the current contracts, promoting
 records that now pass.  ``telemetry`` reads a trace directory back:
-``summary`` tables the slowest stages, ``export --jsonl`` merges the
-trace into one combined JSONL stream.
+``summary`` tables the slowest stages, ``critical-path`` prints the span
+chain that determined the wall time plus per-stage rollups (skew,
+stragglers, p50/p95/p99), ``diff`` compares per-stage seconds against
+archived runs or a committed ``BENCH_*.json`` baseline with a robust
+median+MAD threshold, and ``export`` writes combined JSONL
+(``--jsonl``), Chrome/Perfetto ``trace_event`` JSON (``--chrome``), or
+Prometheus text exposition (``--prom``).  ``run --progress`` streams
+live progress (stage, tasks done, ETA) to stderr while the run executes,
+``run --archive-dir`` archives the finished run (trace analysis,
+manifest identity, schedule, readiness certificate) into a
+content-addressed ``runs/`` root, and ``runs list/show`` browses that
+archive.
 
 Everything the CLI prints is produced by the same public API the examples
 use; the CLI adds no behaviour of its own.
@@ -116,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-dir", type=Path, default=None,
                      help="collect telemetry (spans, metrics, resource profiles) "
                           "and write a JSONL trace under this directory")
+    run.add_argument("--progress", action="store_true",
+                     help="stream live progress (stage, tasks done, ETA) to "
+                          "stderr while the run executes")
+    run.add_argument("--archive-dir", type=Path, default=None,
+                     help="archive the run (trace analysis, manifest identity, "
+                          "schedule, readiness certificate) under this "
+                          "content-addressed runs/ root; later runs diff "
+                          "against it with 'telemetry diff --runs-root'")
     run.add_argument("--retries", type=int, default=None, metavar="N",
                      help="retry stages/tasks up to N times on transient faults "
                           "(deterministic seeded backoff)")
@@ -203,11 +225,60 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--top", type=int, default=15,
                          help="show the N slowest span groups (default 15)")
     export = telemetry_sub.add_parser(
-        "export", help="merge spans, metrics, and events into one JSONL stream"
+        "export",
+        help="export a trace: combined JSONL, Chrome/Perfetto, or Prometheus",
     )
     export.add_argument("trace_dir", type=Path)
-    export.add_argument("--jsonl", type=Path, required=True, metavar="PATH",
-                        help="write the combined stream to PATH")
+    export.add_argument("--jsonl", type=Path, default=None, metavar="PATH",
+                        help="merge spans, metrics, and events into one JSONL "
+                             "stream at PATH")
+    export.add_argument("--chrome", type=Path, default=None, metavar="PATH",
+                        help="write Chrome/Perfetto trace_event JSON to PATH "
+                             "(open in chrome://tracing or ui.perfetto.dev)")
+    export.add_argument("--prom", type=Path, default=None, metavar="PATH",
+                        help="write the final metrics snapshot in Prometheus "
+                             "text exposition format to PATH")
+    crit = telemetry_sub.add_parser(
+        "critical-path",
+        help="the span chain that determined the run's wall time, plus "
+             "per-stage rollups with skew and straggler detection",
+    )
+    crit.add_argument("trace_dir", type=Path)
+    crit.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the full TraceReport as deterministic JSON")
+    diff = telemetry_sub.add_parser(
+        "diff",
+        help="compare a run's per-stage seconds against archived runs or a "
+             "committed BENCH_*.json baseline (robust median+MAD threshold)",
+    )
+    diff.add_argument("trace_dir", type=Path)
+    diff.add_argument("--against", type=Path, default=None, metavar="PATH",
+                      help="baseline file: a BENCH_*.json, an archived "
+                           "record.json, or a serialized TraceReport")
+    diff.add_argument("--runs-root", type=Path, default=None, metavar="DIR",
+                      help="diff against the previous archived runs of the "
+                           "same pipeline under this runs/ root")
+    diff.add_argument("--last", type=int, default=10, metavar="N",
+                      help="use at most the N most recent archived runs "
+                           "(default 10)")
+    diff.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the diff as deterministic JSON")
+    diff.add_argument("--fail-on-regress", action="store_true",
+                      help="exit 3 when any stage regressed (CI gate mode)")
+
+    runs = sub.add_parser(
+        "runs", help="browse a content-addressed run archive (run --archive-dir)"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list archived runs")
+    runs_list.add_argument("root", type=Path)
+    runs_list.add_argument("--pipeline", default=None,
+                           help="only runs of this pipeline")
+    runs_show = runs_sub.add_parser(
+        "show", help="show one archived run by id (prefix ok)"
+    )
+    runs_show.add_argument("root", type=Path)
+    runs_show.add_argument("run_id")
 
     inspect = sub.add_parser("inspect", help="verify and describe a shard set")
     inspect.add_argument("directory", type=Path)
@@ -262,6 +333,8 @@ def _cmd_run(
     events: bool = False,
     events_jsonl: Optional[Path] = None,
     trace_dir: Optional[Path] = None,
+    progress: bool = False,
+    archive_dir: Optional[Path] = None,
     retries: Optional[int] = None,
     stage_timeout: Optional[float] = None,
     on_error: Optional[str] = None,
@@ -325,7 +398,9 @@ def _cmd_run(
     # the cost-model chooser pick (an explicit --backend always wins)
     if backend is None and plan_mode != "auto":
         backend = "serial"
-    telemetry = Telemetry() if trace_dir is not None else None
+    # --progress and --archive-dir both need telemetry even without a trace dir
+    want_telemetry = trace_dir is not None or progress or archive_dir is not None
+    telemetry = Telemetry() if want_telemetry else None
     archetype = classes[domain](seed=seed)
     how = backend if backend is not None else "cost-model-chosen"
     print(f"running {domain} archetype ({archetype.pattern_string()}) "
@@ -339,6 +414,13 @@ def _cmd_run(
         path = log.save(Path(dead_letter_dir) / DEAD_LETTER_NAME)
         print(f"{len(log)} dead letter(s) appended to {path}")
 
+    reporter = None
+    ticker = None
+    if progress:
+        from repro.obs import ProgressReporter, ProgressTicker
+
+        reporter = ProgressReporter(telemetry)
+        ticker = ProgressTicker(reporter).start()
     try:
         result = archetype.run(
             workdir,
@@ -346,6 +428,7 @@ def _cmd_run(
             backend=backend,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            on_event=reporter.on_event if reporter is not None else None,
             telemetry=telemetry,
             retry_policy=retry_policy,
             on_error=on_error,
@@ -367,11 +450,14 @@ def _cmd_run(
         if gate_report is not None:
             print(f"gate verdict: {gate_report.summary()}", file=sys.stderr)
         _save_dead_letters(getattr(exc, "dead_letters", []) or [])
-        if telemetry is not None:
+        if telemetry is not None and trace_dir is not None:
             # a failed run's partial trace is exactly what you want to keep
             telemetry.export(JsonlTelemetrySink(trace_dir), events=getattr(exc, "events", []))
             print(f"partial trace written to {trace_dir}", file=sys.stderr)
         return 1
+    finally:
+        if ticker is not None:
+            ticker.stop()
     run = result.run
     if result.schedule is not None:
         decision = result.schedule
@@ -434,10 +520,33 @@ def _cmd_run(
             events_jsonl, (envelope("event", e.to_dict()) for e in result.run.events)
         )
         print(f"{n} events written to {events_jsonl}")
-    if telemetry is not None:
+    if telemetry is not None and trace_dir is not None:
         telemetry.export(JsonlTelemetrySink(trace_dir), events=result.run.events)
         print(f"trace written to {trace_dir} "
               f"({len(telemetry.tracer)} spans, {len(telemetry.metrics)} metrics)")
+    if archive_dir is not None and telemetry is not None:
+        from repro.obs.history import RunArchive
+
+        if trace_dir is not None:
+            trace_src = trace_dir
+        else:
+            trace_src = {
+                "spans": [envelope("span", s.to_dict())
+                          for s in telemetry.tracer.spans()],
+                "metrics": [envelope("metric", m)
+                            for m in telemetry.metrics.snapshot()],
+                "events": [envelope("event", e.to_dict())
+                           for e in result.run.events],
+            }
+        ctx = result.run.context
+        record = RunArchive(archive_dir).archive(
+            trace_src,
+            manifest=result.manifest,
+            schedule=ctx.schedule_record() if ctx is not None else None,
+            certificate=ctx.readiness_certificate() if ctx is not None else None,
+            labels={"domain": domain, "seed": str(seed)},
+        )
+        print(f"run archived as {record.run_id} under {archive_dir}")
     print(section("assessment"))
     print(f"Data Readiness Level: {result.readiness_level} / 5")
     print(MaturityMatrix.from_assessment(result.assessment).render_compact())
@@ -573,9 +682,21 @@ def _cmd_quarantine_redrive(
     return 0
 
 
+def _check_trace_dir(trace_dir: Path) -> Optional[str]:
+    """A one-line friendly error for a missing trace directory, or None."""
+    if not Path(trace_dir).is_dir():
+        return (f"error: trace directory {trace_dir} does not exist "
+                f"(produce one with: repro run DOMAIN --trace-dir {trace_dir})")
+    return None
+
+
 def _cmd_telemetry_summary(trace_dir: Path, top: int) -> int:
     from repro.obs import read_trace
 
+    problem = _check_trace_dir(trace_dir)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 1
     trace = read_trace(trace_dir)
     spans = trace["spans"]
     if not spans:
@@ -648,18 +769,178 @@ def _cmd_telemetry_summary(trace_dir: Path, top: int) -> int:
     return 0
 
 
-def _cmd_telemetry_export(trace_dir: Path, out_path: Path) -> int:
-    from repro.obs import read_trace
+def _cmd_telemetry_export(
+    trace_dir: Path,
+    out_path: Optional[Path],
+    chrome_path: Optional[Path] = None,
+    prom_path: Optional[Path] = None,
+) -> int:
+    from repro.obs import read_trace, write_chrome_trace, write_prometheus_text
     from repro.obs.sinks import write_jsonl
 
+    if out_path is None and chrome_path is None and prom_path is None:
+        print("error: pick at least one of --jsonl, --chrome, --prom",
+              file=sys.stderr)
+        return 2
+    problem = _check_trace_dir(trace_dir)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 1
     trace = read_trace(trace_dir)
     combined = trace["spans"] + trace["metrics"] + trace["events"]
     if not combined:
         print(f"error: no telemetry records found under {trace_dir}", file=sys.stderr)
         return 1
-    n = write_jsonl(out_path, combined)
-    print(f"{n} records ({len(trace['spans'])} spans, {len(trace['metrics'])} metrics, "
-          f"{len(trace['events'])} events) written to {out_path}")
+    if out_path is not None:
+        n = write_jsonl(out_path, combined)
+        print(f"{n} records ({len(trace['spans'])} spans, "
+              f"{len(trace['metrics'])} metrics, "
+              f"{len(trace['events'])} events) written to {out_path}")
+    if chrome_path is not None:
+        write_chrome_trace(trace, chrome_path)
+        print(f"Chrome/Perfetto trace ({len(trace['spans'])} spans) "
+              f"written to {chrome_path}")
+    if prom_path is not None:
+        write_prometheus_text(trace, prom_path)
+        print(f"Prometheus exposition ({len(trace['metrics'])} series) "
+              f"written to {prom_path}")
+    return 0
+
+
+def _cmd_telemetry_critical_path(trace_dir: Path, as_json: bool) -> int:
+    from repro.obs import analyze_trace
+
+    problem = _check_trace_dir(trace_dir)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 1
+    try:
+        report = analyze_trace(trace_dir)
+    except ValueError:
+        print(f"error: no spans found under {trace_dir}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(report.to_json(), end="")
+        return 0
+    print(f"pipeline {report.pipeline!r} on the {report.backend or '?'} backend: "
+          f"{report.status}, {report.total_wall_s:.4f} s wall, "
+          f"{report.n_spans} spans, {report.n_tasks} backend tasks")
+    print(section("critical path"))
+    print(report.render_critical_path())
+    print(section("stage rollups"))
+    print(report.render_stages())
+    slow = [s for s in report.stages if s.stragglers]
+    if slow:
+        names = ", ".join(f"{s.stage} ({s.stragglers})" for s in slow)
+        print(f"\nstraggler tasks detected: {names}")
+    return 0
+
+
+def _cmd_telemetry_diff(
+    trace_dir: Path,
+    against: Optional[Path],
+    runs_root: Optional[Path],
+    last: int,
+    as_json: bool,
+    fail_on_regress: bool,
+) -> int:
+    import json as _json
+
+    from repro.obs import analyze_trace, diff_stage_seconds, load_baseline_stages
+    from repro.obs.history import RunArchive
+
+    if (against is None) == (runs_root is None):
+        print("error: pick exactly one baseline: --against PATH or "
+              "--runs-root DIR", file=sys.stderr)
+        return 2
+    problem = _check_trace_dir(trace_dir)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 1
+    try:
+        report = analyze_trace(trace_dir)
+    except ValueError:
+        print(f"error: no spans found under {trace_dir}", file=sys.stderr)
+        return 1
+    if against is not None:
+        try:
+            label, stages = load_baseline_stages(against)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        history = [stages]
+    else:
+        archive = RunArchive(runs_root)
+        current = report.to_dict()
+        # exclude the archived copy of this very run, if present
+        records = [
+            r for r in archive.records(pipeline=report.pipeline)
+            if r.report != current
+        ]
+        if not records:
+            print(f"error: no previous {report.pipeline!r} runs archived "
+                  f"under {runs_root}", file=sys.stderr)
+            return 1
+        records = records[-max(last, 1):]
+        history = [r.stage_seconds for r in records]
+        label = f"runs:{runs_root}"
+    diff = diff_stage_seconds(
+        report.stage_seconds,
+        history,
+        pipeline=report.pipeline,
+        baseline_label=label,
+    )
+    if as_json:
+        print(_json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.summary())
+        print()
+        print(diff.render_table())
+    if fail_on_regress and diff.regressed:
+        return 3
+    return 0
+
+
+def _cmd_runs_list(root: Path, pipeline: Optional[str]) -> int:
+    from repro.obs.history import RunArchive
+
+    records = RunArchive(root).records(pipeline=pipeline)
+    if not records:
+        what = f"{pipeline!r} runs" if pipeline else "runs"
+        print(f"error: no archived {what} under {root}", file=sys.stderr)
+        return 1
+    rows = [
+        (
+            r.run_id,
+            r.pipeline,
+            r.backend or "?",
+            r.status,
+            f"{r.total_wall_s:.4f}",
+            len(r.stage_seconds),
+        )
+        for r in records
+    ]
+    print(render_table(
+        ["run id", "pipeline", "backend", "status", "wall s", "stages"],
+        rows,
+        align_right=[False, False, False, False, True, True],
+    ))
+    print(f"\n{len(records)} archived run(s); inspect one with: "
+          f"repro runs show {root} RUN_ID")
+    return 0
+
+
+def _cmd_runs_show(root: Path, run_id: str) -> int:
+    import json as _json
+
+    from repro.obs.history import RunArchive
+
+    try:
+        record = RunArchive(root).get(run_id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    print(_json.dumps(record.to_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -731,6 +1012,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             events=args.events,
             events_jsonl=args.events_jsonl,
             trace_dir=args.trace_dir,
+            progress=args.progress,
+            archive_dir=args.archive_dir,
             retries=args.retries,
             stage_timeout=args.stage_timeout,
             on_error=args.on_error,
@@ -762,7 +1045,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "telemetry":
         if args.telemetry_command == "summary":
             return _cmd_telemetry_summary(args.trace_dir, args.top)
-        return _cmd_telemetry_export(args.trace_dir, args.jsonl)
+        if args.telemetry_command == "critical-path":
+            return _cmd_telemetry_critical_path(args.trace_dir, args.as_json)
+        if args.telemetry_command == "diff":
+            return _cmd_telemetry_diff(
+                args.trace_dir,
+                args.against,
+                args.runs_root,
+                args.last,
+                args.as_json,
+                args.fail_on_regress,
+            )
+        return _cmd_telemetry_export(
+            args.trace_dir, args.jsonl, args.chrome, args.prom
+        )
+    if args.command == "runs":
+        if args.runs_command == "list":
+            return _cmd_runs_list(args.root, args.pipeline)
+        return _cmd_runs_show(args.root, args.run_id)
     if args.command == "inspect":
         return _cmd_inspect(args.directory)
     if args.command == "crosswalk":

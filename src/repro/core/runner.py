@@ -373,48 +373,74 @@ class PipelineRun:
             }
         return summary
 
+    def _stage_quantiles(self, name: str) -> Optional[Tuple[float, float]]:
+        """(p50, p95) of a stage's ``stage_seconds`` histogram, if telemetered."""
+        telemetry = self.context.telemetry if self.context is not None else None
+        if telemetry is None:
+            return None
+        hist = telemetry.metrics.get(
+            "stage_seconds", pipeline=self.pipeline_name, stage=name
+        )
+        if hist is None or getattr(hist, "kind", "") != "histogram":
+            return None
+        return hist.quantile(0.50), hist.quantile(0.95)
+
     def summary_table(self) -> str:
-        """Aligned text table of :meth:`to_summary` plus a totals row."""
+        """Aligned text table of :meth:`to_summary` plus a totals row.
+
+        Telemetered runs grow p50/p95 columns, estimated from the
+        per-stage ``stage_seconds`` histograms (retried stages observe
+        more than once, so the quantiles expose retry-timing spread).
+        """
+        summary = self.to_summary()
+        quantiles = {name: self._stage_quantiles(name) for name in summary}
+        with_quantiles = any(q is not None for q in quantiles.values())
         rows = []
-        for name, row in self.to_summary().items():
-            rows.append(
-                (
-                    name,
-                    row["canonical"],
-                    f"{row['seconds']:.4f}",
+        for name, row in summary.items():
+            cells = [
+                name,
+                row["canonical"],
+                f"{row['seconds']:.4f}",
+            ]
+            if with_quantiles:
+                q = quantiles[name]
+                cells.append(f"{q[0]:.4f}" if q is not None else "")
+                cells.append(f"{q[1]:.4f}" if q is not None else "")
+            cells.extend(
+                [
                     row["items"],
                     format_bytes(float(row["bytes"])),
                     f"{row['items_per_s']:.1f}",
                     row["retries"],
                     row["status"],
-                )
+                ]
             )
-        rows.append(
-            (
-                "(total)",
-                "",
-                f"{self.total_seconds:.4f}",
+            rows.append(tuple(cells))
+        total = [
+            "(total)",
+            "",
+            f"{self.total_seconds:.4f}",
+        ]
+        if with_quantiles:
+            total.extend(["", ""])
+        total.extend(
+            [
                 "",
                 "",
                 "",
                 self.total_retries,
                 "degraded" if self.degraded else self.backend_name,
-            )
+            ]
         )
-        return render_table(
-            [
-                "stage",
-                "canonical",
-                "seconds",
-                "items",
-                "bytes",
-                "items/s",
-                "retries",
-                "status",
-            ],
-            rows,
-            align_right=[False, False, True, True, True, True, True, False],
-        )
+        rows.append(tuple(total))
+        headers = ["stage", "canonical", "seconds"]
+        align = [False, False, True]
+        if with_quantiles:
+            headers.extend(["p50 s", "p95 s"])
+            align.extend([True, True])
+        headers.extend(["items", "bytes", "items/s", "retries", "status"])
+        align.extend([True, True, True, True, False])
+        return render_table(headers, rows, align_right=align)
 
 
 # ---------------------------------------------------------------------------

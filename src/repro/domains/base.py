@@ -117,6 +117,7 @@ class DomainArchetype(abc.ABC):
         backend: Any = None,
         checkpoint_dir: Union[str, Path, None] = None,
         resume: bool = False,
+        on_event: Any = None,
         telemetry: Optional["Telemetry"] = None,
         retry_policy: Optional["RetryPolicy"] = None,
         on_error: Any = None,
@@ -137,6 +138,9 @@ class DomainArchetype(abc.ABC):
         ``resume`` enable checkpointed restart of a previously failed run;
         ``telemetry`` attaches a :class:`~repro.obs.Telemetry` collector so
         the run produces spans, metrics, and resource profiles;
+        ``on_event`` receives every structured
+        :class:`~repro.core.runner.RunEvent` as the run progresses (e.g.
+        a :class:`~repro.obs.ProgressReporter`);
         ``retry_policy``/``on_error``/``stage_timeout`` set run-wide
         fault-tolerance defaults, and ``fault_injector`` runs the pipeline
         under seeded chaos (see :mod:`repro.faults`).  ``gates`` enables
@@ -195,6 +199,7 @@ class DomainArchetype(abc.ABC):
             backend=backend,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            on_event=on_event,
             telemetry=telemetry,
             retry_policy=retry_policy,
             on_error=on_error,

@@ -13,6 +13,18 @@ collectors one run shares:
 Collected telemetry exports to any :class:`~repro.obs.sinks.TelemetrySink`
 (JSONL trace directories for the CLI, in-memory for tests) in one stable,
 schema-versioned record format.
+
+On top of that raw substrate sits the analytics layer:
+
+* :mod:`~repro.obs.analyze` — span-tree reconstruction, critical path,
+  per-stage rollups with straggler detection, and the deterministic
+  :class:`TraceReport`;
+* :mod:`~repro.obs.history` — the content-addressed :class:`RunArchive`
+  and robust cross-run regression diffing (:func:`diff_stage_seconds`);
+* :mod:`~repro.obs.progress` — the thread-safe :class:`ProgressReporter`
+  behind ``run --progress``;
+* :mod:`~repro.obs.export` — Chrome/Perfetto ``trace_event`` and
+  Prometheus text-exposition exporters.
 """
 
 from __future__ import annotations
@@ -20,6 +32,34 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, Mapping, Optional, Union
 
+from repro.obs.analyze import (
+    CriticalPathEntry,
+    SpanNode,
+    StageRollup,
+    TraceReport,
+    analyze_trace,
+    build_span_tree,
+    critical_path,
+    geometric_mean,
+    median,
+    median_mad,
+    stage_rollups,
+)
+from repro.obs.export import (
+    to_chrome_trace,
+    to_prometheus_text,
+    write_chrome_trace,
+    write_prometheus_text,
+)
+from repro.obs.history import (
+    RunArchive,
+    RunDiff,
+    RunRecord,
+    StageDiff,
+    diff_stage_seconds,
+    load_baseline_stages,
+    regression_limit,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -27,6 +67,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.progress import ProgressReporter, ProgressSnapshot, ProgressTicker
 from repro.obs.resources import (
     ResourceDelta,
     ResourceProfiler,
@@ -52,6 +93,35 @@ __all__ = [
     "Tracer",
     "Span",
     "SpanStatus",
+    # analysis
+    "SpanNode",
+    "CriticalPathEntry",
+    "StageRollup",
+    "TraceReport",
+    "build_span_tree",
+    "critical_path",
+    "stage_rollups",
+    "analyze_trace",
+    "median",
+    "median_mad",
+    "geometric_mean",
+    # history
+    "RunArchive",
+    "RunRecord",
+    "StageDiff",
+    "RunDiff",
+    "regression_limit",
+    "diff_stage_seconds",
+    "load_baseline_stages",
+    # progress
+    "ProgressReporter",
+    "ProgressSnapshot",
+    "ProgressTicker",
+    # export
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_prometheus_text",
+    "write_prometheus_text",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -1,0 +1,292 @@
+"""Standard-format trace export: Chrome/Perfetto and Prometheus.
+
+Raw traces are JSONL in our own envelope; this module converts them to
+the two formats off-the-shelf tools actually open:
+
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON format
+  (loadable in ``chrome://tracing`` and https://ui.perfetto.dev).  Every
+  span becomes a complete ("X") event; timestamps are microsecond
+  offsets from the earliest span start so the viewer opens at t=0.
+  Spans are packed onto deterministic thread lanes: a child inherits its
+  parent's lane when it nests cleanly after its siblings, and
+  concurrent siblings (threaded-backend tasks) spill onto fresh lanes —
+  the rule Chrome's format requires, since "X" events sharing a ``tid``
+  must be properly nested.  Span events become instant ("i") markers.
+* :func:`to_prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``_bucket{le=...}`` histogram series,
+  escaped label values), so a run's final metrics snapshot can be
+  dropped into any Prometheus-compatible dashboard or diffed with
+  standard tooling.
+
+Both exporters are deterministic: sorted series, stable lane
+assignment, fixed number formatting — exporting one trace twice yields
+byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.obs.analyze import SpanNode, build_span_tree
+from repro.obs.sinks import read_trace
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_prometheus_text",
+    "write_prometheus_text",
+]
+
+TraceLike = Union[str, Path, Mapping[str, List[Dict[str, object]]]]
+
+#: single logical process for the whole run
+_PID = 1
+
+
+def _load_trace(trace: TraceLike) -> Mapping[str, List[Dict[str, object]]]:
+    if isinstance(trace, (str, Path)):
+        return read_trace(trace)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+
+def _assign_lanes(roots: Sequence[SpanNode]) -> Dict[str, int]:
+    """Deterministically pack spans onto thread lanes.
+
+    Chrome renders "X" events on one ``tid`` as a stack, so events
+    sharing a lane must be properly nested.  A child nests inside its
+    parent, so it may reuse the parent's lane — unless an earlier
+    sibling still occupies it (concurrent tasks), in which case the
+    child takes the lowest sibling lane that has gone quiet, or a fresh
+    one.  Children are visited in (start, span_id) order, so the
+    packing is a pure function of the trace.
+    """
+    lanes: Dict[str, int] = {}
+    next_lane = 0
+
+    def place(node: SpanNode, parent_lane: int, sibling_ends: Dict[int, float]) -> int:
+        nonlocal next_lane
+        candidates = [parent_lane] + sorted(
+            lane for lane in sibling_ends if lane != parent_lane
+        )
+        for lane in candidates:
+            if sibling_ends.get(lane, -math.inf) <= node.start:
+                return lane
+        lane = next_lane
+        next_lane += 1
+        return lane
+
+    def walk(node: SpanNode, lane: int) -> None:
+        lanes[node.span_id] = lane
+        child_ends: Dict[int, float] = {}
+        for child in node.children:
+            child_lane = place(child, lane, child_ends)
+            child_ends[child_lane] = max(
+                child_ends.get(child_lane, -math.inf), child.end
+            )
+            walk(child, child_lane)
+
+    root_ends: Dict[int, float] = {}
+    for root in sorted(roots, key=lambda r: (r.start, r.span_id)):
+        lane = place(root, 0, root_ends)
+        if lane >= next_lane:
+            next_lane = lane + 1
+        root_ends[lane] = max(root_ends.get(lane, -math.inf), root.end)
+        walk(root, lane)
+    return lanes
+
+
+def _micros(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def to_chrome_trace(trace: TraceLike) -> Dict[str, object]:
+    """Convert a trace (directory or ``read_trace`` dict) to trace_event JSON."""
+    data = _load_trace(trace)
+    spans = data.get("spans", [])
+    roots = build_span_tree(spans)
+    lanes = _assign_lanes(roots)
+    base = min((float(s.get("start") or 0.0) for s in spans), default=0.0)
+
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    for tid in sorted(set(lanes.values())):
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"lane-{tid}"},
+            }
+        )
+
+    for root in roots:
+        for node in root.walk():
+            tid = lanes[node.span_id]
+            args: Dict[str, object] = {"span_id": node.span_id, "status": node.status}
+            for key in sorted(node.attributes):
+                args[key] = node.attributes[key]
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": node.name,
+                    "cat": node.name.split(":", 1)[0] or "span",
+                    "ts": _micros(node.start - base),
+                    "dur": _micros(node.duration_s),
+                    "args": args,
+                }
+            )
+            for note in node.span.get("events") or []:
+                if isinstance(note, Mapping):
+                    note_name = str(note.get("name", "event"))
+                    note_args = {
+                        k: v for k, v in sorted(note.items()) if k != "name"
+                    }
+                else:
+                    note_name, note_args = str(note), {}
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": _PID,
+                        "tid": tid,
+                        "name": f"{node.name}/{note_name}",
+                        "s": "t",
+                        "ts": _micros(node.start - base),
+                        "args": note_args,
+                    }
+                )
+
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_chrome_trace(trace: TraceLike, path: Union[str, Path]) -> Path:
+    """Write the Chrome trace_event JSON for a trace; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = to_chrome_trace(trace)
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    cleaned = _NAME_BAD.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _prom_label_value(value: object) -> str:
+    text = str(value)
+    return text.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _prom_labels(labels: Mapping[str, object], extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = [(str(k), _prom_label_value(v)) for k, v in sorted(labels.items())]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def _prom_number(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _metric_rows(metrics: object) -> List[Dict[str, object]]:
+    # accept a MetricsRegistry, a snapshot list, a read_trace dict, or a path
+    if hasattr(metrics, "snapshot"):
+        return metrics.snapshot()  # type: ignore[union-attr]
+    if isinstance(metrics, (str, Path)):
+        return read_trace(metrics).get("metrics", [])
+    if isinstance(metrics, Mapping):
+        return list(metrics.get("metrics", []))
+    return list(metrics)  # type: ignore[arg-type]
+
+
+def to_prometheus_text(metrics: object) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format.
+
+    Accepts a :class:`~repro.obs.metrics.MetricsRegistry`, a
+    ``snapshot()`` row list, a ``read_trace`` dict, or a trace
+    directory path.  Output is deterministic: series sorted by
+    (name, labels), one ``# TYPE`` header per metric family.
+    """
+    rows = _metric_rows(metrics)
+    families: Dict[str, Tuple[str, List[Dict[str, object]]]] = {}
+    for row in rows:
+        name = _prom_name(str(row.get("name", "")))
+        kind = str(row.get("kind", "gauge"))
+        families.setdefault(name, (kind, []))[1].append(row)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        kind, group = families[name]
+        prom_kind = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}.get(
+            kind, "untyped"
+        )
+        lines.append(f"# TYPE {name} {prom_kind}")
+        group.sort(key=lambda r: sorted((str(k), str(v)) for k, v in (r.get("labels") or {}).items()))
+        for row in group:
+            labels: Mapping[str, object] = row.get("labels") or {}
+            if kind == "histogram":
+                buckets = [float(b) for b in row.get("buckets") or []]
+                counts = [int(c) for c in row.get("counts") or []]
+                cumulative = 0
+                for bound, count in zip(buckets, counts):
+                    cumulative += count
+                    le = _prom_labels(labels, [("le", _prom_number(bound))])
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += counts[len(buckets)] if len(counts) > len(buckets) else 0
+                le = _prom_labels(labels, [("le", "+Inf")])
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} "
+                    f"{_prom_number(float(row.get('sum') or 0.0))}"
+                )
+                lines.append(f"{name}_count{_prom_labels(labels)} {cumulative}")
+            else:
+                value = float(row.get("value") or 0.0)
+                lines.append(f"{name}{_prom_labels(labels)} {_prom_number(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus_text(metrics: object, path: Union[str, Path]) -> Path:
+    """Write the Prometheus exposition for a metrics snapshot; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus_text(metrics), encoding="utf-8")
+    return path

@@ -135,6 +135,44 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation within buckets.
+
+        The classic fixed-bucket estimator (Prometheus'
+        ``histogram_quantile``): find the bucket holding the q·count-th
+        observation and interpolate linearly between its edges.  Two
+        refinements keep estimates honest at the extremes: the result is
+        clamped to the observed ``[min, max]`` (so p50 of a single
+        observation never exceeds what was actually seen), and a rank
+        landing in the +inf overflow bucket returns the observed max
+        rather than inventing an upper edge.  An empty histogram
+        returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]; got {q}")
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+            low, high = self.min, self.max
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, count in enumerate(counts):
+            if count == 0:
+                continue
+            before = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                if i >= len(self.buckets):
+                    return high  # overflow bucket has no finite upper edge
+                upper = self.buckets[i]
+                lower = self.buckets[i - 1] if i > 0 else min(low, upper)
+                fraction = (rank - before) / count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, low), high)
+        return high
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "buckets": list(self.buckets),

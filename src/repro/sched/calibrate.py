@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import math
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
@@ -107,12 +106,18 @@ class CalibrationStore:
         return self._ingest(entry, persist=True)
 
     def factor(self, pipeline: str, stage: str) -> float:
-        """Correction factor for one stage: clamped geometric mean ratio."""
+        """Correction factor for one stage: clamped geometric mean ratio.
+
+        The mean itself is :func:`repro.obs.analyze.geometric_mean` — the
+        same robust-statistics codepath the cross-run diff and the CI
+        bench gate price their comparisons through.
+        """
+        from repro.obs.analyze import geometric_mean
+
         ratios = self._ratios.get((pipeline, stage))
         if not ratios:
             return 1.0
-        log_mean = sum(math.log(r) for r in ratios) / len(ratios)
-        return min(max(math.exp(log_mean), _FACTOR_FLOOR), _FACTOR_CEIL)
+        return min(max(geometric_mean(ratios), _FACTOR_FLOOR), _FACTOR_CEIL)
 
     def factors(self, pipeline: str) -> Dict[str, float]:
         """All known correction factors for one pipeline, by stage."""

@@ -1,0 +1,187 @@
+"""Standard exports: Chrome trace_event JSON and Prometheus text format."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_prometheus_text,
+    write_chrome_trace,
+    write_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+from .test_analyze import span, traced_run
+
+
+def synthetic_trace():
+    return {
+        "spans": [
+            span("run:p", "s1", 0.0, 10.0),
+            span("stage:a", "s2", 0.0, 4.0, parent="s1"),
+            # two concurrent tasks under stage:a -> must land on
+            # different lanes (overlapping "X" events can't share a tid)
+            span("backend.task", "t1", 0.5, 3.0, parent="s2"),
+            span("backend.task", "t2", 0.5, 3.5, parent="s2"),
+            span("stage:b", "s3", 4.0, 10.0, parent="s1"),
+        ],
+        "metrics": [],
+        "events": [],
+    }
+
+
+def spans_by_id(doc):
+    return {
+        e["args"]["span_id"]: e
+        for e in doc["traceEvents"]
+        if e["ph"] == "X"
+    }
+
+
+class TestChromeTrace:
+    def test_shape_and_event_kinds(self):
+        doc = to_chrome_trace(synthetic_trace())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 5
+        for e in xs:
+            assert isinstance(e["ts"], (int, float))
+            assert isinstance(e["dur"], (int, float))
+            assert e["pid"] == 1
+        # metadata names the process and every lane
+        metas = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in metas)
+        lane_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        named_tids = {e["tid"] for e in metas if e["name"] == "thread_name"}
+        assert lane_tids <= named_tids
+
+    def test_timestamps_are_offsets_from_trace_start(self):
+        doc = to_chrome_trace(synthetic_trace())
+        xs = spans_by_id(doc)
+        assert xs["s1"]["ts"] == 0.0
+        assert xs["s2"]["ts"] == 0.0
+        assert xs["s3"]["ts"] == pytest.approx(4_000_000.0)
+        assert xs["s1"]["dur"] == pytest.approx(10_000_000.0)
+
+    def test_lane_nesting_invariant(self):
+        """No two overlapping, non-nested spans may share a tid."""
+        doc = to_chrome_trace(synthetic_trace())
+        xs = list(spans_by_id(doc).values())
+        for i, a in enumerate(xs):
+            for b in xs[i + 1:]:
+                if a["tid"] != b["tid"]:
+                    continue
+                a0, a1 = a["ts"], a["ts"] + a["dur"]
+                b0, b1 = b["ts"], b["ts"] + b["dur"]
+                overlap = a0 < b1 and b0 < a1
+                nested = (a0 <= b0 and b1 <= a1) or (b0 <= a0 and a1 <= b1)
+                assert not overlap or nested, (a, b)
+
+    def test_concurrent_tasks_spill_to_distinct_lanes(self):
+        doc = to_chrome_trace(synthetic_trace())
+        xs = spans_by_id(doc)
+        assert xs["t1"]["tid"] != xs["t2"]["tid"]
+        # sequential stages reuse the run's lane
+        assert xs["s2"]["tid"] == xs["s1"]["tid"]
+        assert xs["s3"]["tid"] == xs["s1"]["tid"]
+
+    def test_span_attributes_become_args(self):
+        trace = {
+            "spans": [
+                span("stage:a", "s1", 0.0, 1.0, attrs={"items": 4, "stage": "a"})
+            ],
+            "metrics": [],
+            "events": [],
+        }
+        doc = to_chrome_trace(trace)
+        (x,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x["args"]["items"] == 4
+        assert x["args"]["status"] == "ok"
+        assert x["cat"] == "stage"
+
+    def test_span_events_become_instants(self):
+        s = span("stage:a", "s1", 0.0, 1.0)
+        s["events"] = [{"name": "quarantine", "records": 3}]
+        doc = to_chrome_trace({"spans": [s], "metrics": [], "events": []})
+        (i,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert i["name"] == "stage:a/quarantine"
+        assert i["args"]["records"] == 3
+
+    def test_real_run_exports_and_validates(self, tmp_path):
+        trace = traced_run(tmp_path)
+        out = write_chrome_trace(trace, tmp_path / "trace.chrome.json")
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "run:ana" in names
+        assert any(n.startswith("stage:") for n in names)
+
+    def test_write_is_deterministic(self, tmp_path):
+        trace = traced_run(tmp_path)
+        a = write_chrome_trace(trace, tmp_path / "a.json").read_bytes()
+        b = write_chrome_trace(trace, tmp_path / "b.json").read_bytes()
+        assert a == b
+
+
+class TestPrometheusText:
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks_total", stage="fan").inc(3)
+        reg.gauge("last_items", stage="fan").set(4)
+        h = reg.histogram("task_seconds", buckets=(0.5, 1.0), stage="fan")
+        for v in (0.2, 0.7, 5.0):
+            h.observe(v)
+        return reg
+
+    def test_type_headers_and_values(self):
+        text = to_prometheus_text(self.registry())
+        assert "# TYPE tasks_total counter" in text
+        assert "# TYPE last_items gauge" in text
+        assert "# TYPE task_seconds histogram" in text
+        assert 'tasks_total{stage="fan"} 3' in text
+        assert 'last_items{stage="fan"} 4' in text
+
+    def test_histogram_buckets_cumulative(self):
+        text = to_prometheus_text(self.registry())
+        assert 'task_seconds_bucket{stage="fan",le="0.5"} 1' in text
+        assert 'task_seconds_bucket{stage="fan",le="1"} 2' in text
+        assert 'task_seconds_bucket{stage="fan",le="+Inf"} 3' in text
+        assert 'task_seconds_sum{stage="fan"} 5.9' in text
+        assert 'task_seconds_count{stage="fan"} 3' in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("n", path='a"b\\c').inc()
+        text = to_prometheus_text(reg)
+        assert r'n{path="a\"b\\c"} 1' in text
+
+    def test_bad_metric_names_sanitized(self):
+        rows = [{"name": "9lat-ms", "kind": "gauge", "labels": {}, "value": 1.0}]
+        text = to_prometheus_text(rows)
+        assert "_9lat_ms 1" in text
+
+    def test_accepts_snapshot_dict_and_path(self, tmp_path):
+        trace = traced_run(tmp_path)
+        from_dict = to_prometheus_text(trace)
+        from_rows = to_prometheus_text(trace["metrics"])
+        assert from_dict == from_rows
+        assert "backend_tasks_total" in from_dict
+        assert "stage_seconds_bucket" in from_dict
+
+    def test_output_sorted_and_deterministic(self, tmp_path):
+        trace = traced_run(tmp_path)
+        a = write_prometheus_text(trace, tmp_path / "a.prom").read_bytes()
+        b = write_prometheus_text(trace, tmp_path / "b.prom").read_bytes()
+        assert a == b
+        names = [
+            line.split(" ", 3)[2]
+            for line in a.decode().splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert names == sorted(names)
+
+    def test_empty_metrics_yield_empty_text(self):
+        assert to_prometheus_text([]) == ""

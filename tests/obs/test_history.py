@@ -1,0 +1,175 @@
+"""Run archive: content addressing, idempotence, and cross-run diffing."""
+
+import json
+
+import pytest
+
+from repro.obs.analyze import analyze_trace
+from repro.obs.history import (
+    RunArchive,
+    RunRecord,
+    diff_stage_seconds,
+    load_baseline_stages,
+    regression_limit,
+)
+
+from .test_analyze import traced_run
+
+
+class TestRegressionLimit:
+    def test_single_sample_degrades_to_tolerance_plus_floor(self):
+        # one committed measurement: MAD is zero, so the limit is the
+        # classic rel-tolerance / abs-floor gate
+        center, limit = regression_limit([2.0], rel_floor=0.25, abs_floor=0.005)
+        assert center == 2.0
+        assert limit == pytest.approx(2.5)
+        center, limit = regression_limit([0.001], rel_floor=0.25, abs_floor=0.005)
+        assert limit == pytest.approx(0.006)
+
+    def test_mad_band_widens_with_spread(self):
+        tight = regression_limit([1.0, 1.01, 0.99, 1.0])[1]
+        loose = regression_limit([1.0, 1.5, 0.5, 1.0])[1]
+        assert loose > tight
+
+    def test_outlier_run_does_not_widen_band(self):
+        # a single cold-cache run must not stretch the limit
+        _, clean = regression_limit([1.0, 1.0, 1.0, 1.0, 1.0])
+        _, with_outlier = regression_limit([1.0, 1.0, 1.0, 1.0, 50.0])
+        assert with_outlier == pytest.approx(clean)
+
+
+class TestDiff:
+    HISTORY = [
+        {"a": 1.0, "b": 0.5},
+        {"a": 1.1, "b": 0.5},
+        {"a": 0.9, "b": 0.5},
+    ]
+
+    def test_ok_when_within_band(self):
+        diff = diff_stage_seconds({"a": 1.0, "b": 0.5}, self.HISTORY)
+        assert not diff.regressed
+        assert {s.verdict for s in diff.stages} == {"ok"}
+
+    def test_regression_flagged(self):
+        diff = diff_stage_seconds({"a": 5.0, "b": 0.5}, self.HISTORY)
+        assert diff.regressed
+        (reg,) = diff.regressions
+        assert reg.stage == "a"
+        assert reg.ratio > 4
+
+    def test_improvement_flagged(self):
+        diff = diff_stage_seconds({"a": 0.1, "b": 0.5}, self.HISTORY)
+        verdicts = {s.stage: s.verdict for s in diff.stages}
+        assert verdicts["a"] == "improved"
+
+    def test_new_and_missing_stages(self):
+        diff = diff_stage_seconds({"a": 1.0, "c": 2.0}, self.HISTORY)
+        verdicts = {s.stage: s.verdict for s in diff.stages}
+        assert verdicts == {"a": "ok", "b": "missing", "c": "new"}
+        assert not diff.regressed
+
+    def test_throughput_direction_flips(self):
+        history = [{"a": 100.0}, {"a": 101.0}, {"a": 99.0}]
+        drop = diff_stage_seconds({"a": 10.0}, history, higher_is_worse=False)
+        assert drop.regressed
+        rise = diff_stage_seconds({"a": 500.0}, history, higher_is_worse=False)
+        assert not rise.regressed
+
+    def test_render_and_dict_deterministic(self):
+        diff = diff_stage_seconds({"a": 5.0}, self.HISTORY)
+        assert diff.render_table() == diff.render_table()
+        a = json.dumps(diff.to_dict(), sort_keys=True)
+        b = json.dumps(
+            diff_stage_seconds({"a": 5.0}, self.HISTORY).to_dict(), sort_keys=True
+        )
+        assert a == b
+        assert "REGRESSED" in diff.summary()
+
+
+class TestArchive:
+    def test_archive_and_read_back(self, tmp_path):
+        trace = traced_run(tmp_path)
+        archive = RunArchive(tmp_path / "runs")
+        record = archive.archive(trace, labels={"seed": "0"})
+        assert len(record.run_id) == 16
+        assert record.pipeline == "ana"
+        assert record.labels == {"seed": "0"}
+        assert len(archive) == 1
+        fetched = archive.get(record.run_id[:6])
+        assert fetched.run_id == record.run_id
+        assert fetched.stage_seconds == record.stage_seconds
+
+    def test_rearchive_is_idempotent(self, tmp_path):
+        trace = traced_run(tmp_path)
+        archive = RunArchive(tmp_path / "runs")
+        first = archive.archive(trace)
+        second = archive.archive(trace)
+        assert first.run_id == second.run_id
+        assert len(archive) == 1
+        index_lines = (tmp_path / "runs" / "index.jsonl").read_text().splitlines()
+        assert len(index_lines) == 1
+
+    def test_different_traces_get_different_ids(self, tmp_path):
+        archive = RunArchive(tmp_path / "runs")
+        a = archive.archive(traced_run(tmp_path, n_map_items=4))
+        b = archive.archive(traced_run(tmp_path, n_map_items=6))
+        assert a.run_id != b.run_id
+        assert len(archive) == 2
+
+    def test_archived_trace_is_reanalyzable(self, tmp_path):
+        trace = traced_run(tmp_path)
+        archive = RunArchive(tmp_path / "runs")
+        record = archive.archive(trace)
+        copied = archive.run_dir(record.run_id) / "trace"
+        report = analyze_trace(copied)
+        assert report.to_dict() == record.report
+
+    def test_get_unknown_and_ambiguous(self, tmp_path):
+        archive = RunArchive(tmp_path / "runs")
+        with pytest.raises(KeyError):
+            archive.get("doesnotexist")
+        archive.archive(traced_run(tmp_path, n_map_items=4))
+        archive.archive(traced_run(tmp_path, n_map_items=6))
+        with pytest.raises(KeyError):
+            archive.get("")  # every id matches the empty prefix
+
+    def test_records_filter_by_pipeline(self, tmp_path):
+        archive = RunArchive(tmp_path / "runs")
+        archive.archive(traced_run(tmp_path))
+        assert len(archive.records(pipeline="ana")) == 1
+        assert archive.records(pipeline="other") == []
+
+    def test_record_round_trip(self, tmp_path):
+        record = RunArchive(tmp_path / "runs").archive(traced_run(tmp_path))
+        restored = RunRecord.from_dict(record.to_dict())
+        assert restored == record
+
+
+class TestLoadBaseline:
+    def test_bench_file_shape(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"stage_seconds": {"a": 1.5, "b": 0.25}}))
+        label, stages = load_baseline_stages(path)
+        assert label == "BENCH_x.json"
+        assert stages == {"a": 1.5, "b": 0.25}
+
+    def test_trace_report_shape(self, tmp_path):
+        report = analyze_trace(traced_run(tmp_path))
+        path = tmp_path / "report.json"
+        path.write_text(report.to_json())
+        _, stages = load_baseline_stages(path)
+        assert stages == pytest.approx(
+            {k: round(v, 6) for k, v in report.stage_seconds.items()}
+        )
+
+    def test_friendly_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_baseline_stages(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_baseline_stages(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text("{\"other\": 1}")
+        with pytest.raises(ValueError, match="neither"):
+            load_baseline_stages(wrong)

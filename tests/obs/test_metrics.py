@@ -89,6 +89,59 @@ class TestHistogram:
         assert len(d["counts"]) == len(DEFAULT_BUCKETS) + 1
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+        assert Histogram().quantile(0.99) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_single_observation_clamped_to_observed_value(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(3.0)
+        # any quantile of one sample is that sample, never a bucket edge
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 3.0
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram(buckets=(0.0, 10.0))
+        for v in (1.0, 3.0, 5.0, 7.0, 9.0):
+            h.observe(v)
+        # all five land in the (0, 10] bucket; p50 interpolates linearly
+        p50 = h.quantile(0.5)
+        assert 4.0 <= p50 <= 6.0
+        assert h.quantile(0.1) < h.quantile(0.9)
+
+    def test_overflow_bucket_returns_observed_max(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(100.0)
+        h.observe(200.0)
+        # ranks landing in +inf have no finite upper edge to interpolate to
+        assert h.quantile(0.99) == 200.0
+
+    def test_first_bucket_lower_edge_uses_observed_min(self):
+        h = Histogram(buckets=(10.0, 20.0))
+        for v in (2.0, 4.0, 6.0, 8.0):
+            h.observe(v)
+        p25 = h.quantile(0.25)
+        assert 2.0 <= p25 <= 8.0
+
+    def test_quantiles_monotone_and_bounded(self):
+        h = Histogram()
+        values = [0.003, 0.02, 0.07, 0.4, 0.9, 2.0, 4.0, 8.0]
+        for v in values:
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+        assert all(min(values) <= q <= max(values) for q in qs)
+
+
 def _fill(hist, values):
     for v in values:
         hist.observe(v)

@@ -97,6 +97,74 @@ class TestJsonlSink:
         assert row["type"] == "span"
 
 
+class TestTornWriterTolerance:
+    """A writer dying mid-record must never poison later reads."""
+
+    CASES = [
+        (SPANS_NAME, "span", "spans"),
+        (METRICS_NAME, "metric", "metrics"),
+        (EVENTS_NAME, "event", "events"),
+    ]
+
+    @pytest.mark.parametrize("filename,record_type,key", CASES)
+    def test_torn_final_record_of_each_type(
+        self, tmp_path, filename, record_type, key
+    ):
+        trace_dir = tmp_path / "trace"
+        sink = JsonlTelemetrySink(trace_dir)
+        emit = {
+            "span": sink.emit_span,
+            "metric": sink.emit_metric,
+            "event": sink.emit_event,
+        }[record_type]
+        emit({"name": "good-1"})
+        emit({"name": "good-2"})
+        sink.close()
+        # simulate the writer dying mid-append: half a record, no newline
+        with open(trace_dir / filename, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "type": "%s", "name": "to' % record_type)
+        trace = read_trace(trace_dir)
+        assert [r["name"] for r in trace[key]] == ["good-1", "good-2"]
+
+    @pytest.mark.parametrize("filename,record_type,key", CASES)
+    def test_torn_record_mid_file_skipped(
+        self, tmp_path, filename, record_type, key
+    ):
+        trace_dir = tmp_path / "trace"
+        trace_dir.mkdir()
+        good = json.dumps(envelope(record_type, {"name": "good"}))
+        (trace_dir / filename).write_text(
+            '{"schema": 1, "type": "%s", "na\n' % record_type + good + "\n"
+        )
+        trace = read_trace(trace_dir)
+        assert [r["name"] for r in trace[key]] == ["good"]
+
+    def test_concurrent_append_round_trip(self, tmp_path):
+        import threading
+
+        path = tmp_path / "out.jsonl"
+        n_threads, n_batches, batch = 8, 10, 5
+
+        def append(thread_id):
+            for b in range(n_batches):
+                rows = [
+                    {"t": thread_id, "b": b, "i": i} for i in range(batch)
+                ]
+                write_jsonl(path, rows, append=True)
+
+        threads = [
+            threading.Thread(target=append, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        rows = read_jsonl(path)
+        assert len(rows) == n_threads * n_batches * batch
+        seen = {(r["t"], r["b"], r["i"]) for r in rows}
+        assert len(seen) == n_threads * n_batches * batch
+
+
 class TestTelemetryExport:
     def test_export_covers_spans_metrics_events(self, tmp_path):
         telemetry = Telemetry()

@@ -140,8 +140,16 @@ class TestTelemetryCommands:
         table_lines = [line for line in out.splitlines() if line.startswith(("run:", "stage:", "backend."))]
         assert len(table_lines) == 1
 
-    def test_telemetry_summary_empty_dir_fails(self, tmp_path, capsys):
+    def test_telemetry_summary_missing_dir_fails_with_hint(self, tmp_path, capsys):
         assert main(["telemetry", "summary", str(tmp_path / "nothing")]) == 1
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "--trace-dir" in err  # tells the user how to produce one
+
+    def test_telemetry_summary_empty_dir_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["telemetry", "summary", str(empty)]) == 1
         assert "no spans" in capsys.readouterr().err
 
     def test_telemetry_export_merges_one_stream(self, traced_run, tmp_path, capsys):
@@ -157,10 +165,218 @@ class TestTelemetryCommands:
         assert len(combined) == expected
         assert {r["type"] for r in combined} == {"span", "metric", "event"}
 
-    def test_telemetry_export_empty_dir_fails(self, tmp_path, capsys):
+    def test_telemetry_export_missing_dir_fails_with_hint(self, tmp_path, capsys):
         out_path = tmp_path / "combined.jsonl"
         assert main(["telemetry", "export", str(tmp_path / "none"), "--jsonl", str(out_path)]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_telemetry_export_empty_dir_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        out_path = tmp_path / "combined.jsonl"
+        assert main(["telemetry", "export", str(empty), "--jsonl", str(out_path)]) == 1
         assert "no telemetry records" in capsys.readouterr().err
+
+    def test_telemetry_export_requires_a_format(self, traced_run, capsys):
+        _, trace_dir, _ = traced_run
+        capsys.readouterr()
+        assert main(["telemetry", "export", str(trace_dir)]) == 2
+        assert "--jsonl" in capsys.readouterr().err
+
+    def test_telemetry_export_chrome_and_prometheus(self, traced_run, tmp_path, capsys):
+        _, trace_dir, _ = traced_run
+        chrome = tmp_path / "trace.chrome.json"
+        prom = tmp_path / "metrics.prom"
+        capsys.readouterr()
+        assert main([
+            "telemetry", "export", str(trace_dir),
+            "--chrome", str(chrome), "--prom", str(prom),
+        ]) == 0
+        import json
+
+        doc = json.loads(chrome.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs and all(
+            isinstance(e["ts"], (int, float)) and isinstance(e["dur"], (int, float))
+            for e in xs
+        )
+        text = prom.read_text()
+        assert "# TYPE" in text and "stage_seconds_bucket" in text
+
+
+class TestAnalyticsCLI:
+    """telemetry critical-path / diff plus the runs archive commands."""
+
+    @pytest.fixture(scope="class")
+    def archived_run(self, tmp_path_factory):
+        """One traced + archived climate run shared by the analytics tests."""
+        base = tmp_path_factory.mktemp("analytics")
+        trace_dir = base / "trace"
+        runs_root = base / "runs"
+        code = main([
+            "run", "climate",
+            "--workdir", str(base / "work"),
+            "--trace-dir", str(trace_dir),
+            "--archive-dir", str(runs_root),
+        ])
+        return code, trace_dir, runs_root
+
+    def test_critical_path_renders(self, archived_run, capsys):
+        code, trace_dir, _ = archived_run
+        assert code == 0
+        capsys.readouterr()
+        assert main(["telemetry", "critical-path", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "run:climate" in out
+        assert "stage rollups" in out
+
+    def test_critical_path_json_is_deterministic(self, archived_run, capsys):
+        _, trace_dir, _ = archived_run
+        capsys.readouterr()
+        assert main(["telemetry", "critical-path", str(trace_dir), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["telemetry", "critical-path", str(trace_dir), "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        report = json.loads(first)
+        assert report["pipeline"] == "climate"
+        assert report["critical_path"]
+
+    def test_critical_path_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["telemetry", "critical-path", str(tmp_path / "no")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_diff_against_baseline_file(self, archived_run, tmp_path, capsys):
+        _, trace_dir, _ = archived_run
+        import json
+
+        baseline = tmp_path / "BENCH_base.json"
+        capsys.readouterr()
+        assert main(["telemetry", "critical-path", str(trace_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        stages = {s["stage"]: s["wall_s"] for s in report["stages"]}
+        baseline.write_text(json.dumps({"stage_seconds": stages}))
+        assert main([
+            "telemetry", "diff", str(trace_dir), "--against", str(baseline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_base.json" in out
+        assert "ok" in out
+
+    def test_diff_output_is_deterministic(self, archived_run, tmp_path, capsys):
+        _, trace_dir, _ = archived_run
+        import json
+
+        baseline = tmp_path / "BENCH_base.json"
+        capsys.readouterr()
+        assert main(["telemetry", "critical-path", str(trace_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        stages = {s["stage"]: s["wall_s"] for s in report["stages"]}
+        baseline.write_text(json.dumps({"stage_seconds": stages}))
+        outs = []
+        for _ in range(2):
+            assert main([
+                "telemetry", "diff", str(trace_dir),
+                "--against", str(baseline), "--json",
+            ]) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+    def test_diff_fail_on_regress_gates(self, archived_run, tmp_path, capsys):
+        _, trace_dir, _ = archived_run
+        import json
+
+        # a baseline that claims every stage used to be ~instant
+        capsys.readouterr()
+        assert main(["telemetry", "critical-path", str(trace_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        stages = {s["stage"]: 1e-9 for s in report["stages"]}
+        baseline = tmp_path / "BENCH_fast.json"
+        baseline.write_text(json.dumps({"stage_seconds": stages}))
+        assert main([
+            "telemetry", "diff", str(trace_dir), "--against", str(baseline),
+        ]) == 0  # informational by default
+        capsys.readouterr()
+        assert main([
+            "telemetry", "diff", str(trace_dir),
+            "--against", str(baseline), "--fail-on-regress",
+        ]) == 3
+
+    def test_diff_requires_exactly_one_baseline(self, archived_run, tmp_path, capsys):
+        _, trace_dir, runs_root = archived_run
+        capsys.readouterr()
+        assert main(["telemetry", "diff", str(trace_dir)]) == 2
+        assert "--against" in capsys.readouterr().err
+        assert main([
+            "telemetry", "diff", str(trace_dir),
+            "--against", str(tmp_path / "b.json"), "--runs-root", str(runs_root),
+        ]) == 2
+
+    def test_diff_missing_dir_fails(self, tmp_path, capsys):
+        assert main([
+            "telemetry", "diff", str(tmp_path / "no"),
+            "--against", str(tmp_path / "b.json"),
+        ]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_runs_list_and_show(self, archived_run, capsys):
+        code, _, runs_root = archived_run
+        assert code == 0
+        capsys.readouterr()
+        assert main(["runs", "list", str(runs_root)]) == 0
+        out = capsys.readouterr().out
+        assert "climate" in out
+        assert "run id" in out
+        run_id = next(
+            line.split()[0] for line in out.splitlines()
+            if line.strip() and "climate" in line
+        )
+        assert main(["runs", "show", str(runs_root), run_id[:8]]) == 0
+        import json
+
+        record = json.loads(capsys.readouterr().out)
+        assert record["pipeline"] == "climate"
+        assert record["run_id"].startswith(run_id[:8])
+
+    def test_runs_list_empty_root_fails(self, tmp_path, capsys):
+        assert main(["runs", "list", str(tmp_path / "none")]) == 1
+        assert "no archived runs" in capsys.readouterr().err
+
+    def test_runs_show_unknown_id_fails(self, archived_run, capsys):
+        _, _, runs_root = archived_run
+        capsys.readouterr()
+        assert main(["runs", "show", str(runs_root), "ffffffff"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_with_progress_and_archive(self, tmp_path, capsys):
+        assert main([
+            "run", "materials",
+            "--workdir", str(tmp_path / "work"),
+            "--progress",
+            "--archive-dir", str(tmp_path / "runs"),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "run archived as" in captured.out
+        assert (tmp_path / "runs" / "index.jsonl").exists()
+
+    def test_diff_against_runs_root_history(self, archived_run, tmp_path, capsys):
+        """Archive a second run, then diff the first trace against history."""
+        _, trace_dir, runs_root = archived_run
+        assert main([
+            "run", "climate",
+            "--workdir", str(tmp_path / "work2"),
+            "--seed", "5",
+            "--archive-dir", str(runs_root),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "telemetry", "diff", str(trace_dir), "--runs-root", str(runs_root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vs" in out
 
 
 class TestFaultToleranceCLI:
