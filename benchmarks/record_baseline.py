@@ -82,7 +82,45 @@ def measure_fig1(repeats: int) -> dict:
         "wall_seconds": round(wall, 6),
         "stage_seconds": stages,
         "telemetry_overhead": measure_telemetry_overhead(repeats),
+        "backend_walls": measure_backend_walls(repeats),
     }
+
+
+def measure_backend_walls(repeats: int) -> dict:
+    """The same fig1 plan on the serial and supervised process backends.
+
+    Puts the process backend's supervision cost (fork per fan-out, pickled
+    results over pipes, heartbeat traffic) on the perf trajectory next to
+    the serial reference.  Informational — the regression gate prices only
+    the fig1 wall — but a sudden jump in the ratio flags an IPC or
+    supervision regression before it hurts a chaos campaign.
+    """
+    from repro.core.backends import get_backend
+    from repro.core.runner import PipelineRunner
+
+    walls = {}
+    for name, options in (("serial", {}), ("process", {"workers": 2})):
+        try:
+            backend = get_backend(name, **options)
+        except (RuntimeError, ValueError):
+            continue  # e.g. process backend on a fork-less platform
+
+        def run():
+            with tempfile.TemporaryDirectory() as tmp:
+                runner = PipelineRunner(
+                    fig1.build_figure1_plan(Path(tmp), seed=0), backend=backend
+                )
+                return runner.run(fig1.make_raw_dataset(0))
+
+        wall, _ = _best_of(run, repeats)
+        walls[name] = {"wall_seconds": round(wall, 6), "width": backend.width}
+    if "serial" in walls and "process" in walls:
+        serial_s = walls["serial"]["wall_seconds"]
+        if serial_s > 0:
+            walls["process"]["vs_serial_ratio"] = round(
+                walls["process"]["wall_seconds"] / serial_s, 4
+            )
+    return walls
 
 
 def measure_telemetry_overhead(repeats: int) -> dict:

@@ -20,7 +20,14 @@ technical readiness"; this CLI is that tool::
     python -m repro quarantine re-drive DIR --domain D --output OUT
 
 ``run`` drives the layered engine: ``--backend`` picks the execution
-backend (serial, threaded, simspmd — all bitwise-equivalent),
+backend (serial, threaded, simspmd, process — all bitwise-equivalent)
+and ``--workers N`` its parallel width.  The supervised ``process``
+backend runs tasks in real worker processes under leases and heartbeats:
+crashed workers are respawned and their tasks re-queued, a task that
+kills workers repeatedly is dead-lettered as poison, ``--stage-timeout``
+is enforced *preemptively* (the overrunning worker is killed), and
+SIGINT/SIGTERM drains the run gracefully to a resumable checkpoint
+(``--inject-faults 'seed=7,kill-rate=0.05'`` rehearses all of it).
 ``--checkpoint-dir`` persists per-stage checkpoints, ``--resume``
 restarts a previously interrupted run from its last completed stage,
 ``--trace-dir`` writes the run's full telemetry (spans, metrics, events)
@@ -104,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution backend for data-parallel stage internals "
                           "(default: serial, or the cost model's pick under "
                           "--plan auto)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="parallel width for the chosen --backend (threaded/"
+                          "process worker count, simspmd rank count); "
+                          "requires --backend")
     run.add_argument("--plan", choices=["fixed", "auto"], default="fixed",
                      dest="plan_mode",
                      help="'auto' prices every (backend x workers x stripe x "
@@ -325,6 +336,7 @@ def _cmd_run(
     workdir: Path,
     seed: int,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
     plan_mode: str = "fixed",
     calibration_dir: Optional[Path] = None,
     cluster: str = "workstation",
@@ -397,12 +409,49 @@ def _cmd_run(
     # a fixed plan defaults to serial; under auto, an unset backend lets
     # the cost-model chooser pick (an explicit --backend always wins)
     if backend is None and plan_mode != "auto":
+        if workers is not None:
+            print("error: --workers requires --backend", file=sys.stderr)
+            return 2
         backend = "serial"
+    if backend is not None and workers is not None:
+        if workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        from repro.core.backends import get_backend
+
+        width_kwargs = {"threaded": "workers", "process": "workers",
+                        "simspmd": "n_ranks"}
+        kwarg = width_kwargs.get(backend)
+        if kwarg is None:
+            print(f"error: --workers is not supported for the {backend} backend",
+                  file=sys.stderr)
+            return 2
+        try:
+            backend = get_backend(backend, **{kwarg: workers})
+        except (RuntimeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if stage_timeout is not None and backend is not None:
+        backend_cls = (
+            BACKENDS.get(backend) if isinstance(backend, str) else type(backend)
+        )
+        if backend_cls is not None and not getattr(
+            backend_cls, "preemptive_timeout", False
+        ):
+            print(f"warning: --stage-timeout on the "
+                  f"{getattr(backend_cls, 'name', backend)} backend is enforced "
+                  "post-hoc only (a hung task is not killed); use --backend "
+                  "process for preemptive enforcement", file=sys.stderr)
     # --progress and --archive-dir both need telemetry even without a trace dir
     want_telemetry = trace_dir is not None or progress or archive_dir is not None
     telemetry = Telemetry() if want_telemetry else None
     archetype = classes[domain](seed=seed)
-    how = backend if backend is not None else "cost-model-chosen"
+    if backend is None:
+        how = "cost-model-chosen"
+    elif isinstance(backend, str):
+        how = backend
+    else:
+        how = f"{backend.name} (width {backend.width})"
     print(f"running {domain} archetype ({archetype.pattern_string()}) "
           f"on the {how} backend ...")
 
@@ -421,6 +470,10 @@ def _cmd_run(
 
         reporter = ProgressReporter(telemetry)
         ticker = ProgressTicker(reporter).start()
+    from repro.workers import DrainController, DrainInterrupt
+
+    drain = DrainController()
+    uninstall = drain.install()
     try:
         result = archetype.run(
             workdir,
@@ -439,10 +492,33 @@ def _cmd_run(
             plan_mode=plan_mode,
             calibration_dir=calibration_dir,
             cluster=cluster,
+            drain=drain,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except DrainInterrupt as exc:
+        where = (
+            f" before stage {exc.stage_name!r}"
+            if getattr(exc, "stage_name", None)
+            else ""
+        )
+        print(f"\nrun interrupted by drain{where}: {exc}", file=sys.stderr)
+        _save_dead_letters(getattr(exc, "dead_letters", []) or [])
+        if telemetry is not None and trace_dir is not None:
+            telemetry.export(
+                JsonlTelemetrySink(trace_dir), events=getattr(exc, "events", [])
+            )
+            print(f"partial trace written to {trace_dir}", file=sys.stderr)
+        counters = getattr(exc, "worker_counters", None)
+        if counters:
+            print("worker supervision: "
+                  + ", ".join(f"{k}={v}" for k, v in sorted(counters.items())),
+                  file=sys.stderr)
+        if checkpoint_dir is not None:
+            print(f"resume with: --checkpoint-dir {checkpoint_dir} --resume",
+                  file=sys.stderr)
+        return 130
     except PipelineError as exc:
         where = f" (stage {exc.stage_name!r})" if exc.stage_name else ""
         print(f"error{where}: {exc}", file=sys.stderr)
@@ -456,6 +532,7 @@ def _cmd_run(
             print(f"partial trace written to {trace_dir}", file=sys.stderr)
         return 1
     finally:
+        uninstall()
         if ticker is not None:
             ticker.stop()
     run = result.run
@@ -484,15 +561,27 @@ def _cmd_run(
         skipped = run.resumed_from + 1
         print(f"resumed from checkpoint: {skipped} stage(s) restored, not re-run")
     print(run.summary_table())
-    if injector is not None or run.total_retries or len(run.dead_letters):
+    unenforceable = [
+        e for e in run.events if e.kind.value == "timeout-unenforceable"
+    ]
+    if (injector is not None or run.total_retries or len(run.dead_letters)
+            or unenforceable):
         print(section("fault tolerance"))
         if injector is not None:
             print(injector.describe())
         print(f"retries spent: {run.total_retries} "
               f"(stage-level + task-level, across all stages)")
+        for event in unenforceable:
+            print(f"note: {event.detail}")
         if len(run.dead_letters):
             print("\ndead letters:")
             print(run.dead_letters.render())
+    if run.worker_counters or run.worker_crashes:
+        print(section("worker supervision"))
+        print(", ".join(f"{k}={v}" for k, v in sorted(run.worker_counters.items()))
+              or "no supervision activity")
+        for crash in run.worker_crashes:
+            print(f"  {crash.describe()}")
     _save_dead_letters(run.dead_letters)
     if gates is not None:
         print(section("data readiness gates"))
@@ -947,11 +1036,31 @@ def _cmd_runs_show(root: Path, run_id: str) -> int:
 def _cmd_backends() -> int:
     rows = []
     for name in sorted(BACKENDS):
-        backend = BACKENDS[name]()
-        rows.append((name, backend.width, (backend.__doc__ or "").splitlines()[0]))
-    print(render_table(["backend", "default width", "description"], rows))
+        cls = BACKENDS[name]
+        caps = cls.capabilities()
+        try:
+            width = cls().width
+        except (RuntimeError, ValueError):
+            width = "-"  # e.g. process backend on a fork-less platform
+        rows.append((
+            name,
+            width,
+            "yes" if caps["preemptive_timeout"] else "no",
+            "yes" if caps["survives_worker_crash"] else "no",
+            (cls.__doc__ or "").splitlines()[0],
+        ))
+    print(render_table(
+        ["backend", "default width", "preemptive timeout",
+         "survives worker crash", "description"],
+        rows,
+    ))
     print("\nall backends produce bitwise-identical payloads, statistics, "
           "and shard files for the same plan and input.")
+    print("'preemptive timeout': a blown --stage-timeout kills the running "
+          "task; otherwise the budget is enforced only after the stage "
+          "returns.")
+    print("'survives worker crash': a dying worker is respawned and its "
+          "task re-queued instead of failing the stage.")
     return 0
 
 
@@ -1004,6 +1113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.workdir,
             args.seed,
             backend=args.backend,
+            workers=args.workers,
             plan_mode=args.plan_mode,
             calibration_dir=args.calibration_dir,
             cluster=args.cluster,

@@ -5,8 +5,9 @@ The plan layer (:mod:`repro.core.plan`) describes what runs; an
 stage executes.  Stages reach their backend through ``ctx.backend`` and
 speak one small protocol — :meth:`~ExecutionBackend.map`,
 :meth:`~ExecutionBackend.stats`, :meth:`~ExecutionBackend.shard_write` —
-so the same stage code runs serially, over a thread pool, or over the
-simulated SPMD world without modification.  Three implementations ship:
+so the same stage code runs serially, over a thread pool, over the
+simulated SPMD world, or over supervised worker processes without
+modification.  Four implementations ship:
 
 * :class:`SerialBackend` — everything inline, one partition at a time
   (the reference semantics every other backend must reproduce);
@@ -14,14 +15,17 @@ simulated SPMD world without modification.  Three implementations ship:
   suited to NumPy-heavy work that releases the GIL;
 * :class:`SimSPMDBackend` — the SPMD drivers of
   :mod:`repro.parallel.executor` (rank-per-partition over SimComm), the
-  code path a real MPI port would take.
+  code path a real MPI port would take;
+* :class:`~repro.workers.backend.ProcessBackend` — a supervised pool of
+  forked worker processes (:mod:`repro.workers`), the only backend that
+  survives worker death and enforces deadlines preemptively.
 
 **Numeric reproducibility contract.**  Statistics are always computed
 over the same logical *block partition* and partials are merged in
 partition order, whichever backend runs them.  Execution strategy
-therefore never changes the numbers: Serial, Threaded, and SimSPMD
-produce bitwise-identical statistics, payloads, and shard files for the
-same plan and input.  Backend parity is enforced by tests.
+therefore never changes the numbers: Serial, Threaded, SimSPMD, and
+Process produce bitwise-identical statistics, payloads, and shard files
+for the same plan and input.  Backend parity is enforced by tests.
 
 **Task-level fault tolerance.**  Every backend runs its fanned-out map
 tasks through :meth:`~ExecutionBackend.run_task`; when a
@@ -133,6 +137,13 @@ class ExecutionBackend(abc.ABC):
     #: registry name; also used in run events and evidence details
     name: str = "abstract"
 
+    #: capability flags — what the backend can *guarantee*, surfaced in
+    #: the CLI's ``backends`` listing and branched on by the runner:
+    #: can a blown stage deadline preempt (kill) a running task, and
+    #: does a dying worker get recovered instead of failing the stage?
+    preemptive_timeout: bool = False
+    survives_worker_crash: bool = False
+
     #: task-level retry configuration, attached by the runner (or by
     #: :meth:`configure_retry`); ``None`` disables task retries
     task_retry: Optional["RetryPolicy"] = None
@@ -179,6 +190,12 @@ class ExecutionBackend(abc.ABC):
             def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
                 if stats is not None:
                     stats.record(type(exc).__name__)
+                # inside a supervised worker, `stats` is a forked copy the
+                # parent never sees; replay the retry over the pipe so the
+                # run's task-retry accounting stays backend-independent
+                from repro.workers.ipc import emit_task_event
+
+                emit_task_event("task-retry", {"error_type": type(exc).__name__})
 
             return call_with_retry(
                 lambda: fn(item),
@@ -278,6 +295,14 @@ class ExecutionBackend(abc.ABC):
         )
         (directory / MANIFEST_NAME).write_text(manifest.to_json())
         return manifest
+
+    @classmethod
+    def capabilities(cls) -> Dict[str, bool]:
+        """The capability flags as a dict (for listings and reports)."""
+        return {
+            "preemptive_timeout": bool(cls.preemptive_timeout),
+            "survives_worker_crash": bool(cls.survives_worker_crash),
+        }
 
     def describe(self) -> str:
         return f"{self.name} (width={self.width})"
@@ -440,3 +465,13 @@ def get_backend(
             f"unknown backend {spec!r}; choose from {sorted(BACKENDS)}"
         ) from None
     return cls(**options)
+
+
+# the supervised multi-process backend lives in its own package (it
+# builds on this module); a guarded import at the end of the body makes
+# registration safe under either import order, and quietly skips
+# platforms without the fork start method
+try:  # pragma: no cover - exercised on every POSIX import
+    from repro.workers.backend import ProcessBackend  # noqa: E402,F401
+except Exception:  # pragma: no cover - non-POSIX / broken interpreter
+    pass

@@ -159,6 +159,7 @@ class Pipeline:
         quarantine_dir: Union[str, Path, None] = None,
         quarantine_store: Optional[QuarantineStore] = None,
         calibration_store: Any = None,
+        drain: Any = None,
     ) -> PipelineRunner:
         """A configured :class:`PipelineRunner` for this pipeline's plan."""
         return PipelineRunner(
@@ -177,6 +178,7 @@ class Pipeline:
             quarantine_dir=quarantine_dir,
             quarantine_store=quarantine_store,
             calibration_store=calibration_store,
+            drain=drain,
         )
 
     def run(
@@ -199,6 +201,7 @@ class Pipeline:
         quarantine_dir: Union[str, Path, None] = None,
         quarantine_store: Optional[QuarantineStore] = None,
         calibration_store: Any = None,
+        drain: Any = None,
     ) -> PipelineRun:
         """Execute all stages; provenance is captured per transition.
 
@@ -233,5 +236,6 @@ class Pipeline:
             quarantine_dir=quarantine_dir,
             quarantine_store=quarantine_store,
             calibration_store=calibration_store,
+            drain=drain,
         )
         return runner.run(payload, context, resume=resume)

@@ -80,6 +80,7 @@ from repro.obs.tracing import Span, SpanStatus
 from repro.provenance.graph import LineageGraph
 from repro.provenance.record import ProvenanceRecord
 from repro.provenance.store import ProvenanceStore
+from repro.workers.drain import DrainController, DrainInterrupt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.calibrate import CalibrationStore
@@ -249,6 +250,12 @@ class RunEventKind(enum.Enum):
     GATE_FAILED = "gate-failed"
     RUN_COMPLETED = "run-completed"
     RUN_FAILED = "run-failed"
+    #: a drain (SIGINT/SIGTERM or programmatic) stopped the run at a
+    #: checkpoint-consistent point; resume picks up where it left off
+    RUN_INTERRUPTED = "run-interrupted"
+    #: a stage deadline is configured but the backend cannot preempt a
+    #: running task — the budget is enforced post-hoc only
+    TIMEOUT_UNENFORCEABLE = "timeout-unenforceable"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -299,6 +306,12 @@ class PipelineRun:
     )
     #: data-gate verdicts, one per contract evaluation, in order
     gate_reports: List[GateReport] = dataclasses.field(default_factory=list)
+    #: worker crash/hang/lease-expiry events, when the backend supervises
+    #: worker processes (empty for in-process backends)
+    worker_crashes: List[Any] = dataclasses.field(default_factory=list)
+    #: cumulative supervision counters (worker_restarts, tasks_requeued,
+    #: leases_expired, poison_tasks, heartbeats) from a supervised backend
+    worker_counters: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def records_quarantined(self) -> int:
@@ -730,6 +743,7 @@ class PipelineRunner:
         quarantine_dir: Union[str, Path, None] = None,
         quarantine_store: Optional[QuarantineStore] = None,
         calibration_store: Optional["CalibrationStore"] = None,
+        drain: Optional[DrainController] = None,
     ):
         self.plan = plan
         self.backend = get_backend(backend)
@@ -767,6 +781,11 @@ class PipelineRunner:
         #: where a scheduled run's predicted-vs-actual stage seconds are
         #: recorded (see :mod:`repro.sched.calibrate`); None = no feedback
         self.calibration_store = calibration_store
+        #: cooperative stop flag (SIGINT/SIGTERM or programmatic): when it
+        #: trips, the run stops at the next checkpoint-consistent point —
+        #: a stage boundary, or mid-stage on drain-capable backends — and
+        #: raises :class:`~repro.workers.drain.DrainInterrupt`
+        self.drain = drain
 
     def _stage_policy(
         self, stage: PipelineStage
@@ -895,6 +914,13 @@ class PipelineRunner:
 
         base = self.backend
         base.configure_retry(None, clock=self.fault_clock, stats=task_stats)
+        #: does the backend supervise worker processes (crash recovery,
+        #: leases, heartbeats)?  drives the worker-metric flush below
+        supervised = getattr(base, "survives_worker_crash", False)
+        if self.drain is not None and hasattr(base, "drain"):
+            # drain-capable backends check the flag between task grants,
+            # so a signal stops the run mid-stage, not just at boundaries
+            base.drain = self.drain
         backend: ExecutionBackend = base
         if injector is not None:
             backend = injector.wrap_backend(backend)
@@ -932,6 +958,22 @@ class PipelineRunner:
         context.audit.record(
             context.agent, "run-started", self.plan.name, backend=self.backend.name
         )
+        any_timeout = self.stage_timeout is not None or any(
+            s.timeout is not None for s in self.plan.stages
+        )
+        if any_timeout and not getattr(base, "preemptive_timeout", False):
+            # satellite of the supervision work: make the limitation of
+            # cooperative deadlines explicit instead of silently weaker
+            self._emit(
+                events,
+                RunEventKind.TIMEOUT_UNENFORCEABLE,
+                detail=(
+                    f"backend {base.name!r} cannot preempt a running stage; "
+                    "deadlines are enforced post-hoc only (a hung task is "
+                    "not killed) — use --backend process for preemptive "
+                    "enforcement"
+                ),
+            )
         if decision is not None:
             self._emit(
                 events,
@@ -1011,6 +1053,92 @@ class PipelineRunner:
                         pipeline=self.plan.name,
                         kind=fault.kind,
                     ).inc()
+
+        _WORKER_METRICS = {
+            "worker_restarts": "worker_restarts_total",
+            "leases_expired": "leases_expired_total",
+            "tasks_requeued": "tasks_requeued_total",
+            "poison_tasks": "poison_tasks_total",
+        }
+
+        def _flush_workers(
+            mark: int,
+            before: Dict[str, int],
+            span: Optional[Span],
+            stage_name: str,
+        ) -> None:
+            """Surface this stage's worker crashes as span events/counters."""
+            if not supervised:
+                return
+            for crash in base.crash_events[mark:]:
+                if span is not None:
+                    span.add_event(
+                        "worker_crash",
+                        worker=crash.worker_id,
+                        reason=crash.reason,
+                        task=crash.task_id,
+                        attempt=crash.attempt,
+                        requeued=crash.requeued,
+                    )
+            if telemetry is not None:
+                for key, metric in _WORKER_METRICS.items():
+                    delta = base.worker_counters.get(key, 0) - before.get(key, 0)
+                    if delta:
+                        telemetry.metrics.counter(
+                            metric, pipeline=self.plan.name, stage=stage_name
+                        ).inc(delta)
+                telemetry.metrics.gauge(
+                    "worker_heartbeat_gap_seconds", pipeline=self.plan.name
+                ).set(base.heartbeat_gap_max)
+
+        def _interrupt(
+            exc: DrainInterrupt,
+            stage_name: Optional[str],
+            stage_index: Optional[int],
+            stage_span: Optional[Span],
+        ) -> None:
+            """Wind the run down after a drain: spans, metrics, audit, raise.
+
+            The last completed stage's checkpoint is already on disk (saves
+            are atomic), so ``--resume`` continues bitwise-faithfully.
+            """
+            detail = str(exc) or "drain requested"
+            if telemetry is not None:
+                if stage_span is not None:
+                    telemetry.tracer.end_span(
+                        stage_span, status=SpanStatus.ERROR, error=detail
+                    )
+                telemetry.tracer.end_span(
+                    run_span, status=SpanStatus.ERROR, error="run interrupted (drain)"
+                )
+                telemetry.metrics.counter(
+                    "runs_total", pipeline=self.plan.name, status="interrupted"
+                ).inc()
+            context.current_span = None
+            context.audit.record(
+                context.agent,
+                "run-interrupted",
+                stage_name or self.plan.name,
+                detail=detail,
+            )
+            self._emit(
+                events,
+                RunEventKind.RUN_INTERRUPTED,
+                stage_name=stage_name,
+                stage_index=stage_index,
+                detail=detail,
+            )
+            exc.stage_name = stage_name
+            exc.stage_index = stage_index
+            exc.events = events  # type: ignore[attr-defined]
+            exc.dead_letters = dead_letters  # type: ignore[attr-defined]
+            exc.worker_crashes = (  # type: ignore[attr-defined]
+                list(base.crash_events) if supervised else []
+            )
+            exc.worker_counters = (  # type: ignore[attr-defined]
+                dict(base.worker_counters) if supervised else {}
+            )
+            raise exc
 
         def _record_gate(report: GateReport, stage: PipelineStage, span) -> None:
             """Flow one gate verdict into telemetry, audit, and the event log."""
@@ -1151,8 +1279,24 @@ class PipelineRunner:
 
         for index in range(start_index, len(self.plan.stages)):
             stage = self.plan.stages[index]
+            if self.drain is not None and self.drain.requested:
+                # boundary drain: the previous stage's checkpoint is the
+                # resume point; this stage never starts
+                _interrupt(
+                    DrainInterrupt(
+                        f"drain requested before stage {stage.name!r} "
+                        "(previous checkpoint is the resume point)"
+                    ),
+                    stage.name,
+                    index,
+                    None,
+                )
             mode, policy, timeout = self._stage_policy(stage)
             base.task_retry = policy
+            if hasattr(base, "lease_timeout"):
+                # preemptive deadline: the supervisor SIGKILLs a worker
+                # whose lease outlives the stage budget
+                base.lease_timeout = timeout
             evidence_before = len(context.evidence)
             self._emit(
                 events,
@@ -1208,15 +1352,24 @@ class PipelineRunner:
             retry_key = f"{self.plan.name}:{stage.name}"
             task_before = task_stats.retries
             injected_mark = len(injector.log) if injector is not None else 0
+            worker_mark = len(base.crash_events) if supervised else 0
+            counters_before = dict(base.worker_counters) if supervised else {}
             attempts = 0
             elapsed = 0.0
             stage_error: Optional[BaseException] = None
+            drain_exc: Optional[DrainInterrupt] = None
             while True:
                 attempts += 1
                 started = time.perf_counter()
                 attempt_error: Optional[BaseException] = None
                 try:
                     candidate = stage.fn(current, context)
+                except DrainInterrupt as exc:
+                    # mid-stage drain from a drain-capable backend: stop
+                    # here — never retried, never dead-lettered
+                    elapsed += time.perf_counter() - started
+                    drain_exc = exc
+                    break
                 except Exception as exc:
                     attempt_error = exc
                 elapsed += time.perf_counter() - started
@@ -1289,6 +1442,10 @@ class PipelineRunner:
                 telemetry.metrics.counter(
                     "task_retries_total", pipeline=self.plan.name, stage=stage.name
                 ).inc(task_retries)
+            if drain_exc is not None:
+                _flush_injected(injected_mark, stage_span)
+                _flush_workers(worker_mark, counters_before, stage_span, stage.name)
+                _interrupt(drain_exc, stage.name, index, stage_span)
             if stage_error is not None:
                 fault_kind = classify_fault(stage_error)
                 record = DeadLetterRecord(
@@ -1317,6 +1474,9 @@ class PipelineRunner:
                     # dead-lettered for re-driving
                     if telemetry is not None:
                         _flush_injected(injected_mark, stage_span)
+                        _flush_workers(
+                            worker_mark, counters_before, stage_span, stage.name
+                        )
                         stage_span.set_attributes(
                             degraded=True, attempts=attempts, task_retries=task_retries
                         )
@@ -1330,6 +1490,9 @@ class PipelineRunner:
                         ).inc()
                     else:
                         _flush_injected(injected_mark, stage_span)
+                        _flush_workers(
+                            worker_mark, counters_before, stage_span, stage.name
+                        )
                     context.current_span = None
                     context.audit.record(
                         context.agent,
@@ -1368,6 +1531,9 @@ class PipelineRunner:
                     continue
                 if telemetry is not None:
                     _flush_injected(injected_mark, stage_span)
+                    _flush_workers(
+                        worker_mark, counters_before, stage_span, stage.name
+                    )
                     telemetry.tracer.end_span(
                         stage_span,
                         status=SpanStatus.ERROR,
@@ -1383,6 +1549,9 @@ class PipelineRunner:
                     ).inc()
                 else:
                     _flush_injected(injected_mark, stage_span)
+                    _flush_workers(
+                        worker_mark, counters_before, stage_span, stage.name
+                    )
                 context.current_span = None
                 context.audit.record(
                     context.agent, "stage-failed", stage.name, error=str(stage_error)
@@ -1422,6 +1591,7 @@ class PipelineRunner:
             out_items = payload_items(current)
             out_bytes = payload_nbytes(current)
             _flush_injected(injected_mark, stage_span)
+            _flush_workers(worker_mark, counters_before, stage_span, stage.name)
             if telemetry is not None:
                 delta = profiler.stop()
                 items_per_s = throughput(out_items, elapsed)
@@ -1594,4 +1764,6 @@ class PipelineRunner:
             dead_letters=dead_letters,
             quarantined=quarantined,
             gate_reports=list(context.gate_reports),
+            worker_crashes=list(base.crash_events) if supervised else [],
+            worker_counters=dict(base.worker_counters) if supervised else {},
         )

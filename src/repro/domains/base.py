@@ -130,6 +130,7 @@ class DomainArchetype(abc.ABC):
         calibration_store: Optional["CalibrationStore"] = None,
         calibration_dir: Union[str, Path, None] = None,
         cluster: Any = None,
+        drain: Any = None,
     ) -> ArchetypeResult:
         """Synthesize a source, run the pipeline, assess, detect challenges.
 
@@ -209,6 +210,7 @@ class DomainArchetype(abc.ABC):
             gates=gates,
             quarantine_dir=quarantine_dir,
             calibration_store=calibration_store,
+            drain=drain,
         )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):

@@ -25,8 +25,10 @@ from repro.faults.errors import (
     FaultKind,
     OnError,
     PermanentFaultError,
+    PoisonTaskError,
     StageTimeoutError,
     TransientFaultError,
+    WorkerCrash,
     classify_fault,
     is_transient,
 )
@@ -54,6 +56,8 @@ __all__ = [
     "TransientFaultError",
     "PermanentFaultError",
     "StageTimeoutError",
+    "WorkerCrash",
+    "PoisonTaskError",
     "OnError",
     "classify_fault",
     "is_transient",

@@ -118,16 +118,28 @@ class DeadLetterLog:
         ``append=True`` (the default) extends an existing file, so
         successive runs pointed at one ``--dead-letter-dir`` accumulate
         a campaign-wide ledger of undone work.
+
+        The write is **crash-safe**: existing rows are read back (torn
+        trailing lines from a previous crash are dropped, exactly as
+        :meth:`load` would drop them), the merged ledger is written to a
+        temporary file, and ``os.replace`` swaps it in atomically.  A
+        worker kill or power loss mid-save therefore leaves either the
+        old complete ledger or the new complete ledger — never a torn
+        one growing silently at the tail.
         """
-        from repro.obs.sinks import envelope, write_jsonl
+        import os
+
+        from repro.obs.sinks import envelope, read_jsonl, write_jsonl
 
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        write_jsonl(
-            path,
-            [envelope("dead-letter", r.to_dict()) for r in self._records],
-            append=append,
-        )
+        rows: List[Dict[str, object]] = []
+        if append:
+            rows.extend(read_jsonl(path))
+        rows.extend(envelope("dead-letter", r.to_dict()) for r in self._records)
+        tmp = path.with_name(path.name + ".tmp")
+        write_jsonl(tmp, rows)
+        os.replace(tmp, path)
         return path
 
     @classmethod

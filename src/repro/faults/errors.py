@@ -32,6 +32,8 @@ __all__ = [
     "TransientFaultError",
     "PermanentFaultError",
     "StageTimeoutError",
+    "WorkerCrash",
+    "PoisonTaskError",
     "OnError",
     "classify_fault",
     "is_transient",
@@ -59,6 +61,26 @@ class PermanentFaultError(RuntimeError):
 
 class StageTimeoutError(TransientFaultError):
     """A stage exceeded its deadline budget (slow rank, stuck filesystem)."""
+
+
+class WorkerCrash(TransientFaultError):
+    """A worker process died mid-task (OOM kill, eviction, segfault).
+
+    Crash, not exception: the task raised nothing — its *host* vanished.
+    Transient by taxonomy (the canonical HPC failure mode that clears on
+    retry), so a supervisor re-queues the dead worker's lease and the
+    serial/threaded backends retry the simulated equivalent in place.
+    """
+
+
+class PoisonTaskError(PermanentFaultError):
+    """One task killed K consecutive workers; re-queueing it again would
+    loop forever, so the supervisor routes it to the dead-letter store."""
+
+    def __init__(self, message: str, *, task_id: str = "", crashes: int = 0):
+        super().__init__(message)
+        self.task_id = task_id
+        self.crashes = crashes
 
 
 #: OSError subclasses that indicate a wrong *request*, not a flaky system;

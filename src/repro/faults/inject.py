@@ -24,6 +24,8 @@ backends, which is what lets the test suite demand bitwise-identical
 from __future__ import annotations
 
 import dataclasses
+import os
+import signal
 import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -31,8 +33,9 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.backends import ExecutionBackend, _shard_table
-from repro.faults.errors import TransientFaultError
+from repro.faults.errors import TransientFaultError, WorkerCrash
 from repro.faults.retry import Clock, SystemClock, _unit_draw
+from repro.workers import ipc
 
 __all__ = [
     "InjectedFaultError",
@@ -71,9 +74,18 @@ class FaultSpec:
     slow_seconds: float = 0.05
     torn_shards: int = 0
     corrupt_checkpoints: Tuple[int, ...] = ()
+    #: per-(task, lease attempt) probability that the worker executing the
+    #: task is SIGKILLed mid-flight (simulated as a WorkerCrash on
+    #: in-process backends); drawn against the *lease* attempt so a
+    #: respawned worker — whose forked injector state is fresh — still
+    #: follows the same deterministic schedule
+    worker_kill_rate: float = 0.0
+    #: task sites (e.g. ``map#2[5]``) that kill their worker on *every*
+    #: attempt: the poison tasks the supervisor must detect and dead-letter
+    poison_sites: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("transient_rate", "slow_rate"):
+        for name in ("transient_rate", "slow_rate", "worker_kill_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -87,7 +99,9 @@ class FaultSpec:
         Keys: ``seed``, ``rate`` (alias ``transient-rate``),
         ``slow-rate``, ``slow-seconds``, ``torn-shards``,
         ``corrupt-checkpoint`` (a stage index; repeatable via ``+``:
-        ``corrupt-checkpoint=2+4``).
+        ``corrupt-checkpoint=2+4``), ``kill-rate`` (alias
+        ``worker-kill-rate``), ``poison-site`` (a task site key;
+        repeatable via ``+``: ``poison-site=map#0[3]+map#2[0]``).
         """
         kwargs: Dict[str, Any] = {}
         for part in text.split(","):
@@ -113,6 +127,12 @@ class FaultSpec:
                 kwargs["corrupt_checkpoints"] = tuple(
                     int(v) for v in value.split("+") if v
                 )
+            elif key in ("kill-rate", "worker-kill-rate"):
+                kwargs["worker_kill_rate"] = float(value)
+            elif key == "poison-site":
+                kwargs["poison_sites"] = tuple(
+                    v.strip() for v in value.split("+") if v.strip()
+                )
             else:
                 raise ValueError(f"unknown --inject-faults key {key!r}")
         return cls(**kwargs)
@@ -125,7 +145,7 @@ class FaultSpec:
 class InjectedFault:
     """One realised injection, for the run's fault accounting."""
 
-    kind: str  # "transient" | "slow" | "torn-shard" | "corrupt-checkpoint"
+    kind: str  # "transient" | "slow" | "torn-shard" | "corrupt-checkpoint" | "worker-kill"
     site: str
     attempt: int
     detail: str = ""
@@ -157,6 +177,16 @@ class FaultInjector:
 
     # -- accounting --------------------------------------------------------------
     def _record(self, fault: InjectedFault) -> None:
+        with self._lock:
+            self.log.append(fault)
+        # under the process backend this injector is a fork-copy whose log
+        # dies with the worker: replicate the entry to the parent's copy
+        # via the task-event channel (no-op on in-process backends)
+        ipc.emit_task_event("fault-injected", dataclasses.asdict(fault))
+
+    def _replay(self, payload: Mapping[str, Any]) -> None:
+        """Append a fault replicated from a worker process (no re-emit)."""
+        fault = InjectedFault(**payload)
         with self._lock:
             self.log.append(fault)
 
@@ -208,6 +238,44 @@ class FaultInjector:
                     InjectedFault("slow", site, attempt, f"{spec.slow_seconds}s")
                 )
                 self.clock.sleep(spec.slow_seconds)
+        self._maybe_kill_worker(site, attempt)
+
+    def _maybe_kill_worker(self, site: str, attempt: int) -> None:
+        """Kill the executing worker process per the seeded schedule.
+
+        Poison sites kill on *every* attempt; otherwise the decision is a
+        seeded draw keyed by the **lease attempt** (supervisor-side
+        counter), not the local attempt — a respawned worker's forked
+        injector restarts its local counters, but the lease attempt keeps
+        advancing, so the schedule stays deterministic and a non-poison
+        task eventually draws a clean attempt and completes.
+
+        Inside a real worker process the kill is genuine (SIGKILL to
+        self, after replicating the log entry to the parent — the pipe
+        buffer survives the death).  On in-process backends it degrades
+        to raising :class:`WorkerCrash`, which exercises the same
+        transient-retry path without killing the test runner.
+        """
+        spec = self.spec
+        poison = site in spec.poison_sites
+        if not poison:
+            if spec.worker_kill_rate <= 0.0:
+                return
+            draw_attempt = ipc.current_lease_attempt() or attempt
+            draw = _unit_draw(spec.seed, f"kill|{site}", draw_attempt)
+            if draw >= spec.worker_kill_rate:
+                return
+        fault = InjectedFault(
+            "worker-kill", site, attempt, "poison" if poison else ""
+        )
+        self._record(fault)
+        if ipc.in_worker():
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerCrash(
+            f"injected worker kill at {site} (attempt {attempt}"
+            + (", poison task" if poison else "")
+            + ")"
+        )
 
     # -- filesystem chaos --------------------------------------------------------
     def maybe_tear_shard(self, directory: Path, shard_name: str, site: str) -> bool:
@@ -263,6 +331,19 @@ class FaultInjectingBackend(ExecutionBackend):
         self.inner = inner
         self.injector = injector
         self.name = inner.name
+        # a crash-surviving backend executes tasks in worker processes:
+        # hook its task-event channel so faults injected there are
+        # replicated into this (parent-side) injector's log
+        target: Any = inner
+        while target is not None and not hasattr(target, "add_task_event_handler"):
+            target = getattr(target, "inner", None)
+        if target is not None:
+
+            def _on_task_event(kind: str, payload: Dict[str, Any]) -> None:
+                if kind == "fault-injected":
+                    injector._replay(payload)
+
+            target.add_task_event_handler("fault-injector", _on_task_event)
 
     @property
     def width(self) -> int:

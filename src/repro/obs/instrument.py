@@ -46,7 +46,7 @@ from repro.core.backends import (
     ExecutionBackend,
     _shard_table,
 )
-from repro.obs.tracing import Span
+from repro.obs.tracing import Span, SpanStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.dataset import Dataset
@@ -74,6 +74,18 @@ class InstrumentedBackend(ExecutionBackend):
         self.stage_name: str = ""
         self.stage_span: Optional[Span] = None
         self.name = inner.name
+        # supervised backends execute tasks in worker *processes*, where
+        # a forked tracer's spans die with the worker; install parent-side
+        # hooks so each lease becomes a real "worker.task" span (opened at
+        # grant, closed at result/crash), parented to the live stage span
+        target: Any = inner
+        while target is not None and not hasattr(target, "worker_span_hooks"):
+            target = getattr(target, "inner", None)
+        if target is not None:
+            target.worker_span_hooks = (
+                self._open_worker_span,
+                self._close_worker_span,
+            )
 
     @property
     def width(self) -> int:
@@ -83,6 +95,29 @@ class InstrumentedBackend(ExecutionBackend):
         """Point subsequent operations at the currently executing stage."""
         self.stage_name = stage_name
         self.stage_span = stage_span
+
+    # -- worker-process spans (supervised backends) ------------------------------
+    def _open_worker_span(
+        self, *, task_id: str, worker: int, index: int, attempt: int
+    ) -> Span:
+        return self.telemetry.tracer.start_span(
+            "worker.task",
+            parent=self.stage_span,
+            backend=self.inner.name,
+            stage=self.stage_name,
+            task_id=task_id,
+            worker=worker,
+            index=index,
+            attempt=attempt,
+        )
+
+    def _close_worker_span(self, span: Span, error: Optional[str] = None) -> None:
+        if error:
+            self.telemetry.tracer.end_span(
+                span, status=SpanStatus.ERROR, error=error
+            )
+        else:
+            self.telemetry.tracer.end_span(span)
 
     # -- recording helpers -------------------------------------------------------
     def _labels(self, op: str) -> Dict[str, object]:

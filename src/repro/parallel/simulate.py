@@ -265,6 +265,7 @@ class PipelineScalingModel:
         *,
         stripe_count: Optional[int] = None,
         batch_records: Optional[int] = None,
+        ipc_per_task_s: Optional[float] = None,
     ) -> StageCost:
         """Price one stage at *ranks* workers with optional I/O tuning.
 
@@ -277,6 +278,12 @@ class PipelineScalingModel:
         *stripe_count* overriding the default layout and *batch_records*
         setting how many records share one write request (fewer, larger
         requests amortize per-request latency).
+
+        ``ipc_per_task_s`` charges a per-task marshalling cost for
+        backends that move results between processes (the supervised
+        ``process`` backend pickles every task result over a pipe).  The
+        supervisor consumes results serially, so the charge scales with
+        the stage's item count, **not** divided by the worker width.
         """
         if ranks < 1:
             raise ValueError("ranks must be >= 1")
@@ -303,6 +310,8 @@ class PipelineScalingModel:
             else:
                 # map/write coordination: scatter + gather latency rounds
                 comm = 2 * rounds * self.cluster.interconnect_latency
+        if ipc_per_task_s is not None and stage.parallelism != "none":
+            comm += stage.items * ipc_per_task_s
         io = 0.0
         if stage.reads_source or stage.writes_shards:
             nodes = max(1, math.ceil(width / self.cluster.ranks_per_node))
@@ -347,11 +356,16 @@ class PipelineScalingModel:
         *,
         stripe_count: Optional[int] = None,
         batch_records: Optional[int] = None,
+        ipc_per_task_s: Optional[float] = None,
     ) -> List[StageCost]:
         """Price a whole plan stage-by-stage at one configuration."""
         return [
             self.evaluate_stage(
-                s, ranks, stripe_count=stripe_count, batch_records=batch_records
+                s,
+                ranks,
+                stripe_count=stripe_count,
+                batch_records=batch_records,
+                ipc_per_task_s=ipc_per_task_s,
             )
             for s in stages
         ]

@@ -48,6 +48,13 @@ _WIDTHS = (2, 4, 8)
 #: write batch sizes (records per write request) the sweep tries
 _BATCHES = (256, 1024)
 
+#: per-task IPC overhead charged to the ``process`` backend: every task
+#: result is pickled over a pipe and consumed serially by the supervisor,
+#: so process candidates price strictly above threaded at equal width —
+#: the chooser only picks ``process`` when its fault tolerance is asked
+#: for explicitly, never on speed
+_PROCESS_IPC_S = 2e-4
+
 _CLUSTERS = {
     "workstation": workstation,
     "commodity": commodity_cluster,
@@ -83,7 +90,7 @@ def enumerate_candidates(cluster: ClusterSpec) -> List[CandidateConfig]:
     for stripe in stripes:
         for batch in _BATCHES:
             configs.append(CandidateConfig("serial", 1, stripe, batch))
-            for backend in ("threaded", "simspmd"):
+            for backend in ("threaded", "simspmd", "process"):
                 for width in widths:
                     configs.append(CandidateConfig(backend, width, stripe, batch))
     return configs
@@ -151,6 +158,9 @@ def choose_config(
                     config.workers,
                     stripe_count=config.stripe_count,
                     batch_records=config.batch_records,
+                    ipc_per_task_s=(
+                        _PROCESS_IPC_S if config.backend == "process" else None
+                    ),
                 )
             except (ValueError, RuntimeError) as exc:
                 evaluations.append(
@@ -220,4 +230,6 @@ def build_backend(decision: ScheduleDecision):
         return get_backend("simspmd", n_ranks=chosen.workers)
     if chosen.backend == "threaded":
         return get_backend("threaded", workers=chosen.workers)
+    if chosen.backend == "process":
+        return get_backend("process", workers=chosen.workers)
     return get_backend(chosen.backend)

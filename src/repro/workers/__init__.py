@@ -1,0 +1,32 @@
+"""Supervised multi-process execution: the first code to leave one process.
+
+The paper's facility-scale framing (and the ROADMAP's "raw speed" item)
+needs pipelines that survive *lost workers*, not just raised exceptions:
+OOM kills, preempted nodes, wedged C extensions.  This package provides
+that substrate while keeping the engine's bitwise-parity contract:
+
+* :mod:`repro.workers.backend` — :class:`ProcessBackend`, registered as
+  ``"process"``: a pool of forked worker processes under supervision;
+* :mod:`repro.workers.supervisor` — the lease/heartbeat/respawn loop
+  with poison-task detection and deterministic ordered reassembly;
+* :mod:`repro.workers.worker` — the worker-process main loop;
+* :mod:`repro.workers.ipc` — the worker-side context seam (lease
+  attempts, task-event replay, error transport);
+* :mod:`repro.workers.drain` — graceful SIGINT/SIGTERM drain that stops
+  at a checkpoint-consistent point so ``--resume`` is bitwise-faithful.
+
+See DESIGN.md, "Worker supervision", for the full design argument.
+"""
+
+from repro.workers.backend import ProcessBackend
+from repro.workers.drain import DrainController, DrainInterrupt
+from repro.workers.supervisor import Lease, WorkerCrashEvent, WorkerSupervisor
+
+__all__ = [
+    "ProcessBackend",
+    "DrainController",
+    "DrainInterrupt",
+    "Lease",
+    "WorkerCrashEvent",
+    "WorkerSupervisor",
+]

@@ -1,0 +1,171 @@
+"""``ProcessBackend``: the supervised multi-process execution backend.
+
+Registered as ``"process"`` in :data:`repro.core.backends.BACKENDS`.
+Each :meth:`map` fan-out forks a fresh pool of worker processes and
+drives it through a :class:`~repro.workers.supervisor.WorkerSupervisor`;
+:meth:`stats` and :meth:`shard_write` are inherited from the base
+protocol, so they decompose into the same partition grid / shard table
+``map`` calls as every other backend.
+
+**Parity.**  Workers may finish out of order, crash, and be respawned;
+none of it is visible in the results: the supervisor reassembles values
+into input order, statistics merge in partition order, and the shard
+table is cut identically — so serial, threaded, simspmd, and process
+runs of one plan produce bitwise-identical statistics, payloads, and
+shard files (enforced by ``tests/domains/test_backend_parity.py``).
+
+**Capabilities.**  Unlike the in-process backends this one *survives
+worker death* (``survives_worker_crash``) and *enforces deadlines
+preemptively* (``preemptive_timeout``) — a hung or overrunning task's
+worker is really killed, not politely asked.
+
+Fork start method is required: map tasks are closures over datasets,
+injectors, and telemetry wrappers that do not pickle; fork inheritance
+hands them to the workers for free, and only results cross the pipes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.backends import BACKENDS, ExecutionBackend
+from repro.workers.drain import DrainController
+from repro.workers.supervisor import WorkerCrashEvent, WorkerSupervisor
+
+__all__ = ["ProcessBackend"]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Supervised worker-process pool with crash recovery (POSIX only)."""
+
+    name = "process"
+    #: a blown stage deadline kills the worker for real (SIGKILL)
+    preemptive_timeout = True
+    #: worker death re-queues the lease instead of failing the stage
+    survives_worker_crash = True
+
+    #: per-map lease deadline in seconds; the runner wires the effective
+    #: stage timeout in here for preemptive enforcement (None = no kill)
+    lease_timeout: Optional[float] = None
+    #: cooperative stop flag; the runner wires its DrainController in
+    drain: Optional[DrainController] = None
+    #: (open, close) worker-span callables, installed by the telemetry
+    #: layer walking the wrapper chain (see InstrumentedBackend)
+    worker_span_hooks: Optional[Tuple[Callable[..., Any], Callable[..., None]]] = None
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        heartbeat_interval: float = 0.1,
+        heartbeat_timeout: Optional[float] = None,
+        max_task_crashes: int = 3,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not _fork_available():
+            raise RuntimeError(
+                "the process backend requires the 'fork' start method "
+                "(map tasks are closures; only results are pickled) — "
+                "unavailable on this platform"
+            )
+        self.workers = int(workers)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_task_crashes = int(max_task_crashes)
+        #: cumulative supervision counters across this backend's fan-outs:
+        #: worker_restarts / tasks_requeued / leases_expired / poison_tasks
+        #: / heartbeats — the runner flushes per-stage deltas into metrics
+        self.worker_counters: Dict[str, int] = {}
+        #: every detected crash/hang/expiry, in detection order
+        self.crash_events: List[WorkerCrashEvent] = []
+        #: widest heartbeat silence observed (feeds the heartbeat gauge)
+        self.heartbeat_gap_max = 0.0
+        self._map_count = 0
+        self._event_handlers: Dict[str, Callable[[str, Dict[str, Any]], None]] = {}
+        # in-worker task retries tally into a forked RetryStats the parent
+        # never sees; replay them into the parent-side tally so retry
+        # accounting is backend-independent (see run_task.on_retry)
+        self.add_task_event_handler("task-retry", self._replay_task_retry)
+
+    def _replay_task_retry(self, kind: str, payload: Dict[str, Any]) -> None:
+        if kind == "task-retry" and self.task_retry_stats is not None:
+            self.task_retry_stats.record(str(payload.get("error_type", "Exception")))
+
+    @property
+    def width(self) -> int:
+        return self.workers
+
+    def add_task_event_handler(
+        self, key: str, handler: Callable[[str, Dict[str, Any]], None]
+    ) -> None:
+        """Register a parent-side sink for worker task events.
+
+        Keyed so re-wrapping the backend across runs replaces, never
+        stacks, a layer's handler (duplicates would double-count).
+        """
+        self._event_handlers[key] = handler
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        label = f"proc-map#{self._map_count}"
+        self._map_count += 1
+        supervisor = WorkerSupervisor(
+            min(self.workers, len(items)),
+            label=label,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            lease_timeout=self.lease_timeout,
+            max_task_crashes=self.max_task_crashes,
+            drain=self.drain,
+            counters=self.worker_counters,
+            crash_events=self.crash_events,
+            task_retry_stats=self.task_retry_stats,
+            event_handlers=list(self._event_handlers.values()),
+            span_hooks=self.worker_span_hooks,
+        )
+        try:
+            return supervisor.run(self.run_task(fn), items)
+        finally:
+            self.heartbeat_gap_max = max(
+                self.heartbeat_gap_max, supervisor.max_heartbeat_gap
+            )
+
+    def crash_report(self) -> str:
+        """Human-readable supervision summary (the CLI's post-run report)."""
+        counters = self.worker_counters
+        if not self.crash_events and not any(counters.values()):
+            return "worker supervision: no crashes, hangs, or expired leases"
+        lines = [
+            "worker supervision: "
+            + ", ".join(
+                f"{key}={counters.get(key, 0)}"
+                for key in (
+                    "worker_restarts",
+                    "tasks_requeued",
+                    "leases_expired",
+                    "poison_tasks",
+                )
+            )
+        ]
+        for event in self.crash_events:
+            lines.append(f"  {event.describe()}")
+        return "\n".join(lines)
+
+
+# registration is idempotent and import-order safe: core.backends also
+# guard-imports this module at the end of its own body
+BACKENDS.setdefault(ProcessBackend.name, ProcessBackend)

@@ -1,9 +1,9 @@
 """Backend parity and resume on the domain archetypes.
 
-The acceptance contract of the layered engine: Serial, Threaded, and
-SimSPMD backends run every domain pipeline end-to-end with byte-identical
-output fingerprints, and a run interrupted at the structure stage resumes
-from its checkpoint without re-executing ingest/preprocess.
+The acceptance contract of the layered engine: Serial, Threaded, SimSPMD,
+and Process backends run every domain pipeline end-to-end with
+byte-identical output fingerprints, and a run interrupted at the structure
+stage resumes from its checkpoint without re-executing ingest/preprocess.
 """
 
 import json
@@ -24,7 +24,7 @@ from repro.domains.materials.synthetic import MaterialsSourceConfig
 from repro.io.shards import MANIFEST_NAME
 from repro.provenance.store import ProvenanceStore
 
-BACKEND_NAMES = ["serial", "threaded", "simspmd"]
+BACKEND_NAMES = ["serial", "threaded", "simspmd", "process"]
 
 ARCHETYPES = {
     "climate": (
@@ -86,7 +86,8 @@ def test_climate_shard_outputs_byte_identical(tmp_path):
         manifests[name] = json.loads((directory / MANIFEST_NAME).read_text())
     for manifest in manifests.values():
         manifest["metadata"].pop("written_by_ranks")
-    assert manifests["serial"] == manifests["threaded"] == manifests["simspmd"]
+    for name in BACKEND_NAMES[1:]:
+        assert manifests[name] == manifests["serial"], f"{name} manifest diverged"
 
 
 class TestClimateResume:

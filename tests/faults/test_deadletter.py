@@ -69,6 +69,47 @@ def test_load_tolerates_torn_lines_and_foreign_envelopes(tmp_path):
     assert len(DeadLetterLog.load(path)) == 1
 
 
+def test_save_is_atomic_and_heals_a_torn_tail(tmp_path):
+    """A crash mid-save never tears the ledger; a prior tear is dropped.
+
+    ``save`` reads existing rows back (a torn trailing line from an
+    earlier crash is discarded), writes the merged ledger to ``*.tmp``,
+    and ``os.replace``s it into place — readers only ever see a complete
+    file, and the tear does not grow silently at the tail.
+    """
+    path = tmp_path / DEAD_LETTER_NAME
+    first = DeadLetterLog()
+    first.append(_record(fingerprint="a" * 64))
+    first.save(path)
+    with open(path, "a") as fh:
+        fh.write('{"type": "dead-letter", "pipeline": "cli')  # crash mid-write
+
+    second = DeadLetterLog()
+    second.append(_record(fingerprint="b" * 64))
+    second.save(path)
+
+    # the torn line is gone, both complete records survive, no tmp left
+    assert not path.with_name(path.name + ".tmp").exists()
+    raw = path.read_text()
+    assert raw.endswith("\n")
+    assert '"pipeline": "cli' + "\n" not in raw
+    fingerprints = [r.input_fingerprint for r in DeadLetterLog.load(path)]
+    assert fingerprints == ["a" * 64, "b" * 64]
+
+
+def test_save_keeps_foreign_envelope_rows(tmp_path):
+    """Rows written by other layers into the same ledger file survive a save."""
+    path = tmp_path / DEAD_LETTER_NAME
+    log = DeadLetterLog()
+    log.append(_record())
+    log.save(path)
+    with open(path, "a") as fh:
+        fh.write('{"type": "metric", "name": "not-a-dead-letter"}\n')
+    DeadLetterLog().save(path)  # empty append still rewrites atomically
+    assert '"not-a-dead-letter"' in path.read_text()
+    assert len(DeadLetterLog.load(path)) == 1
+
+
 def test_from_dict_defaults_and_kind_coercion():
     blob = _record().to_dict()
     blob.pop("action")

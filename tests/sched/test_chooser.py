@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.backends import SerialBackend, SimSPMDBackend, ThreadedBackend
+from repro.workers import ProcessBackend
 from repro.core.levels import DataProcessingStage
 from repro.core.plan import Parallelism, PipelineStage, StagePlan
 from repro.parallel.cluster import leadership_system, workstation
@@ -44,7 +45,7 @@ def _workload(nbytes=4_000_000):
 def test_grid_covers_backends_widths_stripes_batches():
     grid = enumerate_candidates(leadership_system())
     backends = {c.backend for c in grid}
-    assert backends == {"serial", "threaded", "simspmd"}
+    assert backends == {"serial", "threaded", "simspmd", "process"}
     assert {c.workers for c in grid if c.backend == "serial"} == {1}
     assert len({c.stripe_count for c in grid}) >= 2
     assert len({c.batch_records for c in grid}) == 2
@@ -148,6 +149,21 @@ def test_build_backend_instantiates_the_chosen_config():
     assert isinstance(threaded, ThreadedBackend) and threaded.width == 4
     spmd = build_backend(with_chosen("simspmd", 8))
     assert isinstance(spmd, SimSPMDBackend) and spmd.width == 8
+    proc = build_backend(with_chosen("process", 4))
+    assert isinstance(proc, ProcessBackend) and proc.width == 4
+
+
+def test_process_candidates_price_above_threaded_at_equal_width():
+    """The per-task IPC charge keeps the chooser off process on speed alone."""
+    decision = choose_config(_workload(), workstation())
+    by_label = {e.config.label(): e for e in decision.candidates}
+    for label, evaluation in by_label.items():
+        if not label.startswith("processx") or not evaluation.feasible:
+            continue
+        twin = by_label.get(label.replace("processx", "threadedx"))
+        if twin is not None and twin.feasible:
+            assert evaluation.predicted_seconds > twin.predicted_seconds
+    assert decision.chosen.backend != "process"
 
 
 def test_resolve_cluster_accepts_presets_and_instances():

@@ -462,3 +462,84 @@ class TestPlanCLI:
         out = capsys.readouterr().out
         assert "on the serial backend" in out
         assert "schedule decision" in out
+
+
+class TestProcessBackendCLI:
+    """--backend process / --workers plus the capability-aware listings."""
+
+    def test_backends_lists_capability_columns(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "preemptive timeout" in out
+        assert "survives worker crash" in out
+        for name in ("serial", "threaded", "simspmd", "process"):
+            assert name in out
+        process_row = next(
+            line for line in out.splitlines() if line.startswith("process")
+        )
+        assert process_row.count("yes") == 2
+        serial_row = next(
+            line for line in out.splitlines() if line.startswith("serial")
+        )
+        assert "yes" not in serial_row
+
+    def test_run_on_process_backend_with_workers(self, tmp_path, capsys):
+        assert main([
+            "run", "materials", "--workdir", str(tmp_path),
+            "--backend", "process", "--workers", "2", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "on the process (width 2) backend" in out
+        assert "Data Readiness Level: 5 / 5" in out
+
+    def test_chaos_run_reports_worker_supervision(self, tmp_path, capsys):
+        assert main([
+            "run", "climate",
+            "--workdir", str(tmp_path),
+            "--seed", "3",
+            "--backend", "process", "--workers", "3",
+            "--inject-faults", "seed=3,kill-rate=0.2",
+            "--retries", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker supervision" in out
+        assert "tasks_requeued=" in out
+        assert "worker_restarts=" in out
+        assert "dead-worker" in out  # per-crash lines ride along
+
+    def test_workers_without_backend_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["run", "materials", "--workdir", str(tmp_path),
+                     "--workers", "4"])
+        assert code == 2
+        assert "--workers requires --backend" in capsys.readouterr().err
+
+    def test_workers_on_serial_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["run", "materials", "--workdir", str(tmp_path),
+                     "--backend", "serial", "--workers", "4"])
+        assert code == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_stage_timeout_warns_when_not_preemptive(self, tmp_path, capsys):
+        assert main([
+            "run", "materials", "--workdir", str(tmp_path),
+            "--backend", "threaded", "--stage-timeout", "60",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "enforced post-hoc only" in err
+        assert "--backend process" in err
+
+    def test_stage_timeout_on_process_does_not_warn(self, tmp_path, capsys):
+        assert main([
+            "run", "materials", "--workdir", str(tmp_path),
+            "--backend", "process", "--stage-timeout", "60",
+        ]) == 0
+        assert "post-hoc" not in capsys.readouterr().err
+
+    def test_unenforceable_timeout_noted_in_fault_report(self, tmp_path, capsys):
+        assert main([
+            "run", "materials", "--workdir", str(tmp_path),
+            "--backend", "threaded", "--stage-timeout", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance" in out
+        assert "note:" in out and "cannot preempt" in out
