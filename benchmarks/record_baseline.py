@@ -21,8 +21,10 @@ and exits non-zero if the fig1 wall time regressed more than
 the CI bench-regression gate, priced through the same robust
 :func:`repro.obs.history.regression_limit` codepath the cross-run
 ``telemetry diff`` uses.  The fig1 baseline also records the telemetry
-overhead (instrumented vs bare wall time of the identical plan) so the
-analytics layer's own cost is on the perf trajectory.  Wall timings take
+overhead (instrumented vs bare wall time of the identical plan) and a
+``batching`` section — per-record vs batched walls for each vectorized
+hot transform (both paths gated in check mode) plus the streaming shard
+writer's peak-buffer fraction.  Wall timings take
 the best of ``--repeats`` runs to damp scheduler noise; the modelled
 sweep is deterministic and compared exactly.
 """
@@ -83,6 +85,7 @@ def measure_fig1(repeats: int) -> dict:
         "stage_seconds": stages,
         "telemetry_overhead": measure_telemetry_overhead(repeats),
         "backend_walls": measure_backend_walls(repeats),
+        "batching": measure_batching(repeats),
     }
 
 
@@ -121,6 +124,82 @@ def measure_backend_walls(repeats: int) -> dict:
                 walls["process"]["wall_seconds"] / serial_s, 4
             )
     return walls
+
+
+def measure_batching(repeats: int) -> dict:
+    """Per-record vs batched walls for the vectorized hot transforms.
+
+    Each transform runs the same work both ways: the per-record path is
+    what a ``map(fn, records)`` fan-out pays (one Python-level call per
+    record; for regrid, one weight construction per field), the batched
+    path is what ``map_batches`` hands a chunk function (one vectorized
+    call; for regrid, one ``Regridder`` amortized over the chunk).  Both
+    paths are bitwise identical by contract, so the only thing on trial
+    here is speed — the check gate prices *each* path against its
+    committed wall, catching a regression in either.  The shard-write
+    entry records the streaming writer's peak buffered bytes as a
+    fraction of the shard, the bounded-RSS evidence.
+    """
+    import numpy as np
+
+    from repro.io.shards import last_write_peak_buffer, write_shard
+    from repro.transforms.encode import Vocabulary
+    from repro.transforms.regrid import RegularGrid, Regridder, regrid
+
+    rng = np.random.default_rng(0)
+    transforms = {}
+
+    def record(name, per_record_fn, batched_fn):
+        per_s, _ = _best_of(per_record_fn, repeats)
+        batched_s, _ = _best_of(batched_fn, repeats)
+        transforms[name] = {
+            "per_record_seconds": round(per_s, 6),
+            "batched_seconds": round(batched_s, 6),
+            "speedup": round(per_s / batched_s, 2) if batched_s > 0 else 0.0,
+        }
+
+    vocab = Vocabulary([f"tok{i:03d}" for i in range(64)])
+    column = np.asarray(vocab.values)[rng.integers(0, 64, size=20_000)]
+    values = column.tolist()
+    record(
+        "encode",
+        lambda: [int(vocab.encode(np.asarray([v]))[0]) for v in values],
+        lambda: vocab.encode(column),
+    )
+
+    rows = [rng.normal(size=64) for _ in range(20_000)]
+    stacked = np.stack(rows)
+    mean, std = stacked.mean(axis=0), stacked.std(axis=0)
+    record(
+        "normalize",
+        lambda: [(row - mean) / std for row in rows],
+        lambda: (stacked - mean) / std,
+    )
+
+    source = RegularGrid.global_grid(24, 48)
+    target = RegularGrid.global_grid(32, 64)
+    fields = [rng.normal(size=(24, 48)) for _ in range(64)]
+
+    def regrid_batched():
+        regridder = Regridder(source, target, "conservative")
+        return [regridder(field) for field in fields]
+
+    record(
+        "regrid",
+        lambda: [regrid(f, source, target, "conservative") for f in fields],
+        regrid_batched,
+    )
+
+    columns = {f"c{i}": rng.normal(size=(512, 64)) for i in range(8)}
+    with tempfile.TemporaryDirectory() as tmp:
+        info = write_shard(columns, Path(tmp) / "probe.rps")
+        peak = last_write_peak_buffer()
+    shard_write = {
+        "shard_bytes": info.nbytes,
+        "peak_buffer_bytes": peak,
+        "buffer_fraction": round(peak / info.nbytes, 4) if info.nbytes else 0.0,
+    }
+    return {"transforms": transforms, "shard_write": shard_write}
 
 
 def measure_telemetry_overhead(repeats: int) -> dict:
@@ -252,6 +331,33 @@ def cmd_check(args) -> int:
         print(f"telemetry overhead: bare {overhead['bare_seconds']:.3f}s, "
               f"instrumented {overhead['instrumented_seconds']:.3f}s "
               f"({overhead['overhead_ratio']:.2f}x)")
+
+    # batching: gate BOTH paths per transform — a regression in the
+    # batched path loses the speedup, a regression in the per-record
+    # path hurts every stage that never opted into batching
+    committed_batching = (baseline.get("batching") or {}).get("transforms", {})
+    current_batching = (current.get("batching") or {}).get("transforms", {})
+    for name, ref_walls in sorted(committed_batching.items()):
+        now_walls = current_batching.get(name)
+        if now_walls is None:
+            print(f"FAIL: batching transform {name!r} missing from current run")
+            status = 1
+            continue
+        for path in ("per_record_seconds", "batched_seconds"):
+            _, path_limit = regression_limit(
+                [ref_walls[path]], rel_floor=args.tolerance,
+                abs_floor=args.noise_floor,
+            )
+            verdict = "ok"
+            if now_walls[path] > path_limit:
+                verdict = "FAIL"
+                status = 1
+            print(f"batching {name}/{path.removesuffix('_seconds')}: "
+                  f"baseline {ref_walls[path]:.3f}s, "
+                  f"current {now_walls[path]:.3f}s "
+                  f"(limit {path_limit:.3f}s) {verdict}")
+        print(f"batching {name}: speedup {now_walls['speedup']:.1f}x "
+              f"(baseline {ref_walls['speedup']:.1f}x)")
 
     # the modelled sweep is analytic — any drift is a real model change
     if SHARDING_BASELINE.exists():

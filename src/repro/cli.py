@@ -174,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dead-letter-dir", type=Path, default=None,
                      help="append the run's dead letters as JSONL under this "
                           "directory (a durable ledger of undone work)")
+    run.add_argument("--batch-size", type=int, default=None, metavar="N",
+                     help="records per batch for stages that declare the batch "
+                          "capability (bitwise identical to the per-record "
+                          "path; default: per-record, or the cost model's "
+                          "pick under --plan auto)")
     run.add_argument("--inject-bad-records", type=int, default=None, metavar="N",
                      help="synthesize N deliberately corrupt source records "
                           "(climate: poisoned models, fusion: poisoned shots) so "
@@ -355,6 +360,7 @@ def _cmd_run(
     quarantine_dir: Optional[Path] = None,
     dead_letter_dir: Optional[Path] = None,
     inject_bad_records: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> int:
     from repro.domains import (
         BioArchetype,
@@ -406,6 +412,9 @@ def _cmd_run(
                   file=sys.stderr)
             return 2
         source_params = {corrupt_knobs[domain]: inject_bad_records}
+    if batch_size is not None and batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
     # a fixed plan defaults to serial; under auto, an unset backend lets
     # the cost-model chooser pick (an explicit --backend always wins)
     if backend is None and plan_mode != "auto":
@@ -493,6 +502,7 @@ def _cmd_run(
             calibration_dir=calibration_dir,
             cluster=cluster,
             drain=drain,
+            batch_size=batch_size,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1132,6 +1142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             quarantine_dir=args.quarantine_dir,
             dead_letter_dir=args.dead_letter_dir,
             inject_bad_records=args.inject_bad_records,
+            batch_size=args.batch_size,
         )
     if args.command == "backends":
         return _cmd_backends()

@@ -77,6 +77,7 @@ __all__ = [
     "ThreadedBackend",
     "SimSPMDBackend",
     "BACKENDS",
+    "batch_slices",
     "get_backend",
 ]
 
@@ -97,10 +98,31 @@ def _shard_table(
     table: List[Tuple[str, int, np.ndarray]] = []
     for split, indices in splits.items():
         indices = np.asarray(indices)
-        n_shards = max(1, min(shards_per_split, max(indices.size, 1)))
+        if indices.size == 0:
+            # an empty split contributes no shard files: np.array_split
+            # would yield one zero-length chunk here, and writing it would
+            # leave an orphan zero-sample shard on disk.  The split itself
+            # still appears (empty) in the manifest — see shard_write.
+            continue
+        n_shards = max(1, min(shards_per_split, indices.size))
         for i, chunk in enumerate(np.array_split(indices, n_shards)):
             table.append((split, i, chunk))
     return table
+
+
+def batch_slices(n_items: int, batch_size: int) -> List[slice]:
+    """Deterministic contiguous batching: ``[0:b], [b:2b], ...``.
+
+    The partition depends only on ``(n_items, batch_size)`` — never on
+    the backend, its width, or scheduling — so batched fan-outs stay
+    bitwise reproducible across executors.  The final slice may be short.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return [
+        slice(start, min(start + batch_size, n_items))
+        for start in range(0, n_items, batch_size)
+    ]
 
 
 def _shard_metadata(
@@ -223,6 +245,54 @@ class ExecutionBackend(abc.ABC):
         use it).
         """
 
+    def map_batches(
+        self,
+        fn: Callable[[Sequence[Any]], Sequence[Any]],
+        items: Sequence[Any],
+        *,
+        batch_size: Optional[int] = None,
+        record_fn: Optional[Callable[[Any], Any]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        """Apply a chunk-wise *fn* over deterministic contiguous batches.
+
+        ``fn(chunk) -> results`` receives a list of consecutive items and
+        must return one result per item, in order.  Batches are cut by
+        :func:`batch_slices` — a pure function of ``(len(items),
+        batch_size)`` — and fanned out through :meth:`map`, so results
+        (and therefore downstream shard bytes) are identical to the
+        per-record path on every backend.  A chunk's load-balancing
+        weight is the sum of its items' weights.
+
+        With no ``batch_size`` (the unbatched/fixed-plan case) the call
+        degrades to plain per-record ``map`` using ``record_fn`` (or
+        ``fn`` on singleton chunks), keeping existing telemetry and task
+        accounting untouched for unbatched stages.
+        """
+        items = list(items)
+        if not batch_size:
+            if record_fn is not None:
+                return self.map(record_fn, items, weights=weights)
+            return self.map(lambda item: list(fn([item]))[0], items, weights=weights)
+        slices = batch_slices(len(items), int(batch_size))
+        chunks = [items[s] for s in slices]
+        chunk_weights: Optional[List[float]] = None
+        if weights is not None:
+            weights = list(weights)
+            chunk_weights = [float(sum(weights[s])) for s in slices]
+        out: List[Any] = []
+        for s, results in zip(slices, self.map(fn, chunks, weights=chunk_weights)):
+            results = list(results)
+            expected = s.stop - s.start
+            if len(results) != expected:
+                raise ValueError(
+                    f"batched task returned {len(results)} result(s) for a "
+                    f"batch of {expected} item(s); map_batches requires one "
+                    "result per item, in order"
+                )
+            out.extend(results)
+        return out
+
     def stats(
         self, data: np.ndarray, *, partitions: int = DEFAULT_STATS_PARTITIONS
     ) -> FeatureStats:
@@ -280,7 +350,9 @@ class ExecutionBackend(abc.ABC):
             info = write_shard(columns, directory / f"{split}-{i:05d}.rps", codec)
             return split, i, info
 
-        by_split: Dict[str, List[Tuple[int, ShardInfo]]] = {}
+        # seed from the requested splits so a split whose shard table is
+        # empty (an empty dataset/split) still appears in the manifest
+        by_split: Dict[str, List[Tuple[int, ShardInfo]]] = {s: [] for s in splits}
         for split, i, info in self.map(write_entry, table):
             by_split.setdefault(split, []).append((i, info))
         manifest = ShardManifest(

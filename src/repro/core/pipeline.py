@@ -160,6 +160,7 @@ class Pipeline:
         quarantine_store: Optional[QuarantineStore] = None,
         calibration_store: Any = None,
         drain: Any = None,
+        batch_size: Optional[int] = None,
     ) -> PipelineRunner:
         """A configured :class:`PipelineRunner` for this pipeline's plan."""
         return PipelineRunner(
@@ -179,6 +180,7 @@ class Pipeline:
             quarantine_store=quarantine_store,
             calibration_store=calibration_store,
             drain=drain,
+            batch_size=batch_size,
         )
 
     def run(
@@ -202,6 +204,7 @@ class Pipeline:
         quarantine_store: Optional[QuarantineStore] = None,
         calibration_store: Any = None,
         drain: Any = None,
+        batch_size: Optional[int] = None,
     ) -> PipelineRun:
         """Execute all stages; provenance is captured per transition.
 
@@ -237,5 +240,6 @@ class Pipeline:
             quarantine_store=quarantine_store,
             calibration_store=calibration_store,
             drain=drain,
+            batch_size=batch_size,
         )
         return runner.run(payload, context, resume=resume)

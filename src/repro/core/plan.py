@@ -131,6 +131,13 @@ class PipelineStage:
     #: this stage scales its bytes and how much compute it spends.  Like
     #: the fault policy, planning metadata — excluded from the fingerprint
     cost: Optional["StageCostHint"] = None
+    #: capability flag: the stage's backend fan-out can consume items in
+    #: deterministic contiguous batches (it calls
+    #: :meth:`~repro.core.backends.ExecutionBackend.map_batches` with a
+    #: chunk-wise fn).  Purely an execution concern — batched and
+    #: per-record runs are bitwise identical by contract — so, like the
+    #: fault policy, it is excluded from the plan fingerprint
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.on_error is not None:

@@ -134,6 +134,11 @@ class PipelineContext:
         #: the cost-model decision this run executes under (set by a
         #: PipelineRunner from plan.schedule; None for fixed-config runs)
         self.schedule_decision: Optional["ScheduleDecision"] = None
+        #: records-per-batch for the *currently executing* stage: set by a
+        #: PipelineRunner before each stage.fn call (None when the stage
+        #: did not declare ``batch=True`` or no batch size is configured).
+        #: Stages forward it to ``ctx.backend.map_batches(...)``
+        self.stage_batch_size: Optional[int] = None
 
     def schedule_record(self) -> Optional[Dict[str, Any]]:
         """The run's schedule decision as a manifest-embeddable dict.
@@ -744,6 +749,7 @@ class PipelineRunner:
         quarantine_store: Optional[QuarantineStore] = None,
         calibration_store: Optional["CalibrationStore"] = None,
         drain: Optional[DrainController] = None,
+        batch_size: Optional[int] = None,
     ):
         self.plan = plan
         self.backend = get_backend(backend)
@@ -786,6 +792,11 @@ class PipelineRunner:
         #: a stage boundary, or mid-stage on drain-capable backends — and
         #: raises :class:`~repro.workers.drain.DrainInterrupt`
         self.drain = drain
+        #: records per batch for stages that declared ``batch=True``; an
+        #: explicit value wins over the schedule decision's
+        #: ``batch_records``, and ``None`` with no schedule leaves those
+        #: stages on the per-record path (bitwise identical either way)
+        self.batch_size = batch_size
 
     def _stage_policy(
         self, stage: PipelineStage
@@ -799,6 +810,26 @@ class PipelineRunner:
             policy = stage.retry or self.retry_policy or RetryPolicy()
         timeout = stage.timeout if stage.timeout is not None else self.stage_timeout
         return mode, policy, timeout
+
+    def _stage_batch(
+        self, stage: PipelineStage, decision: Optional["ScheduleDecision"]
+    ) -> Optional[int]:
+        """Effective records-per-batch for one stage (None = per-record).
+
+        Only stages that declared the ``batch`` capability batch at all;
+        for those, an explicit runner ``batch_size`` wins, then the
+        schedule decision's ``batch_records`` (the chooser's sweep already
+        prices batch candidates), else the per-record path.
+        """
+        if not stage.batch:
+            return None
+        if self.batch_size is not None:
+            return int(self.batch_size) or None
+        if decision is not None:
+            chosen = getattr(decision.chosen, "batch_records", None)
+            if chosen:
+                return int(chosen)
+        return None
 
     # -- events ------------------------------------------------------------------
     def _emit(self, events: List[RunEvent], kind: RunEventKind, **kw: Any) -> RunEvent:
@@ -1292,6 +1323,7 @@ class PipelineRunner:
                     None,
                 )
             mode, policy, timeout = self._stage_policy(stage)
+            context.stage_batch_size = self._stage_batch(stage, decision)
             base.task_retry = policy
             if hasattr(base, "lease_timeout"):
                 # preemptive deadline: the supervisor SIGKILLs a worker

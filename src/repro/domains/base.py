@@ -131,6 +131,7 @@ class DomainArchetype(abc.ABC):
         calibration_dir: Union[str, Path, None] = None,
         cluster: Any = None,
         drain: Any = None,
+        batch_size: Optional[int] = None,
     ) -> ArchetypeResult:
         """Synthesize a source, run the pipeline, assess, detect challenges.
 
@@ -162,6 +163,13 @@ class DomainArchetype(abc.ABC):
         (``"workstation"``/``"commodity"``/``"leadership"`` or a
         :class:`~repro.parallel.cluster.ClusterSpec`).  An explicit
         ``backend=`` always wins over the chooser.
+
+        ``batch_size`` sets records-per-batch for stages that declared
+        the ``batch`` capability (see
+        :meth:`~repro.core.backends.ExecutionBackend.map_batches`);
+        ``None`` defers to the schedule decision's ``batch_records``
+        under ``plan_mode="auto"`` and stays per-record otherwise.
+        Batched and per-record runs are bitwise identical by contract.
         """
         work_dir = Path(work_dir)
         source_dir = work_dir / "source"
@@ -211,6 +219,7 @@ class DomainArchetype(abc.ABC):
             quarantine_dir=quarantine_dir,
             calibration_store=calibration_store,
             drain=drain,
+            batch_size=batch_size,
         )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):

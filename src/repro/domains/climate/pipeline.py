@@ -49,7 +49,7 @@ from repro.sched import StageCostHint
 from repro.quality.validation import check_finite, check_monotonic
 from repro.transforms.cleaning import UnitConverter
 from repro.transforms.normalize import ZScoreNormalizer
-from repro.transforms.regrid import RegularGrid, regrid
+from repro.transforms.regrid import Regridder, RegularGrid, regrid
 from repro.transforms.split import SplitSpec, temporal_split
 
 __all__ = ["ClimateArchetype", "GriddedSource", "CONTRACTS"]
@@ -215,7 +215,12 @@ class ClimateArchetype(DomainArchetype):
         """regrid: every source onto the target grid (method per variable).
 
         Individual fields are independent, so the per-field remaps fan
-        out through ``ctx.backend.map`` (Parallelism.MAP).
+        out through the backend (Parallelism.MAP).  The stage declares
+        the ``batch`` capability: when a batch size is configured the
+        fan-out goes through ``ctx.backend.map_batches`` with a chunk
+        function that builds each :class:`Regridder` once per (grid,
+        method) within the chunk — the per-field einsum is identical
+        either way, so batched and per-record runs are bitwise equal.
         """
         tasks: List[Tuple[int, str, np.ndarray, RegularGrid]] = []
         passthrough: Dict[int, GriddedSource] = {}
@@ -233,8 +238,31 @@ class ClimateArchetype(DomainArchetype):
             method = "conservative" if _canonical_name(name) == "pr" else "bilinear"
             return i, name, regrid(field, grid, self.target_grid, method)
 
+        def remap_batch(
+            chunk: List[Tuple[int, str, np.ndarray, RegularGrid]]
+        ) -> List[Tuple[int, str, np.ndarray]]:
+            # amortize weight construction: one Regridder per distinct
+            # (source grid, method) in the chunk; the application itself
+            # stays the per-field einsum of regrid()
+            regridders: Dict[Tuple[int, str], Regridder] = {}
+            results: List[Tuple[int, str, np.ndarray]] = []
+            for i, name, field, grid in chunk:
+                method = "conservative" if _canonical_name(name) == "pr" else "bilinear"
+                key = (id(grid), method)
+                regridder = regridders.get(key)
+                if regridder is None:
+                    regridder = Regridder(grid, self.target_grid, method)
+                    regridders[key] = regridder
+                results.append((i, name, regridder(field)))
+            return results
+
         regridded: Dict[int, Dict[str, np.ndarray]] = {}
-        for i, name, field in ctx.backend.map(remap, tasks):
+        for i, name, field in ctx.backend.map_batches(
+            remap_batch,
+            tasks,
+            batch_size=getattr(ctx, "stage_batch_size", None),
+            record_fn=remap,
+        ):
             regridded.setdefault(i, {})[name] = field
         n_regridded = len(tasks)
         ctx.annotate_span(
@@ -470,6 +498,7 @@ class ClimateArchetype(DomainArchetype):
                 PipelineStage("regrid", DataProcessingStage.PREPROCESS, self._regrid,
                               params={"target": self.target_grid.shape},
                               parallelism=Parallelism.MAP,
+                              batch=True,
                               # remap weights + apply; output shrinks onto
                               # the coarse target grid
                               cost=StageCostHint(output_ratio=0.5,

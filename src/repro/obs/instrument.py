@@ -45,6 +45,7 @@ from repro.core.backends import (
     DEFAULT_STATS_PARTITIONS,
     ExecutionBackend,
     _shard_table,
+    batch_slices,
 )
 from repro.obs.tracing import Span, SpanStatus
 
@@ -54,7 +55,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.obs import Telemetry
     from repro.parallel.stats import FeatureStats
 
-__all__ = ["InstrumentedBackend"]
+__all__ = ["InstrumentedBackend", "BATCH_SIZE_BUCKETS"]
+
+#: bucket bounds for the records-per-batch histogram — counts, not
+#: seconds, so the default (duration) grid does not apply
+BATCH_SIZE_BUCKETS: tuple = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0)
 
 
 class InstrumentedBackend(ExecutionBackend):
@@ -163,6 +168,43 @@ class InstrumentedBackend(ExecutionBackend):
                     return fn(item)
 
             return self.inner.map(traced, items, weights=weights)
+
+    def map_batches(
+        self,
+        fn: Callable[[Sequence[Any]], Sequence[Any]],
+        items: Sequence[Any],
+        *,
+        batch_size: Optional[int] = None,
+        record_fn: Optional[Callable[[Any], Any]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if batch_size:
+            # logical batching telemetry: the slice grid is a pure
+            # function of (len(items), batch_size), so these counts are
+            # identical on every backend — parity extends to batching
+            labels = {
+                "pipeline": self.pipeline,
+                "stage": self.stage_name,
+                "backend": self.inner.name,
+            }
+            metrics = self.telemetry.metrics
+            slices = batch_slices(len(items), int(batch_size))
+            metrics.counter("stage_batches_total", **labels).inc(len(slices))
+            histogram = metrics.histogram(
+                "stage_batch_size", buckets=BATCH_SIZE_BUCKETS, **labels
+            )
+            for s in slices:
+                histogram.observe(s.stop - s.start)
+        # the base implementation routes through self.map either way, so
+        # op/task spans and backend_*_total counters come along for free
+        return super().map_batches(
+            fn,
+            items,
+            batch_size=batch_size,
+            record_fn=record_fn,
+            weights=weights,
+        )
 
     def stats(
         self, data: np.ndarray, *, partitions: int = DEFAULT_STATS_PARTITIONS

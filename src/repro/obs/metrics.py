@@ -144,8 +144,11 @@ class Histogram:
         refinements keep estimates honest at the extremes: the result is
         clamped to the observed ``[min, max]`` (so p50 of a single
         observation never exceeds what was actually seen), and a rank
-        landing in the +inf overflow bucket returns the observed max
-        rather than inventing an upper edge.  An empty histogram
+        landing in the +inf overflow bucket interpolates between the
+        bucket's lower edge (or the observed min, when every observation
+        overflowed) and the observed max rather than inventing an upper
+        edge — snapping the whole bucket to the max would make even
+        ``quantile(0.0)`` report the maximum.  An empty histogram
         returns 0.0.
         """
         if not 0.0 <= q <= 1.0:
@@ -165,9 +168,14 @@ class Histogram:
             cumulative += count
             if cumulative >= rank:
                 if i >= len(self.buckets):
-                    return high  # overflow bucket has no finite upper edge
-                upper = self.buckets[i]
-                lower = self.buckets[i - 1] if i > 0 else min(low, upper)
+                    # overflow bucket: no finite upper edge, so the span
+                    # runs from the last bound (or the observed min when
+                    # all mass overflowed) up to the observed max
+                    upper = high
+                    lower = max(self.buckets[-1], low)
+                else:
+                    upper = self.buckets[i]
+                    lower = self.buckets[i - 1] if i > 0 else min(low, upper)
                 fraction = (rank - before) / count
                 value = lower + (upper - lower) * fraction
                 return min(max(value, low), high)

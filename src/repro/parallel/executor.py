@@ -154,11 +154,17 @@ def distributed_shard_write(
     directory.mkdir(parents=True, exist_ok=True)
     codec = get_codec(codec_name, codec_level)
 
-    # Precompute the global shard table: (split, shard_idx, row indices)
+    # Precompute the global shard table: (split, shard_idx, row indices).
+    # Empty splits contribute no shard files (mirroring
+    # repro.core.backends._shard_table — np.array_split on an empty index
+    # array would otherwise yield an orphan zero-sample shard); the split
+    # key still appears, empty, in the manifest below.
     table: List[tuple] = []
     for split, indices in splits.items():
         indices = np.asarray(indices)
-        n_shards = max(1, min(shards_per_split, max(indices.size, 1)))
+        if indices.size == 0:
+            continue
+        n_shards = max(1, min(shards_per_split, indices.size))
         chunks = np.array_split(indices, n_shards)
         for i, chunk in enumerate(chunks):
             table.append((split, i, chunk))
@@ -175,7 +181,7 @@ def distributed_shard_write(
         gathered = comm.gather(local_infos, root=0)
         if comm.rank != 0:
             return None
-        by_split: Dict[str, List[tuple]] = {}
+        by_split: Dict[str, List[tuple]] = {s: [] for s in splits}
         for part in gathered:
             for split, i, info in part:
                 by_split.setdefault(split, []).append((i, info))

@@ -20,8 +20,13 @@ device here and becomes a production scheduling component.  The loop:
 
 The bitwise-parity contract is preserved by construction: the chooser
 selects *which* backend executes (and at what width), while stripe count
-and batch size are model-advisory — they shape predictions and are
-recorded in the decision, but never change what bytes a backend writes.
+is model-advisory — it shapes predictions and is recorded in the
+decision, but never changes what bytes a backend writes.  The chosen
+``batch_records`` *is* executed: under ``plan_mode="auto"`` the runner
+feeds it to stages that declare the ``batch`` capability (see
+:meth:`~repro.core.backends.ExecutionBackend.map_batches`), which is
+safe for the same reason — batched and per-record execution are bitwise
+identical by contract.
 """
 
 from repro.sched.calibrate import CALIBRATION_NAME, CalibrationStore, record_outcome

@@ -30,11 +30,12 @@ SCHEDULE_SCHEMA = 1
 class CandidateConfig:
     """One point of the configuration sweep.
 
-    ``backend`` and ``workers`` actually instantiate execution; the
-    I/O dimensions (``stripe_count``, ``batch_records``) are
-    model-advisory — they tune the predicted filesystem cost and are
-    recorded for the facility operator, but never change the bytes a
-    local backend writes (the bitwise-parity contract).
+    ``backend`` and ``workers`` actually instantiate execution, and
+    ``batch_records`` is fed by the runner to stages declaring the
+    ``batch`` capability (bitwise identical to per-record execution by
+    contract); ``stripe_count`` stays model-advisory — it tunes the
+    predicted filesystem cost and is recorded for the facility
+    operator, but never changes the bytes a local backend writes.
     """
 
     backend: str

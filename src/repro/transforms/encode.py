@@ -33,6 +33,10 @@ class EncodingError(ValueError):
 class Vocabulary:
     """An ordered mapping of category values to dense indices."""
 
+    #: numpy dtype kinds that compare consistently with each other and
+    #: with Python dict-key equality (the numeric tower: bool/int/uint/float)
+    _NUMERIC_KINDS = "biuf"
+
     def __init__(self, values: Sequence[object]):
         self._values: List[object] = []
         self._index: Dict[object, int] = {}
@@ -40,6 +44,28 @@ class Vocabulary:
             if v not in self._index:
                 self._index[v] = len(self._values)
                 self._values.append(v)
+        self._lookup = self._build_lookup()
+
+    def _build_lookup(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(sorted keys, sorted-position -> vocab index)`` for the
+        vectorized searchsorted path, or None when the values do not form
+        a uniformly comparable numpy array (mixed/object types keep the
+        exact dict-equality semantics via the per-element fallback)."""
+        if not self._values:
+            return None
+        try:
+            keys = np.asarray(self._values)
+        except Exception:
+            return None
+        if keys.dtype.kind not in "biufUS" or keys.shape != (len(self._values),):
+            return None
+        order = np.argsort(keys, kind="stable").astype(np.int64)
+        sorted_keys = keys[order]
+        if sorted_keys.size > 1 and bool(np.any(sorted_keys[1:] == sorted_keys[:-1])):
+            # distinct Python keys that coerce to equal numpy values
+            # (e.g. 1 and "1" under a unicode cast) — not safely mappable
+            return None
+        return sorted_keys, order
 
     @classmethod
     def fit(cls, column: np.ndarray) -> "Vocabulary":
@@ -71,6 +97,21 @@ class Vocabulary:
         """
         column = np.asarray(column)
         flat = column.ravel()
+        if self._lookup is not None and self._kinds_comparable(flat.dtype.kind):
+            sorted_keys, perm = self._lookup
+            pos = np.minimum(
+                np.searchsorted(sorted_keys, flat), sorted_keys.size - 1
+            )
+            hit = sorted_keys[pos] == flat
+            if unknown is None:
+                if not bool(hit.all()):
+                    bad = flat[int(np.argmin(hit))].item()
+                    raise EncodingError(f"value {bad!r} not in vocabulary")
+                out = perm[pos]
+            else:
+                out = np.where(hit, perm[pos], np.int64(unknown))
+            return out.reshape(column.shape)
+        # fallback: object/mixed dtypes keep exact dict-equality semantics
         out = np.empty(flat.shape, dtype=np.int64)
         for i, v in enumerate(flat.tolist()):
             idx = self._index.get(v)
@@ -80,6 +121,17 @@ class Vocabulary:
                 idx = unknown
             out[i] = idx
         return out.reshape(column.shape)
+
+    def _kinds_comparable(self, column_kind: str) -> bool:
+        """Is numpy comparison between the column and the vocabulary keys
+        equivalent to Python dict-key equality?  True within the numeric
+        tower (``1 == 1.0 == True`` both ways) and for same-kind strings;
+        everything else takes the fallback loop."""
+        assert self._lookup is not None
+        key_kind = self._lookup[0].dtype.kind
+        if key_kind in self._NUMERIC_KINDS and column_kind in self._NUMERIC_KINDS:
+            return True
+        return key_kind == column_kind and key_kind in "US"
 
     def decode(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices)

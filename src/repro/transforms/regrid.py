@@ -22,7 +22,7 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["RegularGrid", "regrid", "area_weighted_mean", "RegridError"]
+__all__ = ["RegularGrid", "Regridder", "regrid", "area_weighted_mean", "RegridError"]
 
 
 class RegridError(ValueError):
@@ -131,18 +131,10 @@ def _conservative_weights(
     return weights
 
 
-def regrid(
-    field: np.ndarray,
-    source: RegularGrid,
-    target: RegularGrid,
-    method: str = "bilinear",
-) -> np.ndarray:
-    """Remap ``field (..., nlat, nlon)`` from *source* to *target* grid."""
-    field = np.asarray(field, dtype=np.float64)
-    if field.shape[-2:] != source.shape:
-        raise RegridError(
-            f"field trailing shape {field.shape[-2:]} != source grid {source.shape}"
-        )
+def _separable_weights(
+    source: RegularGrid, target: RegularGrid, method: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``(w_lat, w_lon)`` weight pair one regrid applies."""
     if method == "nearest":
         w_lat = _nearest_weights(source.lat, target.lat)
         w_lon = _nearest_weights(source.lon, target.lon)
@@ -167,8 +159,53 @@ def regrid(
         )
     else:
         raise RegridError(f"unknown regrid method {method!r}")
-    # separable application: out[..., i, j] = sum_ab Wlat[i,a] f[..., a, b] Wlon[j,b]
-    return np.einsum("ia,...ab,jb->...ij", w_lat, field, w_lon, optimize=True)
+    return w_lat, w_lon
+
+
+class Regridder:
+    """Precomputed separable weights for one ``(source, target, method)``.
+
+    Building the weight matrices dominates a single :func:`regrid` call on
+    small fields; a fitted regridder pays that cost once and applies the
+    *identical* einsum contraction per field, so its outputs are bitwise
+    equal to :func:`regrid` — batched pipelines reuse one instance per
+    (grid, method) to amortize the setup without touching the numbers.
+    """
+
+    def __init__(
+        self,
+        source: RegularGrid,
+        target: RegularGrid,
+        method: str = "bilinear",
+    ):
+        self.source = source
+        self.target = target
+        self.method = method
+        self.w_lat, self.w_lon = _separable_weights(source, target, method)
+
+    def __call__(self, field: np.ndarray) -> np.ndarray:
+        """Remap one ``field (..., nlat, nlon)`` to the target grid."""
+        field = np.asarray(field, dtype=np.float64)
+        if field.shape[-2:] != self.source.shape:
+            raise RegridError(
+                f"field trailing shape {field.shape[-2:]} != source grid "
+                f"{self.source.shape}"
+            )
+        # separable application:
+        # out[..., i, j] = sum_ab Wlat[i,a] f[..., a, b] Wlon[j,b]
+        return np.einsum(
+            "ia,...ab,jb->...ij", self.w_lat, field, self.w_lon, optimize=True
+        )
+
+
+def regrid(
+    field: np.ndarray,
+    source: RegularGrid,
+    target: RegularGrid,
+    method: str = "bilinear",
+) -> np.ndarray:
+    """Remap ``field (..., nlat, nlon)`` from *source* to *target* grid."""
+    return Regridder(source, target, method)(field)
 
 
 def area_weighted_mean(field: np.ndarray, grid: RegularGrid) -> np.ndarray:

@@ -1,0 +1,291 @@
+"""Batched execution: deterministic slicing, map_batches parity, empty shards."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    SerialBackend,
+    SimSPMDBackend,
+    ThreadedBackend,
+    batch_slices,
+)
+from repro.core.dataset import Dataset, DatasetMetadata, FieldRole, FieldSpec, Schema
+from repro.io.shards import MANIFEST_NAME, ShardSet
+from repro.workers.backend import ProcessBackend
+
+
+def _local_backends():
+    return [SerialBackend(), ThreadedBackend(workers=3), SimSPMDBackend(n_ranks=3)]
+
+
+def _all_backends():
+    return _local_backends() + [ProcessBackend(workers=2)]
+
+
+def _square(x):
+    return x * x
+
+
+def _square_batch(chunk):
+    return [x * x for x in chunk]
+
+
+def _bad_batch(chunk):
+    return [x for x in chunk][:-1]  # drops one result
+
+
+class TestBatchSlices:
+    def test_contiguous_cover(self):
+        slices = batch_slices(10, 4)
+        assert slices == [slice(0, 4), slice(4, 8), slice(8, 10)]
+
+    def test_exact_multiple(self):
+        assert batch_slices(8, 4) == [slice(0, 4), slice(4, 8)]
+
+    def test_batch_larger_than_input(self):
+        assert batch_slices(3, 100) == [slice(0, 3)]
+
+    def test_batch_of_one(self):
+        assert batch_slices(3, 1) == [slice(0, 1), slice(1, 2), slice(2, 3)]
+
+    def test_empty_input(self):
+        assert batch_slices(0, 4) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            batch_slices(10, 0)
+
+    def test_pure_function_of_arguments(self):
+        # determinism is the parity foundation: same (n, b) -> same grid,
+        # never a function of backend, width, or schedule
+        assert batch_slices(1000, 7) == batch_slices(1000, 7)
+
+
+class TestMapBatches:
+    @pytest.mark.parametrize(
+        "backend", _all_backends(), ids=lambda b: b.name
+    )
+    def test_matches_per_record_map(self, backend):
+        items = list(range(23))
+        expected = [x * x for x in items]
+        assert (
+            backend.map_batches(_square_batch, items, batch_size=4) == expected
+        )
+
+    @pytest.mark.parametrize(
+        "backend", _all_backends(), ids=lambda b: b.name
+    )
+    def test_unbatched_falls_back_to_record_fn(self, backend):
+        items = list(range(11))
+        out = backend.map_batches(
+            _square_batch, items, batch_size=None, record_fn=_square
+        )
+        assert out == [x * x for x in items]
+
+    def test_unbatched_without_record_fn_wraps_chunk_fn(self):
+        out = SerialBackend().map_batches(_square_batch, [1, 2, 3])
+        assert out == [1, 4, 9]
+
+    def test_all_backends_agree_for_any_batch_size(self):
+        items = list(range(37))
+        reference = SerialBackend().map_batches(
+            _square_batch, items, batch_size=5
+        )
+        for backend in _all_backends():
+            for batch_size in (1, 5, 8, 64):
+                assert (
+                    backend.map_batches(_square_batch, items, batch_size=batch_size)
+                    == reference
+                )
+
+    def test_result_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="one\\s+result per item"):
+            SerialBackend().map_batches(_bad_batch, list(range(8)), batch_size=4)
+
+    def test_weights_aggregate_per_chunk(self):
+        seen = []
+
+        class Spy(SerialBackend):
+            def map(self, fn, items, *, weights=None):
+                seen.append(list(weights) if weights is not None else None)
+                return super().map(fn, items, weights=weights)
+
+        Spy().map_batches(
+            _square_batch,
+            list(range(6)),
+            batch_size=3,
+            weights=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        assert seen == [[6.0, 15.0]]
+
+    def test_empty_items(self):
+        for backend in _local_backends():
+            assert backend.map_batches(_square_batch, [], batch_size=4) == []
+
+
+def _empty_dataset() -> Dataset:
+    schema = Schema(
+        [
+            FieldSpec("x", np.dtype(np.float64), role=FieldRole.FEATURE),
+            FieldSpec("label", np.dtype(np.int64), role=FieldRole.LABEL),
+        ]
+    )
+    columns = {
+        "x": np.empty((0,), dtype=np.float64),
+        "label": np.empty((0,), dtype=np.int64),
+    }
+    return Dataset(columns, schema, DatasetMetadata(name="empty"))
+
+
+class TestEmptyDatasetSharding:
+    """An empty dataset must shard to a valid, shard-free manifest."""
+
+    @pytest.mark.parametrize(
+        "backend", _all_backends(), ids=lambda b: b.name
+    )
+    def test_empty_splits_write_no_orphan_shards(self, backend, tmp_path):
+        out = tmp_path / backend.name
+        splits = {
+            "train": np.array([], dtype=np.int64),
+            "val": np.array([], dtype=np.int64),
+        }
+        manifest = backend.shard_write(
+            _empty_dataset(), out, splits, shards_per_split=4
+        )
+        assert sorted(out.glob("*.rps")) == []
+        assert sorted(out.glob("*.tmp")) == []
+        assert manifest.n_shards == 0
+        assert manifest.n_samples == 0
+        # the splits still appear, empty, so readers see the full layout
+        assert sorted(manifest.splits) == ["train", "val"]
+        assert manifest.splits["train"] == []
+        shard_set = ShardSet(out)
+        shard_set.verify()
+        assert shard_set.load_split("train").n_samples == 0
+
+    def test_mixed_empty_and_populated_splits(self, small_dataset, tmp_path):
+        splits = {
+            "train": np.arange(small_dataset.n_samples),
+            "test": np.array([], dtype=np.int64),
+        }
+        dirs = {}
+        for backend in _all_backends():
+            out = tmp_path / backend.name
+            backend.shard_write(
+                small_dataset, out, splits, shards_per_split=3,
+                codec_name="zlib", codec_level=2,
+            )
+            dirs[backend.name] = out
+        reference = dirs["serial"]
+        names = sorted(p.name for p in reference.glob("*.rps"))
+        assert names and all(n.startswith("train-") for n in names)
+        widths = {"serial": 1, "threaded": 3, "simspmd": 3, "process": 2}
+        manifests = {}
+        for name, directory in dirs.items():
+            assert sorted(p.name for p in directory.glob("*.rps")) == names
+            for shard in names:
+                assert (directory / shard).read_bytes() == (
+                    reference / shard
+                ).read_bytes(), f"{name}:{shard} diverged"
+            blob = json.loads((directory / MANIFEST_NAME).read_text())
+            assert blob["splits"]["test"] == []
+            assert blob["metadata"].pop("written_by_ranks") == widths[name]
+            manifests[name] = blob
+        assert len({json.dumps(m, sort_keys=True) for m in manifests.values()}) == 1
+
+
+def _batch_plan(name="bt"):
+    from repro.core.levels import DataProcessingStage
+    from repro.core.plan import PipelineStage, StagePlan
+
+    def fan(payload, ctx):
+        return ctx.backend.map_batches(
+            lambda chunk: [x * 2 for x in chunk],
+            list(range(10)),
+            batch_size=ctx.stage_batch_size,
+            record_fn=lambda x: x * 2,
+        )
+
+    return StagePlan.build(
+        name,
+        [PipelineStage("fan", DataProcessingStage.INGEST, fan, batch=True)],
+    )
+
+
+class TestRunnerWiring:
+    def test_batched_stage_records_batch_telemetry(self):
+        from repro.core.runner import PipelineRunner
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        runner = PipelineRunner(_batch_plan(), telemetry=telemetry, batch_size=4)
+        run = runner.run(None)
+        assert run.results[0].items == 10
+        metrics = telemetry.metrics
+        labels = {"pipeline": "bt", "stage": "fan", "backend": "serial"}
+        assert metrics.value("stage_batches_total", **labels) == 3
+        histogram = metrics.get("stage_batch_size", **labels)
+        assert histogram.count == 3
+        assert histogram.min == 2.0  # the 10-item tail chunk
+        assert histogram.max == 4.0
+        # the three chunks are the stage's physical map tasks
+        assert metrics.value("backend_tasks_total", **labels, op="map") == 3
+
+    def test_per_record_run_records_no_batch_telemetry(self):
+        from repro.core.runner import PipelineRunner
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        PipelineRunner(_batch_plan(), telemetry=telemetry).run(None)
+        metrics = telemetry.metrics
+        labels = {"pipeline": "bt", "stage": "fan", "backend": "serial"}
+        assert metrics.get("stage_batches_total", **labels) is None
+        assert metrics.get("stage_batch_size", **labels) is None
+        assert metrics.value("backend_tasks_total", **labels, op="map") == 10
+
+    def test_batched_and_per_record_outputs_identical(self):
+        from repro.core.runner import PipelineRunner
+
+        batched = PipelineRunner(_batch_plan(), batch_size=3).run(None)
+        per_record = PipelineRunner(_batch_plan()).run(None)
+        assert [r.output_fingerprint for r in batched.results] == [
+            r.output_fingerprint for r in per_record.results
+        ]
+
+    def test_stage_batch_precedence(self):
+        from types import SimpleNamespace
+
+        from repro.core.runner import PipelineRunner
+
+        plan = _batch_plan()
+        stage = plan.stages[0]
+        decision = SimpleNamespace(chosen=SimpleNamespace(batch_records=256))
+        # explicit runner batch_size beats the schedule decision
+        assert PipelineRunner(plan, batch_size=8)._stage_batch(stage, decision) == 8
+        # no explicit size: the decision's batch_records applies
+        assert PipelineRunner(plan)._stage_batch(stage, decision) == 256
+        # neither: per-record
+        assert PipelineRunner(plan)._stage_batch(stage, None) is None
+        # a stage without the capability never batches
+        import dataclasses
+
+        unbatched = dataclasses.replace(stage, batch=False)
+        assert (
+            PipelineRunner(plan, batch_size=8)._stage_batch(unbatched, decision)
+            is None
+        )
+
+    def test_batch_flag_excluded_from_plan_fingerprint(self):
+        import dataclasses
+
+        from repro.core.plan import StagePlan
+
+        plan = _batch_plan()
+        unbatched = StagePlan.build(
+            plan.name, [dataclasses.replace(plan.stages[0], batch=False)]
+        )
+        # batching is an execution concern, never part of plan identity:
+        # a checkpoint from a per-record run must resume a batched one
+        assert plan.fingerprint() == unbatched.fingerprint()

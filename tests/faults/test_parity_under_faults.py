@@ -151,6 +151,46 @@ def test_resume_quarantines_corrupt_checkpoint(domain, tmp_path):
     assert (work_dir / "shards" / MANIFEST_NAME).read_bytes() == manifest_before
 
 
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_batched_chaos_run_matches_clean_per_record(backend, tmp_path):
+    """Transient faults over the batched path stay bitwise invisible.
+
+    The reference is the strictest possible: clean, serial, per-record.
+    The chaos run batches the climate regrid stage (``batch_size=4``)
+    on every backend under transient task faults and a torn shard — a
+    retried *chunk* must re-enter the merge exactly like a retried
+    record, and the shard writer must heal the torn file.
+    """
+    cls, kwargs = ARCHETYPES["climate"]
+    clean = cls(seed=21, **kwargs).run(tmp_path / "clean", backend="serial")
+    clock = VirtualClock()
+    injector = FaultInjector(
+        FaultSpec(seed=7, transient_rate=0.05, torn_shards=1), clock=clock
+    )
+    chaos = cls(seed=21, **kwargs).run(
+        tmp_path / "chaos",
+        backend=backend,
+        retry_policy=POLICY,
+        fault_injector=injector,
+        batch_size=4,
+    )
+
+    assert injector.counts().get("torn-shard") == 1
+    assert chaos.run.total_retries > 0
+    assert not chaos.run.degraded
+
+    clean_fps = [r.output_fingerprint for r in clean.run.results]
+    chaos_fps = [r.output_fingerprint for r in chaos.run.results]
+    assert chaos_fps == clean_fps, f"batched {backend} diverged under faults"
+    assert chaos.dataset.fingerprint() == clean.dataset.fingerprint()
+    assert _shard_bytes(tmp_path / "chaos" / "shards") == _shard_bytes(
+        tmp_path / "clean" / "shards"
+    )
+    assert _normalized_manifest(tmp_path / "chaos" / "shards") == (
+        _normalized_manifest(tmp_path / "clean" / "shards")
+    )
+
+
 def _normalized_manifest(directory):
     """Manifest content with the one legitimately backend-dependent key
     (``written_by_ranks``: 1 serial, 4 threaded/simspmd) removed."""

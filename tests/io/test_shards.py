@@ -1,12 +1,19 @@
 """Shard files, shard sets, manifests, and trainer-facing ingestion."""
 
+import hashlib
+import json
+import struct
+
 import numpy as np
 import pytest
 
 from repro.core.dataset import FieldRole
+from repro.io.compression import RawCodec, get_codec
+from repro.io.serialization import pack_array
 from repro.io.shards import (
     ShardError,
     ShardSet,
+    last_write_peak_buffer,
     read_shard,
     schema_from_dicts,
     schema_to_dicts,
@@ -53,6 +60,72 @@ class TestSingleShard:
         info = write_shard(columns, tmp_path / "s.rps")
         assert info.nbytes == (tmp_path / "s.rps").stat().st_size
         assert len(info.checksum) == 64
+
+
+def _buffered_shard_bytes(columns, codec=None):
+    """The historical fully-buffered writer, kept as the byte oracle."""
+    codec = codec or RawCodec()
+    lengths = {v.shape[0] for v in columns.values()}
+    n_samples = lengths.pop() if lengths else 0
+    blocks, index, offset = [], {}, 0
+    for name in sorted(columns):
+        block = pack_array(np.asarray(columns[name]), codec)
+        index[name] = {"offset": offset, "length": len(block)}
+        blocks.append(block)
+        offset += len(block)
+    header = json.dumps(
+        {"n_samples": n_samples, "columns": index}, sort_keys=True
+    ).encode()
+    return b"".join((b"RPS1", struct.pack("<I", len(header)), header, *blocks))
+
+
+class TestStreamingWrite:
+    """The streaming writer must be byte-for-byte the buffered writer."""
+
+    @pytest.mark.parametrize("codec_name", ["raw", "zlib"])
+    def test_bytes_and_checksum_match_buffered_oracle(
+        self, tmp_path, rng, codec_name
+    ):
+        columns = {
+            "big": rng.normal(size=(500, 16, 32)),
+            "small": rng.integers(0, 9, size=500),
+            "ids": np.arange(500),
+        }
+        codec = get_codec(codec_name, 3 if codec_name == "zlib" else None)
+        info = write_shard(columns, tmp_path / "s.rps", codec)
+        expected = _buffered_shard_bytes(columns, codec)
+        actual = (tmp_path / "s.rps").read_bytes()
+        assert actual == expected
+        assert info.checksum == hashlib.sha256(expected).hexdigest()
+        assert info.nbytes == len(expected)
+
+    def test_peak_buffer_is_one_block_not_the_shard(self, tmp_path, rng):
+        columns = {f"c{i}": rng.normal(size=(200, 64)) for i in range(8)}
+        info = write_shard(columns, tmp_path / "s.rps")
+        peak = last_write_peak_buffer()
+        # bounded RSS: the writer held at most one packed column block,
+        # a fraction of the whole shard, at any moment
+        assert 0 < peak < info.nbytes / 4
+        block = pack_array(columns["c0"], RawCodec())
+        assert peak == len(block)
+
+    def test_no_spool_or_tmp_left_behind(self, tmp_path, rng):
+        write_shard({"x": rng.normal(size=32)}, tmp_path / "s.rps")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "s.rps"]
+        assert leftovers == []
+
+    def test_empty_columns_dict(self, tmp_path):
+        info = write_shard({}, tmp_path / "s.rps")
+        assert info.n_samples == 0
+        assert read_shard(tmp_path / "s.rps") == {}
+
+    def test_failed_write_cleans_spool(self, tmp_path):
+        class Boom:
+            shape = (3,)
+
+        with pytest.raises(Exception):
+            write_shard({"x": Boom()}, tmp_path / "s.rps")
+        assert [p.name for p in tmp_path.iterdir()] == []
 
 
 class TestSchemaSerialization:

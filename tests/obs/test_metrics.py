@@ -117,13 +117,51 @@ class TestHistogramQuantile:
         assert 4.0 <= p50 <= 6.0
         assert h.quantile(0.1) < h.quantile(0.9)
 
-    def test_overflow_bucket_returns_observed_max(self):
+    def test_overflow_bucket_interpolates_toward_observed_max(self):
         h = Histogram(buckets=(1.0,))
         h.observe(0.5)
         h.observe(100.0)
         h.observe(200.0)
-        # ranks landing in +inf have no finite upper edge to interpolate to
-        assert h.quantile(0.99) == 200.0
+        # +inf has no finite upper edge: interpolate over [last bound, max]
+        # instead of snapping every overflow rank to the max
+        assert h.quantile(1.0) == 200.0
+        assert 1.0 <= h.quantile(0.5) <= 200.0
+        assert h.quantile(0.5) < h.quantile(0.99) <= 200.0
+
+    def test_all_mass_in_overflow_keeps_clamp_contract(self):
+        # the historical off-by-one: any rank in the +inf bucket — even
+        # rank 0 — snapped to the observed max
+        h = Histogram(buckets=(1.0,))
+        for v in (50.0, 100.0, 200.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 50.0
+        assert h.quantile(1.0) == 200.0
+        mid = h.quantile(0.5)
+        assert 50.0 <= mid <= 200.0
+        assert mid < h.quantile(0.9)
+
+    def test_extreme_quantiles_hit_observed_bounds(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 2.0, 7.0, 50.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.5
+        assert h.quantile(1.0) == 50.0
+
+    def test_single_observation_in_overflow_bucket(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(42.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 42.0
+
+    def test_rank_exactly_on_bucket_edge(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)  # bucket (-inf, 1]
+        h.observe(1.5)  # bucket (1, 2]
+        # rank q*n = 1.0 lands exactly on the first bucket's cumulative
+        # count: the estimate stays at that bucket's upper edge, inside
+        # the observed range, and quantiles stay monotone across the edge
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.5) <= h.quantile(0.75) <= h.quantile(1.0) == 1.5
 
     def test_first_bucket_lower_edge_uses_observed_min(self):
         h = Histogram(buckets=(10.0, 20.0))

@@ -5,6 +5,7 @@ import pytest
 
 from repro.transforms.regrid import (
     RegridError,
+    Regridder,
     RegularGrid,
     area_weighted_mean,
     regrid,
@@ -139,3 +140,31 @@ class TestMethods:
     def test_unknown_method(self, fine, coarse, rng):
         with pytest.raises(RegridError, match="unknown"):
             regrid(rng.normal(size=fine.shape), fine, coarse, "spectral")
+
+
+class TestRegridder:
+    """The precomputed-weights path must be bitwise equal to regrid()."""
+
+    @pytest.mark.parametrize("method", ["nearest", "bilinear", "conservative"])
+    def test_bitwise_equal_to_regrid(self, fine, coarse, method, rng):
+        regridder = Regridder(fine, coarse, method)
+        for _ in range(3):
+            field = rng.normal(size=fine.shape)
+            np.testing.assert_array_equal(
+                regridder(field), regrid(field, fine, coarse, method)
+            )
+
+    def test_reuse_across_fields_is_stable(self, fine, coarse, rng):
+        # applying the same instance twice to the same field is identical:
+        # the weights are computed once and never mutated by application
+        regridder = Regridder(fine, coarse, "conservative")
+        field = rng.normal(size=fine.shape)
+        np.testing.assert_array_equal(regridder(field), regridder(field))
+
+    def test_shape_mismatch_rejected(self, fine, coarse, rng):
+        with pytest.raises(RegridError, match="trailing shape"):
+            Regridder(fine, coarse)(rng.normal(size=coarse.shape))
+
+    def test_unknown_method_rejected_at_construction(self, fine, coarse):
+        with pytest.raises(RegridError, match="unknown"):
+            Regridder(fine, coarse, "spectral")

@@ -82,6 +82,50 @@ def test_worker_kill_chaos_is_bitwise_invisible(domain, tmp_path):
     assert manifests[0] == manifests[1]
 
 
+def test_batched_worker_kill_chaos_is_bitwise_invisible(tmp_path):
+    """Worker kills over a *batched* climate run change nothing on disk.
+
+    The chaos process run executes the regrid stage through
+    ``map_batches`` (chunks of 3 fields per lease) while the reference
+    run is clean, serial, and per-record — crash recovery and batching
+    together must still be invisible in shards and manifests.
+    """
+    cls, kwargs = ARCHETYPES["climate"]
+    clean = cls(seed=21, **kwargs).run(tmp_path / "clean", backend="serial")
+    # batching shrinks the lease count, so the per-record schedule's seed
+    # draws no in-worker kill here; seed 11 lands one on a chunk lease
+    injector = FaultInjector(FaultSpec(seed=11, worker_kill_rate=0.2))
+    chaos = cls(seed=21, **kwargs).run(
+        tmp_path / "chaos",
+        backend="process",
+        fault_injector=injector,
+        batch_size=3,
+    )
+
+    kills = [f for f in injector.log if f.kind == "worker-kill"]
+    task_kills = [f for f in kills if "[" in f.site]
+    assert task_kills, "chaos schedule injected no in-worker kills"
+    assert chaos.run.worker_counters["tasks_requeued"] == len(task_kills)
+    assert not chaos.run.degraded
+    assert len(chaos.run.dead_letters) == 0
+
+    clean_fps = [r.output_fingerprint for r in clean.run.results]
+    chaos_fps = [r.output_fingerprint for r in chaos.run.results]
+    assert chaos_fps == clean_fps, "batched chaos run diverged"
+    assert chaos.dataset.fingerprint() == clean.dataset.fingerprint()
+    assert _shard_bytes(tmp_path / "chaos" / "shards") == _shard_bytes(
+        tmp_path / "clean" / "shards"
+    )
+    import json
+
+    manifests = []
+    for d in ("clean", "chaos"):
+        blob = json.loads((tmp_path / d / "shards" / MANIFEST_NAME).read_text())
+        blob["metadata"].pop("written_by_ranks")
+        manifests.append(blob)
+    assert manifests[0] == manifests[1]
+
+
 def test_poison_task_routes_to_dead_letter_under_skip_degraded(tmp_path):
     """The stage hosting a poison task degrades; the run does not loop."""
 
