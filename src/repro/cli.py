@@ -134,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="resume from the last completed checkpointed stage "
                           "(requires --checkpoint-dir)")
+    run.add_argument("--recover", action="store_true",
+                     help="scan the checkpoint dir before running: replay the "
+                          "write-ahead run journal, discard uncommitted partial "
+                          "artifacts, heal torn JSONL tails, then resume from "
+                          "the last journal-committed stage (implies --resume; "
+                          "requires --checkpoint-dir)")
     run.add_argument("--events", action="store_true",
                      help="print the structured run-event log after the run")
     run.add_argument("--events-jsonl", type=Path, default=None, metavar="PATH",
@@ -162,7 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--inject-faults", default=None, metavar="SPEC",
                      help="run under seeded chaos, e.g. "
                           "'seed=7,rate=0.05,torn-shards=1,corrupt-checkpoint=2'; "
-                          "combine with --retries to watch the run self-heal")
+                          "disk faults ('enospc=2', 'eio=shard:1', "
+                          "'torn-rename=manifest:1', 'lost-write=1') hit the "
+                          "Nth durable write, and 'crash-at=stage:N:pre|post' "
+                          "(+'crash-kill=1' for a real SIGKILL) stops the "
+                          "driver at a stage boundary; combine with --retries "
+                          "or 'run --recover' to watch the run self-heal")
     run.add_argument("--gates", choices=["fail", "quarantine", "warn"], default=None,
                      help="enforce the domain's declared data contracts at stage "
                           "boundaries: fail aborts on violation, quarantine splits "
@@ -229,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="where promoted shards and the re-drive report go")
     q_redrive.add_argument("--codec", default="raw",
                            help="codec for the promoted supplemental shard")
+    q_redrive.add_argument("--consume", action="store_true",
+                           help="remove promoted records from the quarantine "
+                                "after their outputs commit (crash-idempotent: "
+                                "safe to re-run after an interruption)")
 
     telemetry = sub.add_parser(
         "telemetry", help="inspect a JSONL trace directory written by run --trace-dir"
@@ -361,6 +376,7 @@ def _cmd_run(
     dead_letter_dir: Optional[Path] = None,
     inject_bad_records: Optional[int] = None,
     batch_size: Optional[int] = None,
+    recover: bool = False,
 ) -> int:
     from repro.domains import (
         BioArchetype,
@@ -372,6 +388,11 @@ def _cmd_run(
     if resume and checkpoint_dir is None:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if recover:
+        if checkpoint_dir is None:
+            print("error: --recover requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        resume = True
     classes = {
         "climate": ClimateArchetype,
         "fusion": FusionArchetype,
@@ -379,6 +400,7 @@ def _cmd_run(
         "materials": MaterialsArchetype,
     }
     from repro.core.pipeline import CheckpointError, PipelineError
+    from repro.durability.fsfaults import SimulatedCrash
     from repro.faults import FaultInjector, FaultSpec, RetryPolicy
     from repro.obs import JsonlTelemetrySink, Telemetry
     from repro.obs.sinks import envelope, write_jsonl
@@ -454,6 +476,16 @@ def _cmd_run(
     # --progress and --archive-dir both need telemetry even without a trace dir
     want_telemetry = trace_dir is not None or progress or archive_dir is not None
     telemetry = Telemetry() if want_telemetry else None
+    recovery_report = None
+    if recover:
+        from repro.durability import recover_run
+
+        recovery_report = recover_run(
+            checkpoint_dir,
+            shards_dir=Path(workdir) / "shards",
+            telemetry=telemetry,
+        )
+        print(recovery_report.summary())
     archetype = classes[domain](seed=seed)
     if backend is None:
         how = "cost-model-chosen"
@@ -503,10 +535,19 @@ def _cmd_run(
             cluster=cluster,
             drain=drain,
             batch_size=batch_size,
+            recovery_report=recovery_report,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except SimulatedCrash as exc:
+        # the in-process flavour of crash-at (crash-kill=1 SIGKILLs for
+        # real); exit like a killed driver so CI treats both the same
+        print(f"\n{exc}", file=sys.stderr)
+        if checkpoint_dir is not None:
+            print(f"recover with: --checkpoint-dir {checkpoint_dir} --recover",
+                  file=sys.stderr)
+        return 137
     except DrainInterrupt as exc:
         where = (
             f" before stage {exc.stage_name!r}"
@@ -759,7 +800,8 @@ def _cmd_quarantine_show(directory: Path, fingerprint: str) -> int:
 
 
 def _cmd_quarantine_redrive(
-    directory: Path, domain: str, output: Path, codec: str
+    directory: Path, domain: str, output: Path, codec: str,
+    consume: bool = False,
 ) -> int:
     from repro.gates import QuarantineStore, contracts_for_domain, redrive
 
@@ -771,8 +813,11 @@ def _cmd_quarantine_redrive(
     if not contracts:
         print(f"error: domain {domain!r} declares no contracts", file=sys.stderr)
         return 1
-    report = redrive(store, contracts, output, codec_name=codec)
+    report = redrive(store, contracts, output, codec_name=codec, consume=consume)
     print(report.summary())
+    if consume and report.promoted:
+        print(f"{len(report.promoted)} promoted record(s) consumed "
+              f"from the quarantine")
     if report.shard_path:
         print(f"promoted records shipped as supplemental shard: {report.shard_path}")
     if report.requarantined:
@@ -1143,6 +1188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             dead_letter_dir=args.dead_letter_dir,
             inject_bad_records=args.inject_bad_records,
             batch_size=args.batch_size,
+            recover=args.recover,
         )
     if args.command == "backends":
         return _cmd_backends()
@@ -1161,7 +1207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.quarantine_command == "show":
             return _cmd_quarantine_show(args.directory, args.fingerprint)
         return _cmd_quarantine_redrive(
-            args.directory, args.domain, args.output, args.codec
+            args.directory, args.domain, args.output, args.codec,
+            consume=args.consume,
         )
     if args.command == "telemetry":
         if args.telemetry_command == "summary":

@@ -161,6 +161,7 @@ class Pipeline:
         calibration_store: Any = None,
         drain: Any = None,
         batch_size: Optional[int] = None,
+        recovery_report: Any = None,
     ) -> PipelineRunner:
         """A configured :class:`PipelineRunner` for this pipeline's plan."""
         return PipelineRunner(
@@ -181,6 +182,7 @@ class Pipeline:
             calibration_store=calibration_store,
             drain=drain,
             batch_size=batch_size,
+            recovery_report=recovery_report,
         )
 
     def run(
@@ -205,6 +207,7 @@ class Pipeline:
         calibration_store: Any = None,
         drain: Any = None,
         batch_size: Optional[int] = None,
+        recovery_report: Any = None,
     ) -> PipelineRun:
         """Execute all stages; provenance is captured per transition.
 
@@ -241,5 +244,6 @@ class Pipeline:
             calibration_store=calibration_store,
             drain=drain,
             batch_size=batch_size,
+            recovery_report=recovery_report,
         )
         return runner.run(payload, context, resume=resume)

@@ -62,6 +62,13 @@ from typing import (
 
 from repro.core.backends import ExecutionBackend, get_backend
 from repro.core.evidence import EvidenceKind, ReadinessEvidence
+from repro.durability.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    sha256_path,
+)
+from repro.durability.fsfaults import activate as activate_disk_faults
+from repro.durability.journal import JOURNAL_NAME, RunJournal
 from repro.core.levels import DataProcessingStage
 from repro.core.plan import PipelineError, PipelineStage, StagePlan, fingerprint_payload
 from repro.core.report import format_bytes, render_table
@@ -81,6 +88,12 @@ from repro.provenance.graph import LineageGraph
 from repro.provenance.record import ProvenanceRecord
 from repro.provenance.store import ProvenanceStore
 from repro.workers.drain import DrainController, DrainInterrupt
+
+
+def _sha256_text(text: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.calibrate import CalibrationStore
@@ -258,6 +271,9 @@ class RunEventKind(enum.Enum):
     #: a drain (SIGINT/SIGTERM or programmatic) stopped the run at a
     #: checkpoint-consistent point; resume picks up where it left off
     RUN_INTERRUPTED = "run-interrupted"
+    #: the recovery scanner repaired this checkpoint directory before
+    #: the run started (journal replayed, uncommitted partials discarded)
+    RUN_RECOVERED = "run-recovered"
     #: a stage deadline is configured but the backend cannot preempt a
     #: running task — the budget is enforced post-hoc only
     TIMEOUT_UNENFORCEABLE = "timeout-unenforceable"
@@ -551,13 +567,13 @@ class RunCheckpointer:
             "artifacts": dict(context.artifacts),
             "evidence": context.evidence,
         }
-        # write-then-rename: a crash mid-pickle leaves stage-NNN.pkl.tmp
-        # behind, never a torn snapshot under the restorable name
-        path = self._payload_path(index)
-        tmp_payload = path.with_name(path.name + ".tmp")
-        with open(tmp_payload, "wb") as fh:
-            pickle.dump(blob, fh)
-        os.replace(tmp_payload, path)
+        # atomic + durable: fsynced temp, rename, directory fsync — a
+        # crash mid-pickle leaves stage-NNN.pkl.tmp behind, never a torn
+        # snapshot under the restorable name, and a committed snapshot
+        # survives power loss
+        atomic_write_bytes(
+            self._payload_path(index), pickle.dumps(blob), site="checkpoint"
+        )
         state = self._load_state()
         if state is None or state.get("plan_fingerprint") != plan.fingerprint():
             state = {"completed": []}
@@ -588,9 +604,11 @@ class RunCheckpointer:
             "plan_fingerprint": plan.fingerprint(),
             "completed": [completed[i] for i in sorted(completed)],
         }
-        tmp = self.state_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(state, indent=2, sort_keys=True))
-        os.replace(tmp, self.state_path)
+        atomic_write_text(
+            self.state_path,
+            json.dumps(state, indent=2, sort_keys=True),
+            site="run-state",
+        )
 
     def load(self, plan: StagePlan) -> Optional[RunCheckpoint]:
         """Restore the latest checkpoint for *plan* (None if nothing stored).
@@ -750,6 +768,8 @@ class PipelineRunner:
         calibration_store: Optional["CalibrationStore"] = None,
         drain: Optional[DrainController] = None,
         batch_size: Optional[int] = None,
+        journal: Optional[RunJournal] = None,
+        recovery_report: Optional[object] = None,
     ):
         self.plan = plan
         self.backend = get_backend(backend)
@@ -759,6 +779,14 @@ class PipelineRunner:
         if fault_injector is not None and checkpointer is not None:
             checkpointer = fault_injector.wrap_checkpointer(checkpointer)
         self.checkpointer = checkpointer
+        #: write-ahead run journal; auto-created beside the checkpoints so
+        #: every checkpointed flow (including drain) journals for free
+        if journal is None and checkpointer is not None:
+            journal = RunJournal(Path(checkpointer.directory) / JOURNAL_NAME)
+        self.journal = journal
+        #: RecoveryReport from a pre-run `repro run --recover` scan; when
+        #: set, the run opens with a RUN_RECOVERED event carrying its story
+        self.recovery_report = recovery_report
         self.on_event = on_event
         self.telemetry = telemetry
         #: wall-clock source stamped onto every RunEvent; inject a fake
@@ -911,7 +939,23 @@ class PipelineRunner:
         ``*.quarantined``, reported as ``CHECKPOINT_QUARANTINED``
         events), and the surviving prefix is replayed as
         ``STAGE_SKIPPED`` events instead of being re-executed.
+
+        The whole run executes with the fault injector's disk-fault
+        schedule (if any) installed as the process-global tap on the
+        atomic-commit primitives, so every artifact store — checkpoints,
+        manifests, journal, provenance, quarantine — is under injection.
         """
+        disk_injector = getattr(self.fault_injector, "disk_injector", None)
+        with activate_disk_faults(disk_injector):
+            return self._run_impl(payload, context, resume=resume)
+
+    def _run_impl(
+        self,
+        payload: Any,
+        context: Optional[PipelineContext] = None,
+        *,
+        resume: bool = False,
+    ) -> PipelineRun:
         context = context or PipelineContext(agent=self.plan.name)
         telemetry = self.telemetry
         context.telemetry = telemetry
@@ -989,6 +1033,17 @@ class PipelineRunner:
         context.audit.record(
             context.agent, "run-started", self.plan.name, backend=self.backend.name
         )
+        if self.recovery_report is not None:
+            summary = getattr(self.recovery_report, "summary", None)
+            self._emit(
+                events,
+                RunEventKind.RUN_RECOVERED,
+                detail=summary() if callable(summary) else str(self.recovery_report),
+            )
+            if telemetry is not None:
+                telemetry.metrics.counter(
+                    "runs_recovered_total", pipeline=self.plan.name
+                ).inc()
         any_timeout = self.stage_timeout is not None or any(
             s.timeout is not None for s in self.plan.stages
         )
@@ -1064,6 +1119,27 @@ class PipelineRunner:
                 context._capture(
                     f"{self.plan.name}:source", [], prev_fp, None, {"role": "source"}
                 )
+
+        journal = self.journal
+
+        def _journal_count(kind: str) -> None:
+            if telemetry is not None:
+                telemetry.metrics.counter(
+                    "journal_records_total", pipeline=self.plan.name, kind=kind
+                ).inc()
+
+        if journal is not None:
+            # write-ahead: the journal names the run before any stage
+            # mutates disk, so recovery can always tell which run the
+            # on-disk state belongs to
+            journal.begin(
+                pipeline=self.plan.name,
+                plan_fingerprint=self.plan.fingerprint(),
+                backend=self.backend.name,
+                payload_fingerprint=prev_fp,
+                resume_index=start_index,
+            )
+            _journal_count("run-begin")
 
         def _flush_injected(mark: int, span: Optional[Span]) -> None:
             """Surface this stage's realised injections as span events/counters."""
@@ -1322,6 +1398,10 @@ class PipelineRunner:
                     index,
                     None,
                 )
+            if injector is not None:
+                # pre-stage crash point: the previous stage's commit is
+                # the last journal record; nothing of this stage exists
+                injector.maybe_crash(index, "pre")
             mode, policy, timeout = self._stage_policy(stage)
             context.stage_batch_size = self._stage_batch(stage, decision)
             base.task_retry = policy
@@ -1720,6 +1800,30 @@ class PipelineRunner:
                 self.checkpointer.save(
                     self.plan, index, stage, prev_fp, out_fp, current, context
                 )
+                if journal is not None:
+                    # the stage-commit record is written only after the
+                    # checkpoint hit disk, carrying content digests so
+                    # recovery verifies artifacts instead of trusting them
+                    artifacts: Dict[str, str] = {}
+                    snapshot = (
+                        Path(self.checkpointer.directory) / f"stage-{index:03d}.pkl"
+                    )
+                    if snapshot.exists():
+                        artifacts["checkpoint"] = sha256_path(snapshot)
+                    manifest = context.artifacts.get("manifest")
+                    if manifest is not None and hasattr(manifest, "to_json"):
+                        artifacts["manifest"] = _sha256_text(manifest.to_json())
+                    journal.commit_stage(
+                        index=index,
+                        stage=stage.name,
+                        output_fingerprint=out_fp,
+                        artifacts=artifacts,
+                    )
+                    _journal_count("stage-commit")
+            if injector is not None:
+                # post-stage crash point: the stage is fully committed
+                # (checkpoint + journal); recovery must keep it
+                injector.maybe_crash(index, "post")
             prev_fp = out_fp
 
         degraded_stages = [r.stage_name for r in results if r.degraded]
@@ -1771,6 +1875,9 @@ class PipelineRunner:
                 pipeline=self.plan.name,
                 status="degraded" if degraded_stages else "ok",
             ).inc()
+        if journal is not None:
+            journal.commit_run(output_fingerprint=prev_fp)
+            _journal_count("run-commit")
         self._emit(
             events,
             RunEventKind.RUN_COMPLETED,

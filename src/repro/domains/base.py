@@ -132,6 +132,7 @@ class DomainArchetype(abc.ABC):
         cluster: Any = None,
         drain: Any = None,
         batch_size: Optional[int] = None,
+        recovery_report: Any = None,
     ) -> ArchetypeResult:
         """Synthesize a source, run the pipeline, assess, detect challenges.
 
@@ -220,6 +221,7 @@ class DomainArchetype(abc.ABC):
             calibration_store=calibration_store,
             drain=drain,
             batch_size=batch_size,
+            recovery_report=recovery_report,
         )
         dataset = context.artifacts.get("dataset")
         if not isinstance(dataset, Dataset):

@@ -1,0 +1,78 @@
+"""Durable runs: atomic artifact commits, a write-ahead run journal,
+disk-fault injection, and driver-crash recovery.
+
+The paper's readiness levels treat pipeline outputs as trustworthy
+artifacts; this package is where that trust is earned.  Four pieces:
+
+* :mod:`repro.durability.atomic` — the single fsync-disciplined
+  atomic-commit primitive (tmp + fsync + ``os.replace`` + dir fsync,
+  plus torn-tail-healing append) every artifact store goes through;
+* :mod:`repro.durability.journal` — the write-ahead run journal
+  (``run-begin`` / ``stage-commit`` with artifact digests /
+  ``run-commit``) the runner threads through stage boundaries;
+* :mod:`repro.durability.fsfaults` — deterministic seeded disk-fault
+  injection (ENOSPC, EIO, torn rename, lost unfsynced write) and
+  driver crash points (``stage:N:pre|post``);
+* :mod:`repro.durability.recover` — the recovery scanner behind
+  ``repro run --recover``: replay the journal, discard the
+  uncommitted, resume from the last verified stage.
+"""
+
+from repro.durability.atomic import (
+    append_jsonl_durable,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    commit_file,
+    fsync_dir,
+    fsync_path,
+    heal_torn_tail,
+    sha256_path,
+)
+from repro.durability.fsfaults import (
+    CRASH_PHASES,
+    DISK_FAULT_KINDS,
+    CrashPoint,
+    DiskFaultInjector,
+    DiskFaultPoint,
+    SimulatedCrash,
+    activate,
+    active_injector,
+)
+from repro.durability.journal import (
+    JOURNAL_NAME,
+    KIND_RUN_BEGIN,
+    KIND_RUN_COMMIT,
+    KIND_STAGE_COMMIT,
+    JournalReplay,
+    RunJournal,
+)
+from repro.durability.recover import RecoveryReport, recover_run
+
+__all__ = [
+    "append_jsonl_durable",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "commit_file",
+    "fsync_dir",
+    "fsync_path",
+    "heal_torn_tail",
+    "sha256_path",
+    "CRASH_PHASES",
+    "DISK_FAULT_KINDS",
+    "CrashPoint",
+    "DiskFaultInjector",
+    "DiskFaultPoint",
+    "SimulatedCrash",
+    "activate",
+    "active_injector",
+    "JOURNAL_NAME",
+    "KIND_RUN_BEGIN",
+    "KIND_RUN_COMMIT",
+    "KIND_STAGE_COMMIT",
+    "JournalReplay",
+    "RunJournal",
+    "RecoveryReport",
+    "recover_run",
+]

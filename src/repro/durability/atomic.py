@@ -1,0 +1,209 @@
+"""The one atomic-commit primitive every artifact store goes through.
+
+A pipeline artifact is only trustworthy if its commit is all-or-nothing
+*and* survives power loss.  ``os.replace`` alone gives the first half;
+the second needs the full fsync discipline — flush and fsync the temp
+file, rename it over the final name, then fsync the parent directory so
+the rename itself is durable.  Before this module, six stores each did
+some subset of that dance (most skipped fsync entirely); now they all
+call the same three functions:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` /
+  :func:`atomic_write_json` — whole-file commit: tmp + fsync +
+  ``os.replace`` + dir fsync;
+* :func:`commit_file` — the same commit for callers (like the streaming
+  shard writer) that build their own temp file;
+* :func:`append_jsonl_durable` — append-only logs: heal any torn tail
+  left by a previous crash, append, fsync.
+
+Every commit consults the process-global disk-fault injector
+(:mod:`repro.durability.fsfaults`) so chaos tests exercise ENOSPC, EIO,
+torn renames, and lost unfsynced writes at exactly these choke points —
+one primitive to guard means one place to inject.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Mapping, Union
+
+from repro.durability import fsfaults
+
+__all__ = [
+    "fsync_path",
+    "fsync_dir",
+    "commit_file",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "heal_torn_tail",
+    "append_jsonl_durable",
+    "sha256_path",
+]
+
+PathLike = Union[str, Path]
+
+
+def fsync_path(path: PathLike) -> None:
+    """fsync a file by path (reopened read-only; Linux permits this)."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: PathLike) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    Best-effort: some filesystems refuse directory fsync; the commit is
+    still atomic there, just not provably durable.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def commit_file(tmp: PathLike, final: PathLike, *, site: str = "artifact") -> None:
+    """Atomically commit an already-written temp file over *final*.
+
+    fsync(tmp) → ``os.replace`` → fsync(parent dir).  *site* names the
+    logical store for the disk-fault injector's op numbering.
+    """
+    tmp = Path(tmp)
+    final = Path(final)
+    injector = fsfaults.active_injector()
+    if injector is not None:
+        kind = injector.fault_for(site)
+        if kind is not None:
+            fsfaults.apply_commit_fault(kind, tmp, final)
+    fsync_path(tmp)
+    os.replace(tmp, final)
+    fsync_dir(final.parent)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes, *, site: str = "artifact") -> Path:
+    """Commit *data* under *path* atomically and durably."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+        commit_file(tmp, path, site=site)
+    except BaseException:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, site: str = "artifact", encoding: str = "utf-8"
+) -> Path:
+    return atomic_write_bytes(path, text.encode(encoding), site=site)
+
+
+def atomic_write_json(path: PathLike, obj: object, *, site: str = "artifact") -> Path:
+    return atomic_write_text(
+        path, json.dumps(obj, sort_keys=True, indent=2, default=str), site=site
+    )
+
+
+def heal_torn_tail(path: PathLike) -> int:
+    """Truncate a JSONL file back to its last complete, parseable line.
+
+    A crash mid-append (or a lost unfsynced tail) leaves either a
+    partial final line or trailing garbage; both are physically removed
+    so subsequent appends produce a clean log.  Returns the number of
+    bytes removed (0 when the file is absent or already clean).
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    data = path.read_bytes()
+    keep = len(data)
+    while keep > 0:
+        chunk = data[:keep]
+        if chunk.endswith(b"\n"):
+            start = chunk.rfind(b"\n", 0, keep - 1) + 1
+            line = chunk[start : keep - 1]
+            if not line.strip():
+                break  # blank line: harmless, stop here
+            try:
+                json.loads(line.decode("utf-8"))
+                break  # last line is whole: the file is clean to `keep`
+            except (ValueError, UnicodeDecodeError):
+                keep = start
+        else:
+            # unterminated tail: drop back to the last newline
+            keep = chunk.rfind(b"\n") + 1
+    removed = len(data) - keep
+    if removed:
+        with open(path, "rb+") as fh:
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+        fsync_dir(path.parent)
+    return removed
+
+
+def append_jsonl_durable(
+    path: PathLike,
+    records: Iterable[Mapping[str, object]],
+    *,
+    site: str = "append",
+    heal: bool = True,
+) -> Path:
+    """Append records to a JSONL log, durably.
+
+    Heals any torn tail first (so one crashed append can never poison
+    the log for every later writer), serialises records exactly like
+    :func:`repro.obs.sinks.write_jsonl` (``sort_keys`` + ``default=str``),
+    then writes + fsyncs.  The parent directory is fsynced when the file
+    is first created, making the creation itself durable.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    created = not path.exists()
+    if heal and not created:
+        heal_torn_tail(path)
+    payload = b"".join(
+        (json.dumps(record, sort_keys=True, default=str) + "\n").encode("utf-8")
+        for record in records
+    )
+    injector = fsfaults.active_injector()
+    kind = injector.fault_for(site) if injector is not None else None
+    with open(path, "ab") as fh:
+        start = fh.tell()
+        if kind is not None:
+            fsfaults.apply_append_fault(kind, fh, payload, start)
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if created:
+        fsync_dir(path.parent)
+    return path
+
+
+def sha256_path(path: PathLike) -> str:
+    """Streaming sha256 of a file's contents (hex)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()

@@ -1,0 +1,259 @@
+"""The recovery scanner: replay the journal, discard the uncommitted.
+
+After a driver crash the checkpoint directory holds some mix of
+committed snapshots, orphaned temp files, a possibly-torn journal tail,
+and — in the worst injected cases — garbage under final artifact names.
+:func:`recover_run` turns that wreckage back into a state ``--resume``
+can trust, in four deterministic steps:
+
+1. **Sweep partials** — ``*.tmp`` / ``*.spool`` siblings in the
+   checkpoint and shard directories are, by the commit protocol,
+   uncommitted by construction; remove them.
+2. **Heal torn tails** — the journal (and any extra JSONL logs the
+   caller names) are truncated back to their last complete record.
+3. **Replay the journal** — walk the committed stages oldest-first,
+   verifying each recorded artifact digest against the disk (checkpoint
+   pickle, shard manifest).  The first mismatch marks a torn commit:
+   that stage and everything after it are discarded.
+4. **Trim the checkpoint state** — stage snapshots without a surviving
+   journal commit are deleted and ``run-state.json`` is rewritten to
+   the verified prefix, so resume restarts from the last stage that
+   provably committed.
+
+Everything the scanner does is observable: a ``recovery`` span plus
+``recovery_*`` counters land in telemetry, and the returned
+:class:`RecoveryReport` renders the same story for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.durability.atomic import (
+    atomic_write_text,
+    heal_torn_tail,
+    sha256_path,
+)
+from repro.durability.journal import JOURNAL_NAME, RunJournal
+
+__all__ = ["RecoveryReport", "recover_run"]
+
+#: temp-file patterns that are uncommitted by the commit protocol
+_PARTIAL_PATTERNS = ("*.tmp", "*.spool")
+
+_SNAPSHOT_RE = re.compile(r"^stage-(\d{3})\.pkl$")
+
+MANIFEST_NAME = "manifest.json"
+STATE_NAME = "run-state.json"
+
+
+@dataclass
+class RecoveryReport:
+    """What the scanner found and what it did about it."""
+
+    checkpoint_dir: str
+    shards_dir: Optional[str] = None
+    journal_found: bool = False
+    run_committed: bool = False
+    partials_removed: List[str] = field(default_factory=list)
+    tails_healed: Dict[str, int] = field(default_factory=dict)
+    stages_committed: List[int] = field(default_factory=list)
+    stages_discarded: List[int] = field(default_factory=list)
+    resume_index: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "checkpoint_dir": self.checkpoint_dir,
+            "shards_dir": self.shards_dir,
+            "journal_found": self.journal_found,
+            "run_committed": self.run_committed,
+            "partials_removed": list(self.partials_removed),
+            "tails_healed": dict(self.tails_healed),
+            "stages_committed": list(self.stages_committed),
+            "stages_discarded": list(self.stages_discarded),
+            "resume_index": self.resume_index,
+            "notes": list(self.notes),
+        }
+
+    def summary(self) -> str:
+        if not self.journal_found:
+            status = "no journal"
+        elif self.run_committed:
+            status = "run committed"
+        else:
+            status = f"resume from stage {self.resume_index}"
+        return (
+            f"{status}; {len(self.stages_committed)} stage(s) verified, "
+            f"{len(self.stages_discarded)} discarded, "
+            f"{len(self.partials_removed)} partial(s) removed, "
+            f"{len(self.tails_healed)} torn tail(s) healed"
+        )
+
+
+def _sweep_partials(roots: Iterable[Optional[Path]], report: RecoveryReport) -> None:
+    seen = set()
+    for root in roots:
+        if root is None or not root.is_dir() or root in seen:
+            continue
+        seen.add(root)
+        for pattern in _PARTIAL_PATTERNS:
+            for partial in sorted(root.rglob(pattern)):
+                if not partial.is_file():
+                    continue
+                try:
+                    partial.unlink()
+                except OSError:
+                    continue
+                report.partials_removed.append(str(partial))
+
+
+def _heal_logs(paths: Iterable[Path], report: RecoveryReport) -> None:
+    for path in paths:
+        removed = heal_torn_tail(path)
+        if removed:
+            report.tails_healed[str(path)] = removed
+
+
+def _trim_state(checkpoint_dir: Path, keep: List[int], report: RecoveryReport) -> None:
+    """Delete snapshots outside the verified prefix; rewrite run-state."""
+    for snapshot in sorted(checkpoint_dir.glob("stage-*.pkl")):
+        match = _SNAPSHOT_RE.match(snapshot.name)
+        if match is None:
+            continue
+        index = int(match.group(1))
+        if index in keep:
+            continue
+        try:
+            snapshot.unlink()
+        except OSError:
+            continue
+        report.stages_discarded.append(index)
+    state_path = checkpoint_dir / STATE_NAME
+    if not state_path.exists():
+        return
+    try:
+        state = json.loads(state_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        state = None
+    if not isinstance(state, dict) or "completed" not in state:
+        state_path.unlink()
+        report.notes.append("run-state.json unreadable; removed")
+        return
+    completed = [
+        row
+        for row in state.get("completed", [])
+        if isinstance(row, dict) and int(row.get("index", -1)) in keep
+    ]
+    if not completed:
+        state_path.unlink()
+        return
+    if len(completed) != len(state.get("completed", [])):
+        state["completed"] = completed
+        atomic_write_text(
+            state_path,
+            json.dumps(state, indent=2, sort_keys=True),
+            site="run-state",
+        )
+
+
+def recover_run(
+    checkpoint_dir: Union[str, Path],
+    *,
+    shards_dir: Optional[Union[str, Path]] = None,
+    telemetry=None,
+    extra_jsonl: Iterable[Union[str, Path]] = (),
+) -> RecoveryReport:
+    """Scan a crashed run's on-disk state back to a resumable one.
+
+    *telemetry* is an optional :class:`repro.obs.Telemetry`; when given,
+    the scan runs under a ``recovery`` span and bumps ``recovery_*``
+    counters so the repair is visible in traces.
+    """
+    checkpoint_dir = Path(checkpoint_dir)
+    shards_path = Path(shards_dir) if shards_dir is not None else None
+    report = RecoveryReport(
+        checkpoint_dir=str(checkpoint_dir),
+        shards_dir=str(shards_path) if shards_path is not None else None,
+    )
+
+    span = None
+    if telemetry is not None:
+        span = telemetry.tracer.start_span(
+            "recovery", checkpoint_dir=str(checkpoint_dir)
+        )
+    try:
+        _sweep_partials([checkpoint_dir, shards_path], report)
+
+        journal_path = checkpoint_dir / JOURNAL_NAME
+        logs = [journal_path] + [Path(p) for p in extra_jsonl]
+        _heal_logs(logs, report)
+
+        if not journal_path.exists():
+            report.notes.append("no journal: checkpoint state left untouched")
+            return report
+        report.journal_found = True
+
+        replay = RunJournal(journal_path).last_run()
+        report.run_committed = replay.run_committed
+
+        verified: List[int] = []
+        for index in replay.committed:
+            record = replay.stage_commits[index]
+            artifacts = record.get("artifacts") or {}
+            ok = True
+            snapshot = checkpoint_dir / f"stage-{index:03d}.pkl"
+            want_checkpoint = artifacts.get("checkpoint")
+            if want_checkpoint:
+                if not snapshot.exists() or sha256_path(snapshot) != want_checkpoint:
+                    ok = False
+                    report.notes.append(
+                        f"stage {index}: checkpoint digest mismatch; discarded"
+                    )
+            want_manifest = artifacts.get("manifest")
+            if ok and want_manifest and shards_path is not None:
+                manifest_path = shards_path / MANIFEST_NAME
+                if (
+                    not manifest_path.exists()
+                    or sha256_path(manifest_path) != want_manifest
+                ):
+                    ok = False
+                    report.notes.append(
+                        f"stage {index}: manifest digest mismatch; discarded"
+                    )
+            if not ok:
+                break
+            verified.append(index)
+        report.stages_committed = verified
+        report.resume_index = (verified[-1] + 1) if verified else 0
+
+        _trim_state(checkpoint_dir, verified, report)
+        return report
+    finally:
+        if telemetry is not None:
+            counters = telemetry.metrics
+            counters.counter("recovery_runs_total").inc()
+            counters.counter("recovery_partials_removed_total").inc(
+                len(report.partials_removed)
+            )
+            counters.counter("recovery_tails_healed_total").inc(
+                len(report.tails_healed)
+            )
+            counters.counter("recovery_stages_discarded_total").inc(
+                len(report.stages_discarded)
+            )
+            counters.counter("recovery_stages_verified_total").inc(
+                len(report.stages_committed)
+            )
+            if span is not None:
+                span.set_attribute("resume_index", report.resume_index)
+                span.set_attribute("run_committed", report.run_committed)
+                span.set_attribute(
+                    "partials_removed", len(report.partials_removed)
+                )
+                span.set_attribute("stages_discarded", len(report.stages_discarded))
+                telemetry.tracer.end_span(span)

@@ -122,14 +122,16 @@ class DeadLetterLog:
         The write is **crash-safe**: existing rows are read back (torn
         trailing lines from a previous crash are dropped, exactly as
         :meth:`load` would drop them), the merged ledger is written to a
-        temporary file, and ``os.replace`` swaps it in atomically.  A
+        temporary file, fsynced, and ``os.replace``-swapped in (then the
+        directory is fsynced so the rename itself is durable).  A
         worker kill or power loss mid-save therefore leaves either the
         old complete ledger or the new complete ledger — never a torn
         one growing silently at the tail.
         """
-        import os
+        import json
 
-        from repro.obs.sinks import envelope, read_jsonl, write_jsonl
+        from repro.durability.atomic import atomic_write_bytes
+        from repro.obs.sinks import envelope, read_jsonl
 
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -137,9 +139,11 @@ class DeadLetterLog:
         if append:
             rows.extend(read_jsonl(path))
         rows.extend(envelope("dead-letter", r.to_dict()) for r in self._records)
-        tmp = path.with_name(path.name + ".tmp")
-        write_jsonl(tmp, rows)
-        os.replace(tmp, path)
+        payload = b"".join(
+            (json.dumps(row, sort_keys=True, default=str) + "\n").encode("utf-8")
+            for row in rows
+        )
+        atomic_write_bytes(path, payload, site="dead-letter")
         return path
 
     @classmethod

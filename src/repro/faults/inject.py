@@ -83,6 +83,17 @@ class FaultSpec:
     #: task sites (e.g. ``map#2[5]``) that kill their worker on *every*
     #: attempt: the poison tasks the supervisor must detect and dead-letter
     poison_sites: Tuple[str, ...] = ()
+    #: scheduled disk faults in rendered ``kind:site:index`` form (see
+    #: :class:`repro.durability.fsfaults.DiskFaultPoint`): the Nth guarded
+    #: commit at a store site fails with ENOSPC / EIO / a torn rename /
+    #: a lost unfsynced write
+    disk_faults: Tuple[str, ...] = ()
+    #: driver crash point ``stage:N:pre|post`` ("" = no crash); fires once
+    crash_at: str = ""
+    #: real ``SIGKILL`` to the driver at the crash point instead of
+    #: raising :class:`~repro.durability.fsfaults.SimulatedCrash` — used
+    #: by the CI chaos smoke to prove recovery against true process death
+    crash_kill: bool = False
 
     def __post_init__(self) -> None:
         for name in ("transient_rate", "slow_rate", "worker_kill_rate"):
@@ -91,6 +102,12 @@ class FaultSpec:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if self.slow_seconds < 0 or self.torn_shards < 0:
             raise ValueError("slow_seconds and torn_shards must be non-negative")
+        from repro.durability.fsfaults import CrashPoint, DiskFaultPoint
+
+        for rendered in self.disk_faults:
+            DiskFaultPoint.parse_rendered(rendered)  # raises on bad form
+        if self.crash_at:
+            CrashPoint.parse(self.crash_at)
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -102,7 +119,17 @@ class FaultSpec:
         ``corrupt-checkpoint=2+4``), ``kill-rate`` (alias
         ``worker-kill-rate``), ``poison-site`` (a task site key;
         repeatable via ``+``: ``poison-site=map#0[3]+map#2[0]``).
+
+        Disk-fault keys (guarded-commit op index, or ``site:index`` for
+        per-store numbering; repeatable via ``+``): ``enospc``, ``eio``,
+        ``torn-rename``, ``lost-write`` — e.g.
+        ``enospc=manifest:0+checkpoint:2`` or ``eio=3``.  Driver crash:
+        ``crash-at=stage:N:pre|post`` (``crash-kill=1`` makes it a real
+        SIGKILL instead of a simulated crash).
         """
+        from repro.durability.fsfaults import DISK_FAULT_KINDS, DiskFaultPoint
+
+        disk_faults: List[str] = []
         kwargs: Dict[str, Any] = {}
         for part in text.split(","):
             part = part.strip()
@@ -133,8 +160,20 @@ class FaultSpec:
                 kwargs["poison_sites"] = tuple(
                     v.strip() for v in value.split("+") if v.strip()
                 )
+            elif key in DISK_FAULT_KINDS:
+                disk_faults.extend(
+                    DiskFaultPoint.parse(key, v.strip()).render()
+                    for v in value.split("+")
+                    if v.strip()
+                )
+            elif key == "crash-at":
+                kwargs["crash_at"] = value
+            elif key == "crash-kill":
+                kwargs["crash_kill"] = value.lower() in ("1", "true", "yes")
             else:
                 raise ValueError(f"unknown --inject-faults key {key!r}")
+        if disk_faults:
+            kwargs["disk_faults"] = tuple(disk_faults)
         return cls(**kwargs)
 
     def to_dict(self) -> Dict[str, object]:
@@ -174,6 +213,22 @@ class FaultInjector:
         self._torn = 0
         self._corrupted: List[int] = []
         self.log: List[InjectedFault] = []
+        #: disk-fault tap installed on the atomic-commit primitives for
+        #: the run's duration (see :mod:`repro.durability.fsfaults`)
+        self.disk_injector = None
+        if self.spec.disk_faults:
+            from repro.durability.fsfaults import DiskFaultInjector, DiskFaultPoint
+
+            points = tuple(
+                DiskFaultPoint.parse_rendered(text) for text in self.spec.disk_faults
+            )
+            self.disk_injector = DiskFaultInjector(
+                points,
+                on_fault=lambda kind, site: self._record(
+                    InjectedFault(kind=f"disk-{kind}", site=site, attempt=1)
+                ),
+            )
+        self._crash_fired = False
 
     # -- accounting --------------------------------------------------------------
     def _record(self, fault: InjectedFault) -> None:
@@ -308,6 +363,30 @@ class FaultInjector:
             InjectedFault("corrupt-checkpoint", f"stage-{stage_index}", 1, path.name)
         )
         return True
+
+    # -- driver crash ------------------------------------------------------------
+    def maybe_crash(self, stage_index: int, phase: str) -> None:
+        """Die at the scheduled crash point (once).
+
+        Raises :class:`~repro.durability.fsfaults.SimulatedCrash`
+        (``BaseException`` — the runner's retry loop cannot catch it) or,
+        with ``crash-kill``, SIGKILLs the driver process for real.  The
+        half-committed on-disk state is left exactly as a power loss
+        would leave it, for ``repro run --recover`` to heal.
+        """
+        if not self.spec.crash_at:
+            return
+        from repro.durability.fsfaults import CrashPoint, crash
+
+        point = CrashPoint.parse(self.spec.crash_at, kill=self.spec.crash_kill)
+        with self._lock:
+            if self._crash_fired:
+                return
+            if point.stage_index != stage_index or point.phase != phase:
+                return
+            self._crash_fired = True
+        self._record(InjectedFault("crash", point.render(), 1))
+        crash(point)
 
     # -- wrappers ----------------------------------------------------------------
     def wrap_backend(self, backend: ExecutionBackend) -> "FaultInjectingBackend":

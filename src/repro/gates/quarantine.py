@@ -23,7 +23,11 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.obs.sinks import envelope, read_jsonl, write_jsonl
+from repro.durability.atomic import (
+    append_jsonl_durable,
+    atomic_write_bytes,
+)
+from repro.obs.sinks import envelope, read_jsonl
 
 __all__ = ["QUARANTINE_NAME", "QuarantineStore"]
 
@@ -52,14 +56,56 @@ class QuarantineStore:
         self._entries.append(dict(entry))
         if self.directory is None:
             return
-        write_jsonl(self.path, [envelope("quarantine", entry)], append=True)
+        append_jsonl_durable(
+            self.path, [envelope("quarantine", entry)], site="quarantine"
+        )
         self.records_dir.mkdir(parents=True, exist_ok=True)
         path = self.records_dir / f"{entry['record_fingerprint']}.pkl"
         if not path.exists():  # content-addressed: write once
-            tmp = path.with_name(path.name + ".tmp")
-            with open(tmp, "wb") as fh:
-                pickle.dump(record, fh)
-            tmp.replace(path)
+            atomic_write_bytes(
+                path, pickle.dumps(record), site="quarantine-record"
+            )
+
+    def discard(self, fingerprints) -> int:
+        """Remove entries (and their payloads) by record fingerprint.
+
+        Used by consume-mode re-drive after promotion.  The entry file
+        is rewritten atomically *before* payloads are deleted, and a
+        missing payload is not an error — so the operation is safe to
+        re-run after a crash at any point.  Returns the number of
+        entries removed.
+        """
+        fps = {str(f) for f in fingerprints}
+        if not fps:
+            return 0
+        before = self.entries()
+        kept = [e for e in before if str(e.get("record_fingerprint")) not in fps]
+        removed = len(before) - len(kept)
+        self._entries = [
+            e
+            for e in self._entries
+            if str(e.get("record_fingerprint")) not in fps
+        ]
+        if self.directory is not None:
+            import json
+
+            payload = b"".join(
+                (
+                    json.dumps(envelope("quarantine", e), sort_keys=True, default=str)
+                    + "\n"
+                ).encode("utf-8")
+                for e in kept
+            )
+            if payload or self.path.exists():
+                atomic_write_bytes(self.path, payload, site="quarantine")
+            if self.records_dir.is_dir():
+                for fp in sorted(fps):
+                    for path in sorted(self.records_dir.glob(f"{fp}*.pkl")):
+                        try:
+                            path.unlink()
+                        except FileNotFoundError:
+                            pass
+        return removed
 
     def entries(self) -> List[Dict[str, object]]:
         """All quarantine entries, durable ones first if on disk."""

@@ -14,6 +14,16 @@ quarantined records are re-evaluated against the *current* contract:
 Everything is a pure function of record content and contract, so
 re-driving the same quarantine twice produces byte-identical outputs —
 the determinism the acceptance test asserts.
+
+With ``consume=True`` promoted records are also *removed* from the
+quarantine (entry and payload), turning re-drive into a move rather
+than a copy.  The removal is crash-idempotent: a marker listing the
+promoted fingerprints is committed atomically **after** the outputs are
+written but **before** any payload is deleted, so a re-invocation after
+a crash at any point skips re-evaluating the marker's records (their
+payloads may already be gone, their outputs already exist) and simply
+completes the deletion — converging on the exact state an uninterrupted
+consume pass would have produced.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.durability.atomic import atomic_write_bytes, atomic_write_text
 from repro.gates.contracts import StageContract
 from repro.gates.gate import evaluate_contract
 from repro.gates.quarantine import QuarantineStore
@@ -38,6 +49,9 @@ __all__ = ["RedriveReport", "contracts_for_domain", "redrive"]
 REPORT_NAME = "report.json"
 REQUARANTINED_NAME = "requarantined.jsonl"
 PROMOTED_SHARD = "promoted-00000.rps"
+#: consume-mode crash marker: exists only between "outputs committed"
+#: and "quarantine cleaned" — its presence means deletion is pending
+CONSUME_MARKER = "consumed.json"
 
 
 @dataclasses.dataclass
@@ -106,8 +120,14 @@ def redrive(
     output_dir: Union[str, Path],
     *,
     codec_name: str = "raw",
+    consume: bool = False,
 ) -> RedriveReport:
-    """Replay every quarantined record through its (current) contract."""
+    """Replay every quarantined record through its (current) contract.
+
+    ``consume=True`` removes promoted records from the quarantine after
+    their outputs are committed; safe to re-invoke after a crash at any
+    point (see the module docstring for the marker protocol).
+    """
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     report = RedriveReport()
@@ -115,8 +135,27 @@ def redrive(
     promoted_rows: List[Mapping[str, Any]] = []
     promoted_other: List[Tuple[str, Any]] = []
 
+    # a marker from a crashed consume pass: those records were already
+    # promoted and their outputs committed — only the deletion is pending
+    marker_path = (
+        store.directory / CONSUME_MARKER
+        if consume and store.directory is not None
+        else None
+    )
+    already_promoted: set = set()
+    if marker_path is not None and marker_path.exists():
+        try:
+            already_promoted = set(
+                json.loads(marker_path.read_text()).get("promoted", [])
+            )
+        except (json.JSONDecodeError, OSError):
+            already_promoted = set()
+
     for entry in store.entries():
         fingerprint = str(entry.get("record_fingerprint", ""))
+        if fingerprint in already_promoted:
+            report.promoted.append(fingerprint)
+            continue
         contract = contracts.get(str(entry.get("contract", "")))
         if contract is None:
             report.skipped.append(fingerprint)
@@ -150,17 +189,45 @@ def redrive(
         shard_path = output_dir / PROMOTED_SHARD
         write_shard(_stack_rows(promoted_rows), shard_path, get_codec(codec_name))
         report.shard_path = str(shard_path)
+    elif already_promoted and (output_dir / PROMOTED_SHARD).exists():
+        # crashed consume pass already committed the shard; report it
+        report.shard_path = str(output_dir / PROMOTED_SHARD)
     promoted_dir = output_dir / "promoted"
     for fingerprint, record in promoted_other:
         promoted_dir.mkdir(parents=True, exist_ok=True)
-        with open(promoted_dir / f"{fingerprint}.pkl", "wb") as fh:
-            pickle.dump(record, fh)
+        atomic_write_bytes(
+            promoted_dir / f"{fingerprint}.pkl",
+            pickle.dumps(record),
+            site="promoted-record",
+        )
 
     write_jsonl(
         output_dir / REQUARANTINED_NAME,
         [envelope("quarantine", e) for e in requarantined_entries],
     )
-    (output_dir / REPORT_NAME).write_text(
-        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    atomic_write_text(
+        output_dir / REPORT_NAME,
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+        site="redrive-report",
     )
+
+    if consume and marker_path is not None and report.promoted:
+        # commit point: every promoted output above is on disk.  The
+        # marker must land *before* any payload deletion so a crash
+        # between the two leaves a resumable (not lossy) state.
+        atomic_write_text(
+            marker_path,
+            json.dumps(
+                {
+                    "schema": 1,
+                    "type": "redrive-consume",
+                    "promoted": sorted(set(report.promoted)),
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+            site="redrive-marker",
+        )
+        store.discard(report.promoted)
+        marker_path.unlink(missing_ok=True)
     return report

@@ -36,6 +36,7 @@ from repro.core.dataset import (
     Modality,
     Schema,
 )
+from repro.durability.atomic import atomic_write_text, commit_file
 from repro.io.chunking import ChunkPlan, plan_shards_by_count
 from repro.io.compression import Codec, RawCodec, get_codec
 from repro.io.serialization import pack_array, unpack_array
@@ -180,10 +181,16 @@ def write_shard(
                     break
                 fh.write(chunk)
                 digest.update(chunk)
-        os.replace(tmp, path)
+        commit_file(tmp, path, site="shard")
     finally:
-        if spool.exists():
-            spool.unlink()
+        # a raise anywhere above — packing, the copy loop, or the commit —
+        # must not leak either sibling; the committed rename already
+        # consumed tmp on the success path
+        for partial in (spool, tmp):
+            try:
+                partial.unlink()
+            except FileNotFoundError:
+                pass
     _last_write_peak_buffer = peak
     nbytes = 4 + _HEADER_LEN.size + len(header) + offset
     return ShardInfo(
@@ -362,7 +369,7 @@ def write_shard_set(
         codec=codec_name,
         metadata=metadata,
     )
-    (directory / MANIFEST_NAME).write_text(manifest.to_json())
+    atomic_write_text(directory / MANIFEST_NAME, manifest.to_json(), site="manifest")
     return manifest
 
 

@@ -32,6 +32,7 @@ import shutil
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.durability.atomic import append_jsonl_durable, atomic_write_text
 from repro.obs.analyze import TraceReport, analyze_trace, median_mad
 from repro.obs.sinks import read_jsonl, read_trace, write_jsonl
 
@@ -236,8 +237,10 @@ class RunArchive:
         run_dir = self.run_dir(run_id)
         if not (run_dir / RECORD_NAME).exists():
             run_dir.mkdir(parents=True, exist_ok=True)
-            (run_dir / RECORD_NAME).write_text(
-                json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n"
+            atomic_write_text(
+                run_dir / RECORD_NAME,
+                json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+                site="run-record",
             )
             trace_out = run_dir / TRACE_SUBDIR
             if trace_dir is not None and trace_dir.is_dir():
@@ -261,7 +264,9 @@ class RunArchive:
                 "status": record.status,
                 "total_wall_s": record.total_wall_s,
             }
-            write_jsonl(self.index_path, [index_row], append=True)
+            # durable append: heals any torn tail a crashed archival left,
+            # then fsyncs — concurrent archivers each land a whole line
+            append_jsonl_durable(self.index_path, [index_row], site="run-index")
         return record
 
     # -- reading -----------------------------------------------------------------

@@ -1,10 +1,14 @@
 """Durable provenance store: append-only JSONL with replay and verification.
 
 The facility-side half of provenance capture: records stream to disk as
-they happen (one JSON object per line, append-only, crash-tolerant — a
-partial trailing line is ignored on load), and a stored lineage can be
-rebuilt into a :class:`~repro.provenance.graph.LineageGraph` in any later
-session.
+they happen (one JSON object per line, append-only, crash-tolerant),
+and a stored lineage can be rebuilt into a
+:class:`~repro.provenance.graph.LineageGraph` in any later session.
+
+Crash discipline: appends go through the fsync-disciplined primitive in
+:mod:`repro.durability.atomic`, which *physically heals* any torn
+trailing line a previous crash left behind before writing — so one bad
+tail never accumulates, and readers see only whole records.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import json
 from pathlib import Path
 from typing import Iterator, List, Union
 
+from repro.durability.atomic import append_jsonl_durable, heal_torn_tail
 from repro.provenance.graph import LineageGraph
 from repro.provenance.record import ProvenanceRecord
 
@@ -27,10 +32,12 @@ class ProvenanceStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def append(self, record: ProvenanceRecord) -> None:
-        """Durably append one record."""
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record.to_dict(), sort_keys=True))
-            fh.write("\n")
+        """Durably append one record (healing any torn tail first)."""
+        append_jsonl_durable(self.path, [record.to_dict()], site="provenance")
+
+    def heal(self) -> int:
+        """Physically truncate a torn trailing line; returns bytes removed."""
+        return heal_torn_tail(self.path)
 
     def __iter__(self) -> Iterator[ProvenanceRecord]:
         if not self.path.exists():
@@ -48,6 +55,7 @@ class ProvenanceStore:
                 yield ProvenanceRecord.from_dict(blob)
 
     def load(self) -> List[ProvenanceRecord]:
+        self.heal()
         return list(self)
 
     def build_graph(self) -> LineageGraph:

@@ -25,7 +25,8 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
-from repro.obs.sinks import envelope, read_jsonl, write_jsonl
+from repro.durability.atomic import append_jsonl_durable
+from repro.obs.sinks import envelope, read_jsonl
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.decision import ScheduleDecision
@@ -90,7 +91,9 @@ class CalibrationStore:
         if persist and self.path is not None:
             row = dict(entry)
             row["entry"] = key
-            write_jsonl(self.path, [envelope("calibration", row)], append=True)
+            append_jsonl_durable(
+                self.path, [envelope("calibration", row)], site="calibration"
+            )
         return True
 
     def observe(

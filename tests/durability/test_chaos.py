@@ -1,0 +1,196 @@
+"""The durability acceptance contract (ISSUE 10).
+
+A run killed at any journal record — before or after any stage, on any
+backend, with or without disk faults underneath — must recover to
+shards and a manifest **bitwise identical** to an uninterrupted run.
+The reference is always the strictest one: a clean serial run.
+"""
+
+import pytest
+
+from repro.core.pipeline import RunEventKind
+from repro.domains import ClimateArchetype
+from repro.domains.climate.synthetic import ClimateSourceConfig
+from repro.durability.fsfaults import SimulatedCrash
+from repro.durability.recover import recover_run
+from repro.faults import FaultInjector, FaultSpec
+from repro.io.shards import MANIFEST_NAME
+from repro.obs import Telemetry
+
+KWARGS = {"config": ClimateSourceConfig(n_models=2, n_timesteps=6, seed=21)}
+N_STAGES = 5  # download -> regrid -> normalize -> stack -> shard
+
+#: every journal-record boundary a drivers can die at: before each stage
+#: body runs, and after each stage's checkpoint + journal commit
+ALL_CRASH_POINTS = [
+    f"stage:{index}:{phase}" for index in range(N_STAGES) for phase in ("pre", "post")
+]
+
+#: representative mid-run kill for the cross-backend leg of the matrix
+BACKEND_CRASH_POINT = "stage:2:post"
+
+
+def _run(work_dir, *, backend="serial", ckpt=None, spec=None, resume=False,
+         recovery_report=None, telemetry=None):
+    injector = FaultInjector(FaultSpec.parse(spec)) if spec else None
+    result = ClimateArchetype(seed=21, **KWARGS).run(
+        work_dir,
+        backend=backend,
+        checkpoint_dir=ckpt,
+        resume=resume,
+        fault_injector=injector,
+        recovery_report=recovery_report,
+        telemetry=telemetry,
+    )
+    return result, injector
+
+
+def _shard_bytes(directory):
+    files = {p.name: p.read_bytes() for p in directory.glob("*.rps")}
+    assert files, f"no shards under {directory}"
+    files[MANIFEST_NAME] = (directory / MANIFEST_NAME).read_bytes()
+    return files
+
+
+@pytest.fixture(scope="module")
+def clean_reference(tmp_path_factory):
+    """Per-backend uninterrupted reference runs (shard bytes are backend-
+    invariant; the manifest's ``written_by_ranks`` metadata is not)."""
+    cache = {}
+
+    def reference(backend="serial"):
+        if backend not in cache:
+            work_dir = tmp_path_factory.mktemp(f"clean-{backend}")
+            result, _ = _run(work_dir, backend=backend)
+            cache[backend] = (result, _shard_bytes(work_dir / "shards"))
+        return cache[backend]
+
+    return reference
+
+
+def _kill_recover_resume(tmp_path, clean_reference, *, backend, crash_at,
+                         extra_spec=""):
+    clean_result, clean_shards = clean_reference(backend)
+    work_dir = tmp_path / "chaos"
+    ckpt = tmp_path / "ckpt"
+    spec = f"crash-at={crash_at}" + (f",{extra_spec}" if extra_spec else "")
+
+    with pytest.raises(SimulatedCrash):
+        _run(work_dir, backend=backend, ckpt=ckpt, spec=spec)
+
+    telemetry = Telemetry()
+    report = recover_run(ckpt, shards_dir=work_dir / "shards", telemetry=telemetry)
+    resumed, _ = _run(
+        work_dir,
+        backend=backend,
+        ckpt=ckpt,
+        resume=True,
+        recovery_report=report,
+        telemetry=telemetry,
+    )
+
+    # recovery is visible in telemetry and the event log...
+    assert telemetry.metrics.value("recovery_runs_total") == 1
+    assert telemetry.metrics.value("runs_recovered_total", pipeline="climate") == 1
+    kinds = [e.kind for e in resumed.run.events]
+    assert RunEventKind.RUN_RECOVERED in kinds
+    # ...and invisible in the output: bitwise parity with the clean run
+    assert resumed.dataset.fingerprint() == clean_result.dataset.fingerprint()
+    assert _shard_bytes(work_dir / "shards") == clean_shards
+    return report, resumed
+
+
+class TestKilledAtEveryJournalRecord:
+    @pytest.mark.parametrize("crash_at", ALL_CRASH_POINTS)
+    def test_serial_recovers_bitwise(self, crash_at, tmp_path, clean_reference):
+        report, resumed = _kill_recover_resume(
+            tmp_path, clean_reference, backend="serial", crash_at=crash_at
+        )
+        index = int(crash_at.split(":")[1])
+        phase = crash_at.split(":")[2]
+        committed = index + 1 if phase == "post" else index
+        assert report.resume_index == committed
+        # the resumed run restored exactly the journal-committed prefix
+        restored = [r for r in resumed.run.results if r.restored]
+        assert len(restored) == committed
+
+    @pytest.mark.parametrize("backend", ["threaded", "simspmd", "process"])
+    def test_other_backends_recover_bitwise(self, backend, tmp_path, clean_reference):
+        _kill_recover_resume(
+            tmp_path, clean_reference, backend=backend, crash_at=BACKEND_CRASH_POINT
+        )
+
+
+class TestKilledWithDiskFaultsUnderneath:
+    """The compound worst case: the disk was already failing when the
+    driver died.  The pre-crash run absorbs a disk fault (retries heal
+    transient ENOSPC/EIO; torn renames and lost writes leave garbage the
+    scanner must detect), then the kill lands."""
+
+    @pytest.mark.parametrize("kind", ["enospc", "eio", "torn-rename", "lost-write"])
+    def test_shard_site_fault_plus_kill(self, kind, tmp_path, clean_reference):
+        clean_result, clean_shards = clean_reference()
+        work_dir = tmp_path / "chaos"
+        ckpt = tmp_path / "ckpt"
+        from repro.faults import RetryPolicy
+
+        injector = FaultInjector(
+            FaultSpec.parse(f"{kind}=shard:1,crash-at=stage:4:post")
+        )
+        with pytest.raises(SimulatedCrash):
+            ClimateArchetype(seed=21, **KWARGS).run(
+                work_dir,
+                backend="serial",
+                checkpoint_dir=ckpt,
+                fault_injector=injector,
+                retry_policy=RetryPolicy(max_attempts=3, seed=7),
+            )
+        assert injector.disk_injector.counts() == {kind: 1}
+
+        report = recover_run(ckpt, shards_dir=work_dir / "shards")
+        resumed, _ = _run(
+            work_dir, ckpt=ckpt, resume=True, recovery_report=report
+        )
+        assert resumed.dataset.fingerprint() == clean_result.dataset.fingerprint()
+        assert _shard_bytes(work_dir / "shards") == clean_shards
+
+    def test_journal_site_fault_then_kill(self, tmp_path, clean_reference):
+        # the journal itself tears while committing stage 2, then the
+        # driver dies later: recovery must trust only the healed prefix
+        clean_result, clean_shards = clean_reference()
+        work_dir = tmp_path / "chaos"
+        ckpt = tmp_path / "ckpt"
+        from repro.faults import RetryPolicy
+
+        injector = FaultInjector(
+            FaultSpec.parse("eio=journal:3,crash-at=stage:3:post")
+        )
+        with pytest.raises((SimulatedCrash, OSError)):
+            ClimateArchetype(seed=21, **KWARGS).run(
+                work_dir,
+                backend="serial",
+                checkpoint_dir=ckpt,
+                fault_injector=injector,
+                retry_policy=RetryPolicy(max_attempts=3, seed=7),
+            )
+        report = recover_run(ckpt, shards_dir=work_dir / "shards")
+        resumed, _ = _run(
+            work_dir, ckpt=ckpt, resume=True, recovery_report=report
+        )
+        assert resumed.dataset.fingerprint() == clean_result.dataset.fingerprint()
+        assert _shard_bytes(work_dir / "shards") == clean_shards
+
+
+class TestJournalTelemetry:
+    def test_journal_records_counted_per_kind(self, tmp_path):
+        telemetry = Telemetry()
+        _run(tmp_path / "wd", ckpt=tmp_path / "ckpt", telemetry=telemetry)
+        value = telemetry.metrics.value
+        label = {"pipeline": "climate"}
+        assert value("journal_records_total", kind="run-begin", **label) == 1
+        assert value("journal_records_total", kind="stage-commit", **label) == N_STAGES
+        assert value("journal_records_total", kind="run-commit", **label) == 1
+
+    def test_no_checkpoint_dir_means_no_journal(self, tmp_path):
+        result, _ = _run(tmp_path / "wd")
+        assert not list(tmp_path.glob("**/journal.jsonl"))

@@ -87,3 +87,117 @@ def test_every_domain_publishes_named_contracts():
         contracts = contracts_for_domain(domain)
         assert contracts, f"{domain} declares no contracts"
         assert set(contracts) == {f"{domain}-ingest", f"{domain}-structure"}
+
+
+# ---------------------------------------------------------------------------
+# consume mode (ISSUE 10 satellite): re-drive as a crash-idempotent move
+
+
+def _consume_setup(tmp_path, n=2):
+    """A quarantine of *n* promotable records plus one still-violating one."""
+    store = QuarantineStore(tmp_path / "q")
+    promotable = [
+        _quarantine(store, {"t": np.asarray([200.0 + i, 900.0])}, STRICT)
+        for i in range(n)
+    ]
+    hot = _quarantine(store, {"t": np.asarray([2000.0])}, STRICT)
+    return store, promotable, hot
+
+
+def test_consume_removes_promoted_and_keeps_violating(tmp_path):
+    store, promotable, hot = _consume_setup(tmp_path)
+    out = tmp_path / "redrive"
+    report = redrive(store, {"t-gate": RELAXED}, out, consume=True)
+    assert sorted(report.promoted) == sorted(promotable)
+
+    survivors = QuarantineStore(tmp_path / "q")
+    assert [e["record_fingerprint"] for e in survivors.entries()] == [hot]
+    # promoted payloads are gone, the violating one remains loadable
+    for fingerprint in promotable:
+        try:
+            survivors.load_record(fingerprint)
+            raise AssertionError("consumed payload should be gone")
+        except FileNotFoundError:
+            pass
+    assert survivors.load_record(hot) is not None
+    # the commit marker was cleaned up after the deletion completed
+    from repro.gates.redrive import CONSUME_MARKER
+
+    assert not (tmp_path / "q" / CONSUME_MARKER).exists()
+
+
+def test_consume_without_flag_is_a_copy_not_a_move(tmp_path):
+    store, promotable, hot = _consume_setup(tmp_path)
+    redrive(store, {"t-gate": RELAXED}, tmp_path / "redrive")
+    assert len(QuarantineStore(tmp_path / "q").entries()) == len(promotable) + 1
+
+
+def test_consume_reinvocation_after_crash_mid_delete_converges(tmp_path):
+    """Crash between the marker commit and the payload deletion: the
+    re-invocation must skip re-evaluation, finish the deletion, and end
+    in exactly the state an uninterrupted consume pass produces."""
+    from repro.gates.redrive import CONSUME_MARKER
+
+    # the uninterrupted oracle
+    oracle_store, oracle_promotable, _ = _consume_setup(tmp_path / "oracle")
+    oracle_out = tmp_path / "oracle" / "redrive"
+    oracle_report = redrive(
+        oracle_store, {"t-gate": RELAXED}, oracle_out, consume=True
+    )
+
+    # the crashed pass: outputs + marker committed, one payload already
+    # deleted, quarantine.jsonl still intact — the worst mid-delete state
+    store, promotable, hot = _consume_setup(tmp_path / "crashed")
+    out = tmp_path / "crashed" / "redrive"
+    report = redrive(store, {"t-gate": RELAXED}, out)  # outputs committed
+    marker = tmp_path / "crashed" / "q" / CONSUME_MARKER
+    marker.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "type": "redrive-consume",
+                "promoted": sorted(set(report.promoted)),
+            }
+        )
+    )
+    victim = sorted(report.promoted)[0]
+    (tmp_path / "crashed" / "q" / "records" / f"{victim}.pkl").unlink()
+
+    # re-invoke: marker'd records are not re-evaluated (their payloads
+    # may be gone), the deletion completes, the marker is consumed
+    resumed = redrive(
+        QuarantineStore(tmp_path / "crashed" / "q"),
+        {"t-gate": RELAXED},
+        out,
+        consume=True,
+    )
+    assert sorted(resumed.promoted) == sorted(oracle_report.promoted)
+    assert resumed.shard_path == str(out / PROMOTED_SHARD)
+    assert not marker.exists()
+
+    oracle_q = (tmp_path / "oracle" / "q" / "quarantine.jsonl").read_bytes()
+    crashed_q = (tmp_path / "crashed" / "q" / "quarantine.jsonl").read_bytes()
+    assert crashed_q == oracle_q
+    assert (out / PROMOTED_SHARD).read_bytes() == (
+        oracle_out / PROMOTED_SHARD
+    ).read_bytes()
+    oracle_records = sorted(
+        p.name for p in (tmp_path / "oracle" / "q" / "records").glob("*.pkl")
+    )
+    crashed_records = sorted(
+        p.name for p in (tmp_path / "crashed" / "q" / "records").glob("*.pkl")
+    )
+    assert crashed_records == oracle_records
+
+
+def test_consume_reinvocation_is_fully_idempotent(tmp_path):
+    store, promotable, hot = _consume_setup(tmp_path)
+    out = tmp_path / "redrive"
+    first = redrive(store, {"t-gate": RELAXED}, out, consume=True)
+    again = redrive(
+        QuarantineStore(tmp_path / "q"), {"t-gate": RELAXED}, out, consume=True
+    )
+    # nothing promotable remains: only the violating record is re-judged
+    assert again.promoted == []
+    assert again.requarantined == [hot]
+    assert len(QuarantineStore(tmp_path / "q").entries()) == 1

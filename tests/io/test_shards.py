@@ -127,6 +127,40 @@ class TestStreamingWrite:
             write_shard({"x": Boom()}, tmp_path / "s.rps")
         assert [p.name for p in tmp_path.iterdir()] == []
 
+    def test_failed_commit_cleans_both_siblings(self, tmp_path, rng, monkeypatch):
+        # regression: a raise *after* the spool→tmp copy (in the atomic
+        # commit itself) used to leak the .tmp sibling
+        import repro.io.shards as shards_mod
+
+        def explode(tmp, final, **kwargs):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(shards_mod, "commit_file", explode)
+        with pytest.raises(OSError):
+            write_shard({"x": rng.normal(size=32)}, tmp_path / "s.rps")
+        assert [p.name for p in tmp_path.iterdir()] == []
+
+    def test_injected_commit_fault_cleans_and_retry_heals(self, tmp_path, rng):
+        # a torn rename leaves garbage under the shard's final name (and
+        # no siblings); the retried write must atomically replace it
+        from repro.durability.fsfaults import (
+            DiskFaultInjector,
+            DiskFaultPoint,
+            activate,
+        )
+
+        columns = {"x": rng.normal(size=32)}
+        injector = DiskFaultInjector(
+            [DiskFaultPoint(kind="torn-rename", site="shard", index=0)]
+        )
+        with activate(injector):
+            with pytest.raises(OSError):
+                write_shard(columns, tmp_path / "s.rps")
+            assert [p.name for p in tmp_path.iterdir()] == ["s.rps"]  # garbage
+            info = write_shard(columns, tmp_path / "s.rps")  # retry
+        assert read_shard(tmp_path / "s.rps")["x"] == pytest.approx(columns["x"])
+        assert info.n_samples == 32
+
 
 class TestSchemaSerialization:
     def test_round_trip(self, small_dataset):

@@ -145,6 +145,56 @@ class TestArchive:
         assert restored == record
 
 
+class TestIndexDurability:
+    """Satellite (ISSUE 10): the archive index survives concurrent
+    appenders and a torn tail left by a crashed one."""
+
+    def test_concurrent_archivers_interleave_whole_lines(self, tmp_path):
+        import threading
+
+        traces = [traced_run(tmp_path, n_map_items=4 + i) for i in range(6)]
+        archive = RunArchive(tmp_path / "runs")
+        barrier = threading.Barrier(len(traces))
+        errors = []
+
+        def worker(trace):
+            try:
+                barrier.wait()
+                archive.archive(trace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in traces]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        lines = (tmp_path / "runs" / "index.jsonl").read_text().splitlines()
+        assert len(lines) == len(traces)
+        run_ids = {json.loads(line)["run_id"] for line in lines}
+        assert len(run_ids) == len(traces)  # every append is a whole line
+        assert len(archive.records()) == len(traces)
+
+    def test_torn_index_tail_recovered_on_next_archive(self, tmp_path):
+        archive = RunArchive(tmp_path / "runs")
+        first = archive.archive(traced_run(tmp_path, n_map_items=4))
+        index = tmp_path / "runs" / "index.jsonl"
+        with open(index, "a") as fh:
+            fh.write('{"run_id": "torn-by-a-crash')
+        second = archive.archive(traced_run(tmp_path, n_map_items=6))
+        lines = index.read_text().splitlines()
+        assert [json.loads(line)["run_id"] for line in lines] == [
+            first.run_id,
+            second.run_id,
+        ]
+        # the reader sees both archived runs and no phantom third
+        assert {r.run_id for r in archive.records()} == {
+            first.run_id,
+            second.run_id,
+        }
+
+
 class TestLoadBaseline:
     def test_bench_file_shape(self, tmp_path):
         path = tmp_path / "BENCH_x.json"
